@@ -1,0 +1,66 @@
+"""Ablation A4 — DRAM retention time (temperature) sensitivity.
+
+The side channel's bandwidth is set by how often refresh windows come
+around: tREFI = retention / 8192. Hot parts refresh twice as often
+(16 ms retention), doubling XFM's access budget per second; low-power
+extended retention (64 ms) halves it. This ablation sweeps retention at a
+fixed access budget and shows the fallback rate tracking the side
+channel's delivered bandwidth — a deployment consideration the paper's
+32 ms working point hides.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import format_table
+from repro.core.emulator import EmulatorConfig, XfmEmulator
+from repro.dram.device import DDR5_32GB, timings_for_device
+
+
+def _sweep():
+    reports = []
+    for retention_ms in (16.0, 32.0, 64.0):
+        timings = timings_for_device(DDR5_32GB)
+        timings = replace(timings, retention_ms=retention_ms)
+        config = EmulatorConfig(
+            promotion_rate=1.0,
+            accesses_per_ref=2,
+            spm_bytes=4 << 20,
+            timings=timings,
+            sim_time_s=0.05,
+        )
+        reports.append((retention_ms, XfmEmulator(config).run()))
+    return reports
+
+
+def test_a4_retention_sensitivity(once, emit):
+    reports = once(_sweep)
+    rows = [
+        [
+            f"{retention:.0f} ms",
+            round(report.config.resolved_timings().trefi_ns / 1000, 2),
+            round(100 * report.fallback_fraction, 2),
+            round(report.nma_bandwidth_bps / 1e9, 3),
+            round(100 * report.random_fraction, 1),
+        ]
+        for retention, report in reports
+    ]
+    table = format_table(
+        ["retention", "tREFI us", "fallback %", "NMA GBps", "random %"],
+        rows,
+        title="A4 — retention/temperature sensitivity "
+        "(100% promo, 2 acc/REF, 4 MiB SPM)",
+    )
+    emit("a4_retention", table)
+
+    by_retention = dict(reports)
+    # Faster refresh -> more windows -> fewer fallbacks.
+    assert (
+        by_retention[16.0].fallback_fraction
+        <= by_retention[32.0].fallback_fraction
+        <= by_retention[64.0].fallback_fraction
+    )
+    # Delivered NMA bandwidth scales with refresh frequency.
+    assert (
+        by_retention[16.0].nma_bandwidth_bps
+        > by_retention[64.0].nma_bandwidth_bps
+    )

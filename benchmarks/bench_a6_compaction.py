@@ -1,0 +1,90 @@
+"""Ablation A6 — zpool fragmentation under churn and compaction cost.
+
+zsmalloc's "intermittent compaction operations to address internal
+fragmentation" (§2.1) and the manually-initiated ``xfm_compact()`` (§6)
+exist because swap churn punches holes in the encapsulating pages. This
+bench drives a store/free churn, measures fragmentation growth, and
+prices compaction in memcpy bytes — the cost an SFM controller weighs
+when scheduling ``xfm_compact``.
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.sfm.page import PAGE_SIZE
+from repro.sfm.zpool import Zpool
+from repro.workloads.corpus import corpus_pages
+
+
+def _churn(compact_every: int, rounds: int = 300, seed: int = 5):
+    rng = random.Random(seed)
+    pool = Zpool(capacity_bytes=64 * PAGE_SIZE)
+    blobs = [
+        page[: rng.randint(600, 2200)]
+        for page in corpus_pages("json-records", 16, seed=seed)
+        for _ in range(2)
+    ]
+    live = []
+    frag_samples = []
+    explicit_memcpy = 0
+    for round_index in range(rounds):
+        blob = bytes(blobs[round_index % len(blobs)])
+        try:
+            live.append(pool.store(blob))
+        except Exception:
+            if live:
+                pool.free(live.pop(rng.randrange(len(live))))
+        if live and rng.random() < 0.45:
+            pool.free(live.pop(rng.randrange(len(live))))
+        if compact_every and round_index % compact_every == compact_every - 1:
+            explicit_memcpy += pool.compact()
+        frag_samples.append(pool.fragmentation())
+    return {
+        "mean_frag": sum(frag_samples) / len(frag_samples),
+        "peak_frag": max(frag_samples),
+        "used_slabs": pool.used_slabs(),
+        "memcpy_kib": pool.compaction_memcpy_bytes / 1024,
+        "compactions": pool.compactions,
+    }
+
+
+def _sweep():
+    return {
+        "never (demand only)": _churn(compact_every=0),
+        "every 64 ops": _churn(compact_every=64),
+        "every 16 ops": _churn(compact_every=16),
+    }
+
+
+def test_a6_compaction_policy(once, emit):
+    results = once(_sweep)
+    rows = [
+        [
+            policy,
+            round(100 * stats["mean_frag"], 1),
+            round(100 * stats["peak_frag"], 1),
+            stats["used_slabs"],
+            round(stats["memcpy_kib"], 1),
+            stats["compactions"],
+        ]
+        for policy, stats in results.items()
+    ]
+    table = format_table(
+        [
+            "compaction policy",
+            "mean frag %",
+            "peak frag %",
+            "final slabs",
+            "memcpy KiB",
+            "compactions",
+        ],
+        rows,
+        title="A6 — fragmentation vs compaction frequency (store/free churn)",
+    )
+    emit("a6_compaction", table)
+
+    never = results["never (demand only)"]
+    eager = results["every 16 ops"]
+    # Compaction trades memcpy traffic for fragmentation.
+    assert eager["mean_frag"] <= never["mean_frag"] + 1e-9
+    assert eager["memcpy_kib"] > never["memcpy_kib"] * 0.5

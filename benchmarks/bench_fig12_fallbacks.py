@@ -1,0 +1,77 @@
+"""Fig. 12 — CPU fallback rate vs SPM size and accesses-per-REF.
+
+Paper claims (§8): with 3 NMA accesses per REF, an 8 MB SPM eliminates all
+CPU fallbacks regardless of the promotion rate; the random-access rate
+scales with the promotion rate but conditional accesses dominate; the
+conditional accesses cut NMA access energy by ~10%.
+"""
+
+from repro.analysis.figures import fig12_fallbacks
+from repro.analysis.report import format_table
+
+
+def test_fig12_fallbacks(once, emit):
+    grid = once(
+        fig12_fallbacks,
+        promotion_rates=(0.5, 1.0),
+        spm_sizes_mib=(1, 2, 4, 8),
+        accesses_per_ref=(1, 2, 3),
+        sim_time_s=0.08,
+    )
+    rows = []
+    for promo, reports in grid.items():
+        for report in reports:
+            cfg = report.config
+            p95 = report.latency_percentiles_ms.get(95, 0.0)
+            rows.append(
+                [
+                    f"{int(promo * 100)}%",
+                    cfg.spm_bytes >> 20,
+                    cfg.accesses_per_ref,
+                    round(100 * report.fallback_fraction, 2),
+                    round(100 * report.random_fraction, 1),
+                    round(report.nma_bandwidth_bps / 1e9, 3),
+                    round(100 * report.conditional_energy_saving, 2),
+                    round(p95 * 1000, 1),
+                ]
+            )
+    table = format_table(
+        [
+            "promotion",
+            "SPM MiB",
+            "acc/REF",
+            "fallback %",
+            "random %",
+            "NMA GBps",
+            "energy saved %",
+            "p95 latency us",
+        ],
+        rows,
+        title="Fig. 12 — CPU fallbacks (512 GB SFM, per-rank emulation)",
+    )
+    emit("fig12_fallbacks", table)
+
+    by_key = {
+        (promo, r.config.spm_bytes >> 20, r.config.accesses_per_ref): r
+        for promo, reports in grid.items()
+        for r in reports
+    }
+    # 3 accesses/REF + 8 MB SPM -> zero fallbacks at both promotion rates.
+    assert by_key[(0.5, 8, 3)].fallback_fraction == 0.0
+    assert by_key[(1.0, 8, 3)].fallback_fraction == 0.0
+    # 1 access/REF cannot keep up at 100% promotion, SPM notwithstanding.
+    assert by_key[(1.0, 8, 1)].fallback_fraction > 0.25
+    # Fallbacks fall with SPM size at a fixed budget.
+    assert (
+        by_key[(1.0, 8, 2)].fallback_fraction
+        <= by_key[(1.0, 1, 2)].fallback_fraction
+    )
+    # Conditional accesses dominate; randoms scale with promotion rate.
+    for report in grid[1.0]:
+        assert report.random_fraction < 0.5
+    rand_50 = by_key[(0.5, 8, 3)].random_accesses / by_key[(0.5, 8, 3)].sim_time_s
+    rand_100 = by_key[(1.0, 8, 3)].random_accesses / by_key[(1.0, 8, 3)].sim_time_s
+    assert rand_100 > 1.5 * rand_50
+    # Conditional accesses save ~10% NMA access energy (paper: 10.1%).
+    saving = by_key[(1.0, 8, 3)].conditional_energy_saving
+    assert 0.02 < saving < 0.12

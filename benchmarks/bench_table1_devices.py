@@ -1,0 +1,25 @@
+"""Table 1 — DDR5 device configurations and refresh-window arithmetic.
+
+Paper values: 8/16/32 Gb devices with 64K/64K/128K rows per bank,
+16/32/32 banks, tRFC 195/295/410 ns, 8/8/16 rows refreshed per tRFC,
+128/128/256 subarrays per bank; §5 derives 2/3/4 conditional 4 KiB
+accesses per tRFC.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import TABLE1_HEADERS, table1_rows
+
+
+def test_table1_devices(once, emit):
+    rows = once(table1_rows)
+    table = format_table(
+        TABLE1_HEADERS, rows, title="Table 1 — DDR5 device configuration"
+    )
+    emit("table1_devices", table)
+
+    expected = [
+        ["DDR5-8Gb", "64K", 16, 195.0, 8, 128, 2],
+        ["DDR5-16Gb", "64K", 32, 295.0, 8, 128, 3],
+        ["DDR5-32Gb", "128K", 32, 410.0, 16, 256, 4],
+    ]
+    assert rows == expected

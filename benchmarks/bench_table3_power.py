@@ -1,0 +1,22 @@
+"""Table 3 — power consumption breakdown of the XFM prototype.
+
+Paper values: 7.024 W total = 5.718 W dynamic (81%) + 1.306 W static (19%).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import TABLE3_HEADERS, table3_rows
+
+
+def test_table3_power(once, emit):
+    rows = once(table3_rows)
+    table = format_table(
+        TABLE3_HEADERS, rows, title="Table 3 — XFM power consumption"
+    )
+    emit("table3_power", table)
+
+    values = {row[0]: float(row[1]) for row in rows}
+    assert values["Dynamic"] == pytest.approx(5.718)
+    assert values["Static"] == pytest.approx(1.306)
+    assert values["Total"] == pytest.approx(7.024)

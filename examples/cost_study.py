@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""DFM vs SFM cost & carbon study (the §3 analysis, Fig. 3).
+
+Sweeps promotion rates and deployment horizons through the first-order
+model (EQ1–EQ5) and prints the break-even landscape: when does software-
+defined far memory stop being cheaper than buying disaggregated DRAM or
+PMem, and what the XFM-accelerated variant changes.
+
+Run:  python examples/cost_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.costmodel import (
+    CostParams,
+    MemoryKind,
+    dfm_cost_usd,
+    dfm_emission_kg,
+    integrated_accel_breakeven_promotion,
+    sfm_cost_usd,
+    sfm_emission_kg,
+)
+from repro.costmodel.breakeven import (
+    sfm_vs_dfm_cost_breakeven,
+    sfm_vs_dfm_emission_breakeven,
+)
+
+
+def cost_landscape(params: CostParams) -> str:
+    rows = []
+    for promo in (0.05, 0.1, 0.2, 0.5, 1.0):
+        cost_be = sfm_vs_dfm_cost_breakeven(params, promo)
+        cost_be_pmem = sfm_vs_dfm_cost_breakeven(params, promo, MemoryKind.PMEM)
+        emission_be = sfm_vs_dfm_emission_breakeven(params, promo)
+        rows.append(
+            [
+                f"{int(promo * 100)}%",
+                "never" if cost_be is None else f"{cost_be:.1f}",
+                "never" if cost_be_pmem is None else f"{cost_be_pmem:.1f}",
+                "never" if emission_be is None else f"{emission_be:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "promotion rate",
+            "cost BE vs DRAM-DFM (yr)",
+            "cost BE vs PMem-DFM (yr)",
+            "CO2 BE vs DRAM-DFM (yr)",
+        ],
+        rows,
+        title="CPU-SFM break-even landscape (512 GB far memory)",
+    )
+
+
+def five_year_bill(params: CostParams) -> str:
+    rows = []
+    horizon = 5.0
+    for label, fn in (("cost ($)", "cost"), ("emissions (kgCO2e)", "emission")):
+        dfm_dram = (
+            dfm_cost_usd(params, 1.0, horizon)
+            if fn == "cost"
+            else dfm_emission_kg(params, 1.0, horizon)
+        )
+        dfm_pmem = (
+            dfm_cost_usd(params, 1.0, horizon, MemoryKind.PMEM)
+            if fn == "cost"
+            else dfm_emission_kg(params, 1.0, horizon, MemoryKind.PMEM)
+        )
+        sfm_cpu = (
+            sfm_cost_usd(params, 0.2, horizon)
+            if fn == "cost"
+            else sfm_emission_kg(params, 0.2, horizon)
+        )
+        sfm_xfm = (
+            sfm_cost_usd(params, 0.2, horizon, accelerated=True)
+            if fn == "cost"
+            else sfm_emission_kg(params, 0.2, horizon, accelerated=True)
+        )
+        rows.append(
+            [
+                label,
+                round(dfm_dram, 1),
+                round(dfm_pmem, 1),
+                round(sfm_cpu, 1),
+                round(sfm_xfm, 2),
+            ]
+        )
+    return format_table(
+        ["5-year total", "DFM DRAM", "DFM PMem", "SFM CPU @20%", "SFM XFM @20%"],
+        rows,
+        title="Five-year bill for 512 GB of far memory",
+    )
+
+
+def fleet_table() -> str:
+    from repro.costmodel.fleet import FleetConfig, savings_summary
+
+    config = FleetConfig(num_servers=10_000)
+    reports = savings_summary(config)
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                round(report.dram_avoided_gb / 1e6, 2),
+                round(report.capital_saved_usd / 1e6, 2),
+                round(report.dataplane_cost_usd / 1e6, 3),
+                round(report.net_usd / 1e6, 2),
+                round(report.net_kg / 1e6, 2),
+            ]
+        )
+    return format_table(
+        [
+            "data plane",
+            "DRAM avoided (PB)",
+            "capital saved ($M)",
+            "data plane ($M)",
+            "net ($M)",
+            "net CO2e (kt)",
+        ],
+        rows,
+        title=(
+            "Fleet view: 10k servers x 512 GB, 30% cold @ 3x ratio, "
+            "15% promotion, 5 years"
+        ),
+    )
+
+
+def main() -> None:
+    params = CostParams()
+    print(cost_landscape(params))
+    print()
+    print(five_year_bill(params))
+    print()
+    print(fleet_table())
+    print(
+        "note the carbon column: with CPU compression the fleet's data\n"
+        "plane emits more than the avoided DRAM embodies — the carbon\n"
+        "case for SFM *requires* acceleration, which is XFM's thesis.\n"
+    )
+    accel_be = integrated_accel_breakeven_promotion(params)
+    print(
+        f"integrated (QAT-class) accelerator pays off above a "
+        f"{100 * accel_be:.1f}% promotion rate (paper: ~6%)."
+    )
+    print(
+        "headline: SFM@100% promotion takes "
+        f"{sfm_vs_dfm_cost_breakeven(params, 1.0):.1f} years to reach "
+        "DRAM-DFM's cost (paper: 8.5); the XFM-accelerated SFM never "
+        "reaches its emissions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multi-channel compression study (the Fig. 8 experiment, interactive).
+
+Takes real synthetic-corpus pages, stripes them across 1/2/4 DIMMs at the
+256 B channel-interleave granularity, compresses each DIMM's stripe
+independently with the Deflate-style codec, applies the same-offset
+placement rule, and reports what interleaving costs: ratio retention,
+savings loss, and the split between window-shrink and fragmentation
+effects. Also demonstrates the gather-decompress (CPU_Fallback) path.
+
+Run:  python examples/multichannel_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.multichannel import MultiChannelLayout, measure_corpus
+from repro.workloads.corpus import corpus_pages
+
+CORPORA = (
+    "text-english",
+    "source-code",
+    "json-records",
+    "server-log",
+    "db-btree",
+    "heap-pointers",
+    "float-matrix",
+    "random-bytes",
+)
+
+
+def main() -> None:
+    rows = []
+    retention = []
+    for corpus in CORPORA:
+        pages = corpus_pages(corpus, 6, seed=17)
+        report = measure_corpus(corpus, pages)
+        rows.append(
+            [
+                corpus,
+                round(report.stored_ratio[1], 2),
+                round(report.stored_ratio[2], 2),
+                round(report.stored_ratio[4], 2),
+                round(report.payload_ratio[4], 2),
+                round(100 * report.ratio_retention(4), 1),
+            ]
+        )
+        if report.stored_ratio[1] > 1.3:
+            retention.append(report.ratio_retention(4))
+    print(
+        format_table(
+            [
+                "corpus",
+                "1-DIMM",
+                "2-DIMM",
+                "4-DIMM",
+                "4-DIMM (no frag)",
+                "retained@4 %",
+            ],
+            rows,
+            title="compression ratio vs DIMM interleaving (deflate)",
+        )
+    )
+    print(
+        f"\nmean ratio retained at 4 DIMMs: "
+        f"{100 * sum(retention) / len(retention):.1f}% (paper: 86.2%)"
+    )
+
+    # Demonstrate the scatter/compress and gather/decompress paths.
+    layout = MultiChannelLayout(num_dimms=4)
+    page = corpus_pages("json-records", 1, seed=17)[0]
+    compressed = layout.compress_page(page)
+    print(
+        f"\none 4 KiB json page -> per-DIMM segments "
+        f"{[len(s) for s in compressed.segments]} bytes"
+        f"\nsame-offset slot consumes {compressed.stored_bytes} bytes "
+        f"({compressed.fragmentation_bytes} internal fragmentation)"
+    )
+    restored = layout.decompress_page(compressed)
+    assert restored == page
+    print("gather-decompress (CPU_Fallback path) restored the page exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Replay an application swap trace through the XFM timing emulator.
+
+The paper's §7 methodology in miniature: run the web front-end on the
+functional far-memory stack to *generate* a swap trace, then replay that
+trace through the refresh-window timing emulator to see how the side
+channel handles it — and crank the intensity until it saturates. Also
+shows saving/loading traces, so a trace captured once can be re-analyzed
+under different hardware configurations.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.core.emulator import EmulatorConfig, XfmEmulator
+from repro.sfm import SfmBackend
+from repro.sfm.controller import ColdScanController
+from repro.sfm.page import PAGE_SIZE
+from repro.workloads import SwapTrace
+from repro.workloads.aifm import FarMemoryRuntime
+from repro.workloads.webfrontend import WebFrontend, WebFrontendConfig
+
+TRACE_PATH = "/tmp/xfm_replay_trace.jsonl"
+
+
+def generate_trace() -> SwapTrace:
+    backend = SfmBackend(capacity_bytes=512 * PAGE_SIZE)
+    runtime = FarMemoryRuntime(
+        backend,
+        local_capacity_pages=48,
+        controller=ColdScanController(cold_threshold_s=3.0, scan_period_s=2.0),
+    )
+    frontend = WebFrontend(
+        runtime,
+        WebFrontendConfig(num_pages=192, lookups_per_s=40, seed=8),
+    )
+    frontend.run(duration_s=60.0)
+    runtime.trace.save(TRACE_PATH)
+    return runtime.trace
+
+
+def main() -> None:
+    print("generating a swap trace from 60 s of web front-end traffic...")
+    trace = generate_trace()
+    print(
+        f"captured {len(trace)} events over {trace.duration_s:.0f}s "
+        f"(mean compression ratio {trace.mean_compression_ratio():.2f}); "
+        f"saved to {TRACE_PATH}"
+    )
+
+    reloaded = SwapTrace.load(TRACE_PATH)
+    print(f"reloaded {len(reloaded)} events from disk\n")
+
+    header = (
+        f"{'time compression':>18s}{'fallback %':>12s}{'random %':>10s}"
+        f"{'NMA MBps':>10s}{'p95 us':>9s}"
+    )
+    print("replaying through the refresh-window emulator:")
+    print(header)
+    print("-" * len(header))
+    for scale in (1_000.0, 10_000.0, 50_000.0, 200_000.0):
+        config = EmulatorConfig(accesses_per_ref=2, spm_bytes=2 << 20)
+        report = XfmEmulator(config).run_trace(reloaded, time_scale=scale)
+        p95_us = report.latency_percentiles_ms.get(95, 0.0) * 1000
+        print(
+            f"{scale:>17,.0f}x"
+            f"{100 * report.fallback_fraction:>11.2f}%"
+            f"{100 * report.random_fraction:>9.1f}%"
+            f"{report.nma_bandwidth_bps / 1e6:>10.1f}"
+            f"{p95_us:>9.1f}"
+        )
+    print(
+        "\nreading: the application's real swap intensity rides the side"
+        "\nchannel for free; only at tens-of-thousands-fold compression of"
+        "\nits timeline does the refresh budget saturate and CPU fallbacks"
+        "\nappear."
+    )
+
+
+if __name__ == "__main__":
+    main()

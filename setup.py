@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+(which build a wheel) fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` take the legacy develop path. Plain ``pip install -e .``
+also works on systems with ``wheel`` available.
+"""
+
+from setuptools import setup
+
+setup()

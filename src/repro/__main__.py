@@ -1,0 +1,233 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro table1 table2 fig3   # run specific ones
+    python -m repro all                  # everything (a few minutes)
+
+Each experiment prints the same rendered rows/series its benchmark emits;
+the benchmarks add timing and shape assertions on top of these.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _fig1() -> str:
+    from repro.analysis.figures import (
+        fig1_bandwidth_series,
+        max_supported_sfm_gb,
+    )
+    from repro.analysis.report import format_table
+
+    points = fig1_bandwidth_series()
+    table = format_table(
+        ["ranks", "SFM GB", "CPU-SFM GBps", "chan util %", "XFM util %"],
+        [
+            [
+                p.num_ranks,
+                p.sfm_capacity_gb,
+                round(p.cpu_sfm_channel_gbps, 1),
+                round(100 * p.cpu_utilization, 1),
+                round(100 * p.xfm_utilization, 1),
+            ]
+            for p in points
+        ],
+        title="Fig. 1 — SFM bandwidth vs ranks (100% promotion)",
+    )
+    return table + (
+        f"\nmax SFM on the refresh side channel @16 ranks: "
+        f"{max_supported_sfm_gb(16):.0f} GB"
+    )
+
+
+def _fig3() -> str:
+    from repro.analysis.report import format_table
+    from repro.costmodel import CostParams, fig3_series
+    from repro.costmodel.breakeven import sfm_vs_dfm_cost_breakeven
+
+    series = fig3_series(metric="cost")
+    years = series["dfm-dram"].years
+    table = format_table(
+        ["year"] + list(series),
+        [
+            [year] + [round(series[k].normalized[i], 3) for k in series]
+            for i, year in enumerate(years)
+        ],
+        title="Fig. 3 (cost) — normalized to DFM (DRAM)",
+    )
+    breakeven = sfm_vs_dfm_cost_breakeven(CostParams(), 1.0)
+    return table + f"\nSFM@100% cost break-even: {breakeven:.1f} years (paper: 8.5)"
+
+
+def _fig8() -> str:
+    from repro.analysis.figures import fig8_ratios
+    from repro.analysis.report import format_table
+
+    reports = fig8_ratios(pages_per_corpus=4)
+    return format_table(
+        ["corpus", "1-DIMM", "2-DIMM", "4-DIMM", "savings loss@4 %"],
+        [
+            [
+                r.corpus,
+                round(r.stored_ratio[1], 2),
+                round(r.stored_ratio[2], 2),
+                round(r.stored_ratio[4], 2),
+                round(100 * r.savings_reduction_vs_inorder(4), 1),
+            ]
+            for r in reports
+        ],
+        title="Fig. 8 — multi-channel compression ratios",
+    )
+
+
+def _fig11() -> str:
+    from repro.analysis.figures import fig11_interference
+    from repro.analysis.report import format_table
+
+    results = fig11_interference()["default-mix"]
+    return format_table(
+        ["config", "SPEC mean deg %", "SPEC max deg %", "SFM deg %"],
+        [
+            [
+                mode.value,
+                round(result.spec_mean_degradation_pct, 2),
+                round(result.spec_max_degradation_pct, 2),
+                round(result.sfm_degradation_pct, 2),
+            ]
+            for mode, result in results.items()
+        ],
+        title="Fig. 11 — co-run interference (default mix)",
+    )
+
+
+def _fig12() -> str:
+    from repro.analysis.figures import fig12_fallbacks
+    from repro.analysis.report import format_table
+
+    grid = fig12_fallbacks(sim_time_s=0.05)
+    rows = []
+    for promo, reports in grid.items():
+        for report in reports:
+            rows.append(
+                [
+                    f"{int(promo * 100)}%",
+                    report.config.spm_bytes >> 20,
+                    report.config.accesses_per_ref,
+                    round(100 * report.fallback_fraction, 2),
+                    round(100 * report.random_fraction, 1),
+                ]
+            )
+    return format_table(
+        ["promotion", "SPM MiB", "acc/REF", "fallback %", "random %"],
+        rows,
+        title="Fig. 12 — CPU fallbacks",
+    )
+
+
+def _table1() -> str:
+    from repro.analysis.report import format_table
+    from repro.analysis.tables import TABLE1_HEADERS, table1_rows
+
+    return format_table(TABLE1_HEADERS, table1_rows(), title="Table 1")
+
+
+def _table2() -> str:
+    from repro.analysis.report import format_table
+    from repro.analysis.tables import TABLE2_HEADERS, table2_rows
+
+    return format_table(TABLE2_HEADERS, table2_rows(), title="Table 2")
+
+
+def _table3() -> str:
+    from repro.analysis.report import format_table
+    from repro.analysis.tables import TABLE3_HEADERS, table3_rows
+
+    return format_table(TABLE3_HEADERS, table3_rows(), title="Table 3")
+
+
+def _budget() -> str:
+    from repro.analysis.figures import refresh_budget_summary
+
+    summary = refresh_budget_summary()
+    return "\n".join(
+        f"{key:28s}: {value:.4g}" for key, value in summary.items()
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "fig8": _fig8,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "budget": _budget,
+}
+
+_DESCRIPTIONS = {
+    "fig1": "SFM bandwidth vs rank count; XFM side-channel headroom",
+    "fig3": "cost of SFM vs DFM over years (EQ1-EQ3)",
+    "fig8": "multi-channel compression ratios on 16 corpora",
+    "fig11": "SPEC x SFM co-run interference, three configs",
+    "fig12": "CPU fallback rate vs SPM size x access budget",
+    "table1": "DDR5 device configuration + conditional access capacity",
+    "table2": "FPGA resource utilization",
+    "table3": "FPGA power breakdown",
+    "budget": "refresh side-channel budget arithmetic (Sec. 4.3)",
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures/tables of the XFM paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names, 'list', or 'all'",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or ["list"]
+
+    if names == ["list"]:
+        print("available experiments:")
+        for name, description in _DESCRIPTIONS.items():
+            print(f"  {name:8s} {description}")
+        print("run: python -m repro <name> [<name> ...] | all")
+        print("     python -m repro export <dir>   # CSV/JSON figure data")
+        return 0
+    if names and names[0] == "export":
+        from pathlib import Path
+
+        from repro.analysis.export import EXPORTERS
+
+        target = Path(names[1]) if len(names) > 1 else Path("figure-data")
+        target.mkdir(parents=True, exist_ok=True)
+        for filename, exporter in EXPORTERS.items():
+            (target / filename).write_text(exporter(), encoding="utf-8")
+            print(f"wrote {target / filename}")
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

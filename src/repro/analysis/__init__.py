@@ -1,0 +1,25 @@
+"""Figure/table data generators shared by the benchmarks and examples."""
+
+from repro.analysis.figures import (
+    fig1_bandwidth_series,
+    fig8_ratios,
+    fig11_interference,
+    fig12_fallbacks,
+    max_supported_sfm_gb,
+    refresh_budget_summary,
+)
+from repro.analysis.report import format_table
+from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+
+__all__ = [
+    "fig11_interference",
+    "fig12_fallbacks",
+    "fig1_bandwidth_series",
+    "fig8_ratios",
+    "format_table",
+    "max_supported_sfm_gb",
+    "refresh_budget_summary",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,93 @@
+"""Average memory access time (AMAT) across far-memory tiers.
+
+The qualitative latency story of §2/§3 — local DRAM, then DFM's one link
+round trip, then SFM's decompression on the fault path, with prefetching
+hiding far-memory latency for predictable patterns — expressed as the
+standard hierarchical AMAT so configurations can be compared numerically.
+
+``AMAT = local_hit * t_local + far_access * (prefetch_hit * t_local +
+(1 - prefetch_hit) * t_fault)`` where ``t_fault`` is tier-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfm.interconnect import CXL_LINK, InterconnectModel
+from repro.errors import ConfigError
+from repro.sfm.page import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TierLatency:
+    """Fault-path service time of one far-memory tier, per 4 KiB page."""
+
+    name: str
+    fault_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.fault_latency_s < 0:
+            raise ConfigError("fault latency must be non-negative")
+
+
+def sfm_tier(
+    decompress_cycles_per_byte: float = 2.0,
+    cpu_freq_hz: float = 2.6e9,
+    fault_overhead_s: float = 5e-6,
+) -> TierLatency:
+    """CPU-SFM fault: page-fault plumbing + software decompression (the
+    §6 CPU_Fallback path; zstd-class decode)."""
+    decompress = decompress_cycles_per_byte * PAGE_SIZE / cpu_freq_hz
+    return TierLatency(name="sfm-cpu", fault_latency_s=fault_overhead_s + decompress)
+
+
+def dfm_tier(
+    link: InterconnectModel = CXL_LINK, fault_overhead_s: float = 1e-6
+) -> TierLatency:
+    """DFM fault: one link transfer (CXL-class loads may even avoid the
+    fault entirely; the overhead term covers the mapping path)."""
+    return TierLatency(
+        name=f"dfm-{link.name}",
+        fault_latency_s=fault_overhead_s + link.page_swap_latency_s(PAGE_SIZE),
+    )
+
+
+def xfm_tier(
+    sfm: TierLatency = None,
+) -> TierLatency:
+    """XFM's *fault* path is the CPU's (§6: do_offload defaults off on
+    demand faults) — XFM wins by raising the prefetch hit rate, not by
+    shortening the miss."""
+    base = sfm if sfm is not None else sfm_tier()
+    return TierLatency(name="xfm", fault_latency_s=base.fault_latency_s)
+
+
+@dataclass(frozen=True)
+class AmatConfig:
+    """Access mix over the memory hierarchy."""
+
+    local_latency_s: float = 90e-9
+    #: Fraction of page-touches that land in far memory.
+    far_access_fraction: float = 0.02
+    #: Fraction of far touches a prefetcher promoted in time.
+    prefetch_hit_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("far_access_fraction", "prefetch_hit_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+
+
+def amat_s(config: AmatConfig, tier: TierLatency) -> float:
+    """Average access latency for the given mix and tier."""
+    fault = (1.0 - config.prefetch_hit_rate) * tier.fault_latency_s
+    hidden = config.prefetch_hit_rate * config.local_latency_s
+    return (
+        (1.0 - config.far_access_fraction) * config.local_latency_s
+        + config.far_access_fraction * (hidden + fault)
+    )
+
+
+def slowdown_vs_local(config: AmatConfig, tier: TierLatency) -> float:
+    """AMAT relative to an all-local configuration (>= 1)."""
+    return amat_s(config, tier) / config.local_latency_s

@@ -1,0 +1,81 @@
+"""Row generators for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dram.device import (
+    DDR5_16GB,
+    DDR5_32GB,
+    DDR5_8GB,
+    DEVICE_TRFC_NS,
+    DramDeviceConfig,
+    timings_for_device,
+)
+from repro.hwmodel.fpga import FpgaDesign, xfm_fpga_design
+
+TABLE1_HEADERS = [
+    "Device",
+    "#Rows per bank",
+    "#Banks per chip",
+    "tRFC (ns)",
+    "#Rows ref'd per tRFC",
+    "#Subarrays per bank",
+    "Cond. 4KiB accesses per tRFC",
+]
+
+
+def table1_rows(
+    devices: Sequence[DramDeviceConfig] = (DDR5_8GB, DDR5_16GB, DDR5_32GB),
+) -> List[list]:
+    """Table 1 plus the §5 conditional-access capacity column."""
+    rows = []
+    for device in devices:
+        timings = timings_for_device(device)
+        rows.append(
+            [
+                device.name,
+                f"{device.rows_per_bank // 1024}K",
+                device.banks_per_chip,
+                DEVICE_TRFC_NS[device.name],
+                device.rows_refreshed_per_trfc,
+                device.subarrays_per_bank,
+                device.conditional_accesses_per_trfc(timings),
+            ]
+        )
+    return rows
+
+
+TABLE2_HEADERS = ["Resource", "Used", "Total", "Percent"]
+
+
+def table2_rows(design: FpgaDesign = None) -> List[list]:
+    """Table 2: FPGA resource utilization."""
+    if design is None:
+        design = xfm_fpga_design()
+    rows = []
+    for resource, cells in design.utilization().items():
+        rows.append(
+            [
+                resource,
+                int(cells["used"]),
+                int(cells["total"]),
+                f"{cells['percent']:.2f}%",
+            ]
+        )
+    return rows
+
+
+TABLE3_HEADERS = ["Power", "Watts", "%"]
+
+
+def table3_rows(design: FpgaDesign = None) -> List[list]:
+    """Table 3: power consumption breakdown."""
+    if design is None:
+        design = xfm_fpga_design()
+    power = design.power()
+    return [
+        ["Dynamic", f"{power['dynamic_w']:.3f}", f"{power['dynamic_pct']:.0f}"],
+        ["Static", f"{power['static_w']:.3f}", f"{power['static_pct']:.0f}"],
+        ["Total", f"{power['total_w']:.3f}", "100"],
+    ]

@@ -1,0 +1,43 @@
+"""From-scratch lossless compression substrate (system S1).
+
+XFM's evaluation depends on three codec families used by production SFM
+stacks: a Deflate-style LZ77 + canonical-Huffman codec (the algorithm the
+paper's FPGA accelerator implements), an LZO-style byte-aligned fast codec,
+and a zstd-style large-window codec. All three are implemented here from
+scratch on a shared :class:`~repro.compression.base.Codec` interface so the
+multi-channel-interleaving experiments (Fig. 8) measure real window-split
+effects rather than fitted curves.
+
+Public entry points:
+
+* :class:`~repro.compression.deflate.DeflateCodec`
+* :class:`~repro.compression.lzfast.LzFastCodec`
+* :class:`~repro.compression.zstd_like.ZstdLikeCodec`
+* :func:`~repro.compression.base.get_codec` / ``available_codecs``
+"""
+
+from repro.compression.base import (
+    Codec,
+    CodecSpec,
+    available_codecs,
+    compression_ratio,
+    get_codec,
+    register_codec,
+    space_savings,
+)
+from repro.compression.deflate import DeflateCodec
+from repro.compression.lzfast import LzFastCodec
+from repro.compression.zstd_like import ZstdLikeCodec
+
+__all__ = [
+    "Codec",
+    "CodecSpec",
+    "DeflateCodec",
+    "LzFastCodec",
+    "ZstdLikeCodec",
+    "available_codecs",
+    "compression_ratio",
+    "get_codec",
+    "register_codec",
+    "space_savings",
+]

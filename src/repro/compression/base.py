@@ -1,0 +1,124 @@
+"""Codec interface, registry, and ratio metrics.
+
+Every codec in the substrate implements :class:`Codec` and registers itself
+under a short name (``"deflate"``, ``"lzfast"``, ``"zstd-like"``). Besides
+the functional ``compress``/``decompress`` pair, each codec carries a
+:class:`CodecSpec` describing its *modeled* software cost in CPU
+cycles/byte; the cost model (EQ3.4's ``CCPerGB``) and the interference
+model consume those numbers, mirroring how the paper couples zstd/lzo
+software speeds into its first-order equations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Modeled software-implementation cost of a codec.
+
+    ``compress_cycles_per_byte`` / ``decompress_cycles_per_byte`` are
+    calibrated against published single-core throughputs of the algorithm
+    family each codec stands in for (zstd ~ 500 MBps compress on a ~2.6 GHz
+    core, lzo faster and lighter, deflate slower and denser). The paper's
+    average ``CCPerGB`` of 7.65e9 cycles/GB (~7.65 cycles/byte averaged over
+    compress + decompress of zstd and lzo) anchors the defaults.
+    """
+
+    name: str
+    compress_cycles_per_byte: float
+    decompress_cycles_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.compress_cycles_per_byte <= 0 or self.decompress_cycles_per_byte <= 0:
+            raise ConfigError("codec cycle costs must be positive")
+
+    @property
+    def mean_cycles_per_byte(self) -> float:
+        """Average of compress and decompress cost, as EQ3.4 uses."""
+        return (self.compress_cycles_per_byte + self.decompress_cycles_per_byte) / 2.0
+
+    def compress_throughput_bps(self, freq_hz: float) -> float:
+        """Single-core compression throughput at clock ``freq_hz``."""
+        return freq_hz / self.compress_cycles_per_byte
+
+    def decompress_throughput_bps(self, freq_hz: float) -> float:
+        """Single-core decompression throughput at clock ``freq_hz``."""
+        return freq_hz / self.decompress_cycles_per_byte
+
+
+class Codec(ABC):
+    """A lossless byte-stream codec.
+
+    Implementations must be pure functions of their input: identical input
+    bytes produce identical output bytes, and
+    ``decompress(compress(data)) == data`` for every ``bytes`` value.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    #: Modeled software cost; subclasses override.
+    spec: CodecSpec
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Encode ``data`` and return the compressed blob."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Decode a blob produced by :meth:`compress`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Type[Codec]] = {}
+
+
+def register_codec(cls: Type[Codec]) -> Type[Codec]:
+    """Class decorator adding a codec to the global registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ConfigError(f"codec class {cls.__name__} must define a name")
+    if cls.name in _REGISTRY:
+        raise ConfigError(f"duplicate codec name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a registered codec by name.
+
+    Keyword arguments are forwarded to the codec constructor (e.g.
+    ``get_codec("deflate", window_size=1024)``).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown codec {name!r}; available: {known}") from None
+    return cls(**kwargs)
+
+
+def available_codecs() -> List[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)
+
+
+def compression_ratio(data: bytes, codec: Codec) -> float:
+    """Uncompressed/compressed size ratio (higher is better, >= ~0.9)."""
+    if not data:
+        raise ValueError("cannot measure ratio of an empty buffer")
+    return len(data) / len(codec.compress(data))
+
+
+def space_savings(data: bytes, codec: Codec) -> float:
+    """Fraction of space saved: ``1 - compressed/uncompressed``."""
+    if not data:
+        raise ValueError("cannot measure savings of an empty buffer")
+    return 1.0 - len(codec.compress(data)) / len(data)

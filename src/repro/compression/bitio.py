@@ -1,0 +1,113 @@
+"""Bit-granular I/O used by the entropy coders.
+
+Bits are packed LSB-first within each byte, the same convention RFC 1951
+(Deflate) uses: the first bit written becomes the least-significant bit of
+the first output byte. Huffman codes are written most-significant-bit first
+via :meth:`BitWriter.write_bits_msb` so canonical code prefixes sort the
+way the decoder expects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Accumulates bits LSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` low-order bits of ``value``, LSB-first."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc |= value << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def write_bits_msb(self, value: int, nbits: int) -> None:
+        """Append ``nbits`` bits of ``value`` starting from the MSB.
+
+        Used for Huffman codes, whose canonical ordering is defined on the
+        bit string read most-significant-bit first.
+        """
+        for shift in range(nbits - 1, -1, -1):
+            self.write_bits((value >> shift) & 1, 1)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._nbits:
+            self.write_bits(0, 8 - self._nbits)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; the stream must be byte-aligned."""
+        if self._nbits:
+            raise ValueError("write_bytes requires byte alignment")
+        self._out.extend(data)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._out) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return the accumulated bytes, flushing any partial byte."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte buffer produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits, returning them as an integer (LSB-first)."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        while self._nbits < nbits:
+            if self._pos >= len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << nbits) - 1)
+        self._acc >>= nbits
+        self._nbits -= nbits
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        drop = self._nbits % 8
+        if drop:
+            self.read_bits(drop)
+
+    def read_bytes(self, n: int) -> bytes:
+        """Read ``n`` whole bytes; the stream must be byte-aligned."""
+        if self._nbits % 8:
+            raise ValueError("read_bytes requires byte alignment")
+        out = bytearray()
+        for _ in range(n):
+            out.append(self.read_bits(8))
+        return bytes(out)
+
+    @property
+    def bits_remaining(self) -> int:
+        """Upper bound on the number of unread bits."""
+        return (len(self._data) - self._pos) * 8 + self._nbits

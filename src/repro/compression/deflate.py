@@ -1,0 +1,401 @@
+"""Deflate-style codec: LZ77 + two-level canonical Huffman.
+
+This is the algorithm family the paper's FPGA accelerator implements
+(an open-source Deflate core, §7). The stream layout follows RFC 1951's
+structure — dynamic literal/length and distance trees whose code-length
+vectors are themselves RLE'd and Huffman-coded — without the zlib container.
+Window size is a constructor parameter because Fig. 8 studies ratio loss as
+the window shrinks under multi-DIMM interleaving.
+
+Blob layout::
+
+    magic(1) | mode(1) | orig_len(varint) | payload
+
+``mode`` 0 = stored (incompressible input), 1 = huffman block.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Sequence, Tuple
+
+from repro.compression.base import Codec, CodecSpec, register_codec
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.huffman import HuffmanTable
+from repro.compression.lz77 import Literal, Lz77Matcher, Match, Token
+from repro.errors import ConfigError, CorruptStreamError
+
+_MAGIC = 0xD5
+_MODE_STORED = 0
+_MODE_HUFFMAN = 1
+#: RFC 1951 BTYPE=01: pre-agreed fixed trees, no header — wins on small
+#: inputs (the 1 KiB per-DIMM stripes of multi-channel mode).
+_MODE_HUFFMAN_FIXED = 2
+
+_EOB = 256
+_NUM_LITLEN = 286
+_NUM_DIST = 30
+_NUM_CODELEN = 19
+
+# RFC 1951 length-code table: (base_length, extra_bits) for codes 257..285.
+_LENGTH_CODES: List[Tuple[int, int]] = (
+    [(3 + i, 0) for i in range(8)]
+    + [(11 + 2 * i, 1) for i in range(4)]
+    + [(19 + 4 * i, 2) for i in range(4)]
+    + [(35 + 8 * i, 3) for i in range(4)]
+    + [(67 + 16 * i, 4) for i in range(4)]
+    + [(131 + 32 * i, 5) for i in range(4)]
+    + [(258, 0)]
+)
+
+# RFC 1951 distance-code table: (base_distance, extra_bits) for codes 0..29.
+_DIST_CODES: List[Tuple[int, int]] = [(1, 0), (2, 0), (3, 0), (4, 0)] + [
+    (base, extra)
+    for extra in range(1, 14)
+    for base in (
+        (1 << (extra + 1)) + 1,
+        (1 << (extra + 1)) + (1 << extra) + 1,
+    )
+]
+
+
+def _length_to_code(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (litlen symbol, extra value, extra bits)."""
+    if length == 258:
+        return 285, 0, 0
+    for code_index in range(len(_LENGTH_CODES) - 1, -1, -1):
+        base, extra = _LENGTH_CODES[code_index]
+        if length >= base:
+            return 257 + code_index, length - base, extra
+    raise ValueError(f"unencodable match length {length}")
+
+
+def _distance_to_code(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to (dist symbol, extra value, extra bits)."""
+    for code_index in range(len(_DIST_CODES) - 1, -1, -1):
+        base, extra = _DIST_CODES[code_index]
+        if distance >= base:
+            return code_index, distance - base, extra
+    raise ValueError(f"unencodable match distance {distance}")
+
+
+def _write_varint(writer: BitWriter, value: int) -> None:
+    """LEB128-style varint, written byte-aligned."""
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        chunk = value & 0x7F
+        value >>= 7
+        writer.write_bits(chunk | (0x80 if value else 0), 8)
+        if not value:
+            return
+
+
+def _read_varint(reader: BitReader) -> int:
+    value = 0
+    shift = 0
+    while True:
+        byte = reader.read_bits(8)
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+        if shift > 35:
+            raise CorruptStreamError("varint too long")
+
+
+def _rle_code_lengths(lengths: Sequence[int]) -> List[Tuple[int, int]]:
+    """RLE a code-length vector into (symbol, extra) pairs per RFC 1951.
+
+    Symbols 0..15 are literal lengths; 16 repeats the previous length 3-6
+    times; 17 emits 3-10 zeros; 18 emits 11-138 zeros.
+    """
+    out: List[Tuple[int, int]] = []
+    i = 0
+    n = len(lengths)
+    prev = -1
+    while i < n:
+        value = lengths[i]
+        run = 1
+        while i + run < n and lengths[i + run] == value:
+            run += 1
+        if value == 0:
+            remaining = run
+            while remaining >= 11:
+                chunk = min(remaining, 138)
+                out.append((18, chunk - 11))
+                remaining -= chunk
+            while remaining >= 3:
+                chunk = min(remaining, 10)
+                out.append((17, chunk - 3))
+                remaining -= chunk
+            for _ in range(remaining):
+                out.append((0, 0))
+        else:
+            start = 0
+            if value != prev:
+                out.append((value, 0))
+                start = 1
+            remaining = run - start
+            while remaining >= 3:
+                chunk = min(remaining, 6)
+                out.append((16, chunk - 3))
+                remaining -= chunk
+            for _ in range(remaining):
+                out.append((value, 0))
+        prev = value
+        i += run
+    return out
+
+
+_CL_EXTRA_BITS = {16: 2, 17: 3, 18: 7}
+
+
+def _fixed_litlen_lengths() -> List[int]:
+    """RFC 1951 fixed literal/length code lengths (3.2.6)."""
+    lengths = [8] * 144 + [9] * 112 + [7] * 24 + [8] * 8
+    return lengths[:_NUM_LITLEN]
+
+
+def _fixed_dist_lengths() -> List[int]:
+    """RFC 1951 fixed distance code lengths: all 5 bits."""
+    return [5] * _NUM_DIST
+
+
+_FIXED_LITLEN_TABLE = HuffmanTable.from_lengths(_fixed_litlen_lengths())
+_FIXED_DIST_TABLE = HuffmanTable.from_lengths(_fixed_dist_lengths())
+
+
+@register_codec
+class DeflateCodec(Codec):
+    """Deflate-style codec; the paper's accelerated algorithm family."""
+
+    name = "deflate"
+    # Software deflate (zlib -6) runs ~50-90 MBps/core compress and
+    # ~300 MBps/core decompress on a ~2.6 GHz server core.
+    spec = CodecSpec(
+        name="deflate",
+        compress_cycles_per_byte=35.0,
+        decompress_cycles_per_byte=9.0,
+    )
+
+    def __init__(
+        self,
+        window_size: int = 32 * 1024,
+        max_chain: int = 64,
+        lazy: bool = True,
+    ) -> None:
+        if window_size > 32 * 1024:
+            raise ConfigError(
+                f"deflate window cannot exceed 32 KiB, got {window_size}"
+            )
+        self._matcher = Lz77Matcher(
+            window_size=window_size, max_chain=max_chain, lazy=lazy
+        )
+        self.window_size = window_size
+
+    # -- encode ----------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        candidates = [(_MODE_STORED, data)]
+        if data:
+            encoded, litlen_freq, dist_freq = self._encode_tokens(data)
+            candidates.append(
+                (
+                    _MODE_HUFFMAN,
+                    self._compress_dynamic(encoded, litlen_freq, dist_freq),
+                )
+            )
+            candidates.append(
+                (_MODE_HUFFMAN_FIXED, self._compress_fixed(encoded))
+            )
+        mode, body = min(candidates, key=lambda pair: len(pair[1]))
+        writer = BitWriter()
+        writer.write_bits(_MAGIC, 8)
+        writer.write_bits(mode, 8)
+        _write_varint(writer, len(data))
+        # Content checksum, as production codecs carry (zlib's adler32,
+        # zstd's xxhash): a lucky bit flip must not decode silently.
+        writer.write_bits(zlib.crc32(data), 32)
+        writer.write_bytes(body)
+        return writer.getvalue()
+
+    def _encode_tokens(self, data: bytes):
+        """LZ77-tokenize and map tokens to (symbol, extra) tuples."""
+        tokens = self._matcher.tokenize(data)
+        litlen_freq = [0] * _NUM_LITLEN
+        dist_freq = [0] * _NUM_DIST
+        litlen_freq[_EOB] = 1
+        encoded: List[Tuple[int, int, int, int, int, int]] = []
+        for token in tokens:
+            if isinstance(token, Literal):
+                litlen_freq[token.byte] += 1
+                encoded.append((token.byte, 0, 0, -1, 0, 0))
+            else:
+                lsym, lextra, lbits = _length_to_code(token.length)
+                dsym, dextra, dbits = _distance_to_code(token.distance)
+                litlen_freq[lsym] += 1
+                dist_freq[dsym] += 1
+                encoded.append((lsym, lextra, lbits, dsym, dextra, dbits))
+        return encoded, litlen_freq, dist_freq
+
+    def _write_symbols(
+        self,
+        writer: BitWriter,
+        encoded,
+        litlen_table: HuffmanTable,
+        dist_table: HuffmanTable,
+    ) -> None:
+        for lsym, lextra, lbits, dsym, dextra, dbits in encoded:
+            litlen_table.encode(writer, lsym)
+            if lbits:
+                writer.write_bits(lextra, lbits)
+            if dsym >= 0:
+                dist_table.encode(writer, dsym)
+                if dbits:
+                    writer.write_bits(dextra, dbits)
+        litlen_table.encode(writer, _EOB)
+
+    def _compress_dynamic(self, encoded, litlen_freq, dist_freq) -> bytes:
+        litlen_table = HuffmanTable.from_frequencies(litlen_freq)
+        dist_table = HuffmanTable.from_frequencies(dist_freq)
+
+        combined = list(litlen_table.lengths) + list(dist_table.lengths)
+        rle = _rle_code_lengths(combined)
+        cl_freq = [0] * _NUM_CODELEN
+        for symbol, _ in rle:
+            cl_freq[symbol] += 1
+        cl_table = HuffmanTable.from_frequencies(cl_freq, max_length=7)
+
+        writer = BitWriter()
+        for length in cl_table.lengths:
+            writer.write_bits(length, 3)
+        _write_varint_bits(writer, len(rle))
+        for symbol, extra in rle:
+            cl_table.encode(writer, symbol)
+            extra_bits = _CL_EXTRA_BITS.get(symbol, 0)
+            if extra_bits:
+                writer.write_bits(extra, extra_bits)
+        self._write_symbols(writer, encoded, litlen_table, dist_table)
+        return writer.getvalue()
+
+    def _compress_fixed(self, encoded) -> bytes:
+        """Fixed-tree block: zero header bits (RFC 1951's BTYPE=01)."""
+        writer = BitWriter()
+        self._write_symbols(
+            writer, encoded, _FIXED_LITLEN_TABLE, _FIXED_DIST_TABLE
+        )
+        return writer.getvalue()
+
+    # -- decode ----------------------------------------------------------
+
+    def decompress(self, blob: bytes) -> bytes:
+        reader = BitReader(blob)
+        magic = reader.read_bits(8)
+        if magic != _MAGIC:
+            raise CorruptStreamError(f"bad magic byte 0x{magic:02x}")
+        mode = reader.read_bits(8)
+        orig_len = _read_varint(reader)
+        checksum = reader.read_bits(32)
+        if mode == _MODE_STORED:
+            out = reader.read_bytes(orig_len)
+        elif mode == _MODE_HUFFMAN_FIXED:
+            out = self._decode_symbols(
+                reader,
+                orig_len,
+                _FIXED_LITLEN_TABLE.build_decoder(),
+                _FIXED_DIST_TABLE.build_decoder(),
+            )
+        elif mode == _MODE_HUFFMAN:
+            out = self._decompress_block(reader, orig_len)
+        else:
+            raise CorruptStreamError(f"unknown block mode {mode}")
+        if zlib.crc32(out) != checksum:
+            raise CorruptStreamError("content checksum mismatch")
+        return out
+
+    def _decompress_block(self, reader: BitReader, orig_len: int) -> bytes:
+        cl_lengths = [reader.read_bits(3) for _ in range(_NUM_CODELEN)]
+        cl_decoder = HuffmanTable.from_lengths(cl_lengths).build_decoder()
+        rle_count = _read_varint_bits(reader)
+        combined: List[int] = []
+        for _ in range(rle_count):
+            symbol = cl_decoder.decode(reader)
+            if symbol <= 15:
+                combined.append(symbol)
+            elif symbol == 16:
+                if not combined:
+                    raise CorruptStreamError("repeat with no previous length")
+                repeat = 3 + reader.read_bits(2)
+                combined.extend([combined[-1]] * repeat)
+            elif symbol == 17:
+                combined.extend([0] * (3 + reader.read_bits(3)))
+            else:
+                combined.extend([0] * (11 + reader.read_bits(7)))
+        if len(combined) != _NUM_LITLEN + _NUM_DIST:
+            raise CorruptStreamError(
+                f"code-length vector has {len(combined)} entries, expected "
+                f"{_NUM_LITLEN + _NUM_DIST}"
+            )
+        litlen_decoder = HuffmanTable.from_lengths(
+            combined[:_NUM_LITLEN]
+        ).build_decoder()
+        dist_decoder = HuffmanTable.from_lengths(
+            combined[_NUM_LITLEN:]
+        ).build_decoder()
+        return self._decode_symbols(
+            reader, orig_len, litlen_decoder, dist_decoder
+        )
+
+    def _decode_symbols(
+        self, reader: BitReader, orig_len: int, litlen_decoder, dist_decoder
+    ) -> bytes:
+        out = bytearray()
+        while True:
+            symbol = litlen_decoder.decode(reader)
+            if symbol == _EOB:
+                break
+            if symbol < 256:
+                out.append(symbol)
+                continue
+            base, extra_bits = _LENGTH_CODES[symbol - 257]
+            length = base + (reader.read_bits(extra_bits) if extra_bits else 0)
+            dsym = dist_decoder.decode(reader)
+            dbase, dextra_bits = _DIST_CODES[dsym]
+            distance = dbase + (
+                reader.read_bits(dextra_bits) if dextra_bits else 0
+            )
+            start = len(out) - distance
+            if start < 0:
+                raise CorruptStreamError("match distance before stream start")
+            for i in range(length):
+                out.append(out[start + i])
+        if len(out) != orig_len:
+            raise CorruptStreamError(
+                f"decoded {len(out)} bytes, header said {orig_len}"
+            )
+        return bytes(out)
+
+
+def _write_varint_bits(writer: BitWriter, value: int) -> None:
+    """Varint without byte alignment: 7-bit groups with a continue bit."""
+    while True:
+        chunk = value & 0x7F
+        value >>= 7
+        writer.write_bits(1 if value else 0, 1)
+        writer.write_bits(chunk, 7)
+        if not value:
+            return
+
+
+def _read_varint_bits(reader: BitReader) -> int:
+    value = 0
+    shift = 0
+    while True:
+        more = reader.read_bits(1)
+        value |= reader.read_bits(7) << shift
+        if not more:
+            return value
+        shift += 7
+        if shift > 35:
+            raise CorruptStreamError("varint too long")

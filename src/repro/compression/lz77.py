@@ -1,0 +1,198 @@
+"""LZ77 string matching shared by the Deflate-style and zstd-style codecs.
+
+The tokenizer slides over the input keeping a hash-chain index of 3-byte
+prefixes (the classic zlib structure) and emits a sequence of
+:class:`Literal` and :class:`Match` tokens. The window size is a first-class
+parameter because the multi-channel experiments (Fig. 8) study exactly what
+happens when the effective window shrinks from 4 KiB to 1 KiB as pages are
+split across DIMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from repro.errors import ConfigError
+
+MIN_MATCH = 3
+MAX_MATCH = 258
+
+_HASH_SHIFT = 16
+_HASH_MULT = 2654435761
+_HASH_BITS = 15
+_HASH_MASK = (1 << _HASH_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A single uncompressed byte."""
+
+    byte: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte <= 255:
+            raise ValueError(f"literal byte out of range: {self.byte}")
+
+
+@dataclass(frozen=True)
+class Match:
+    """A back-reference: copy ``length`` bytes from ``distance`` back."""
+
+    length: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if not MIN_MATCH <= self.length <= MAX_MATCH:
+            raise ValueError(f"match length out of range: {self.length}")
+        if self.distance < 1:
+            raise ValueError(f"match distance out of range: {self.distance}")
+
+
+Token = Union[Literal, Match]
+
+
+def _hash3(data: bytes, i: int) -> int:
+    """Hash the 3 bytes at ``data[i:i+3]`` into the chain-table index."""
+    key = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+    return ((key * _HASH_MULT) >> _HASH_SHIFT) & _HASH_MASK
+
+
+class Lz77Matcher:
+    """Greedy/lazy hash-chain matcher with a configurable window.
+
+    ``max_chain`` bounds how many chain entries are probed per position and
+    is the usual speed/ratio knob (zlib levels tune the same parameter).
+    """
+
+    def __init__(
+        self,
+        window_size: int = 32 * 1024,
+        min_match: int = MIN_MATCH,
+        max_match: int = MAX_MATCH,
+        max_chain: int = 64,
+        lazy: bool = True,
+    ) -> None:
+        if window_size < 16:
+            raise ConfigError(f"window_size too small: {window_size}")
+        if not MIN_MATCH <= min_match <= max_match <= MAX_MATCH:
+            raise ConfigError(
+                f"bad match bounds: min={min_match} max={max_match}"
+            )
+        self.window_size = window_size
+        self.min_match = min_match
+        self.max_match = max_match
+        self.max_chain = max_chain
+        self.lazy = lazy
+
+    def _best_match(
+        self,
+        data: bytes,
+        pos: int,
+        head: List[int],
+        prev: List[int],
+    ) -> Match | None:
+        """Longest match for ``data[pos:]`` within the window, or ``None``."""
+        limit = len(data)
+        if pos + self.min_match > limit:
+            return None
+        best_len = self.min_match - 1
+        best_dist = 0
+        max_len = min(self.max_match, limit - pos)
+        window_floor = pos - self.window_size
+        candidate = head[_hash3(data, pos)]
+        chain_budget = self.max_chain
+        while candidate >= 0 and candidate >= window_floor and chain_budget > 0:
+            chain_budget -= 1
+            # Quick reject: the byte that would extend the current best.
+            if (
+                best_len >= self.min_match
+                and data[candidate + best_len] != data[pos + best_len]
+            ):
+                candidate = prev[candidate]
+                continue
+            length = 0
+            while (
+                length < max_len
+                and data[candidate + length] == data[pos + length]
+            ):
+                length += 1
+            if length > best_len:
+                best_len = length
+                best_dist = pos - candidate
+                if length >= max_len:
+                    break
+            candidate = prev[candidate]
+        if best_len >= self.min_match:
+            return Match(length=best_len, distance=best_dist)
+        return None
+
+    def tokenize(self, data: bytes) -> List[Token]:
+        """Convert ``data`` into a list of LZ77 tokens."""
+        n = len(data)
+        tokens: List[Token] = []
+        if n == 0:
+            return tokens
+        head = [-1] * (1 << _HASH_BITS)
+        prev = [-1] * n
+
+        def insert(i: int) -> None:
+            if i + MIN_MATCH <= n:
+                h = _hash3(data, i)
+                prev[i] = head[h]
+                head[h] = i
+
+        pos = 0
+        while pos < n:
+            match = self._best_match(data, pos, head, prev)
+            if match is None:
+                tokens.append(Literal(data[pos]))
+                insert(pos)
+                pos += 1
+                continue
+            if self.lazy and pos + 1 + self.min_match <= n:
+                # One-step lazy evaluation, as zlib does: if deferring by
+                # one byte yields a strictly longer match, emit a literal.
+                insert(pos)
+                next_match = self._best_match(data, pos + 1, head, prev)
+                if next_match is not None and next_match.length > match.length:
+                    tokens.append(Literal(data[pos]))
+                    pos += 1
+                    continue
+                tokens.append(match)
+                # ``pos`` was already inserted above.
+                for i in range(pos + 1, pos + match.length):
+                    insert(i)
+                pos += match.length
+                continue
+            tokens.append(match)
+            for i in range(pos, pos + match.length):
+                insert(i)
+            pos += match.length
+        return tokens
+
+
+def detokenize(tokens: Iterable[Token]) -> bytes:
+    """Reconstruct the original bytes from an LZ77 token stream."""
+    out = bytearray()
+    for token in tokens:
+        if isinstance(token, Literal):
+            out.append(token.byte)
+        else:
+            start = len(out) - token.distance
+            if start < 0:
+                raise ValueError(
+                    f"match distance {token.distance} exceeds output "
+                    f"length {len(out)}"
+                )
+            for i in range(token.length):
+                out.append(out[start + i])
+    return bytes(out)
+
+
+def token_stream_cost(tokens: Iterable[Token]) -> int:
+    """Total decoded length implied by a token stream, in bytes."""
+    total = 0
+    for token in tokens:
+        total += 1 if isinstance(token, Literal) else token.length
+    return total

@@ -1,0 +1,193 @@
+"""LZO-style byte-aligned fast codec.
+
+Stands in for lzo1x as used by Linux zswap deployments (§2.1): a greedy,
+single-probe hash matcher and a fully byte-aligned token stream, trading
+ratio for speed exactly the way lzo does relative to deflate/zstd.
+
+Token stream (after the ``magic | mode | varint(orig_len)`` header):
+
+* control byte ``C < 0x80``  — literal run of ``C + 1`` bytes follows.
+* control byte ``C >= 0x80`` — match of length ``(C & 0x7F) + MIN_MATCH``
+  followed by a 2-byte little-endian distance.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compression.base import Codec, CodecSpec, register_codec
+from repro.errors import ConfigError, CorruptStreamError
+
+_MAGIC = 0xF5
+_MODE_STORED = 0
+_MODE_COMPRESSED = 1
+
+_MIN_MATCH = 4
+_MAX_MATCH = 0x7F + _MIN_MATCH  # 131
+_MAX_LITERAL_RUN = 0x80  # 128
+_MAX_DISTANCE = 0xFFFF
+
+_HASH_BITS = 13
+_HASH_MASK = (1 << _HASH_BITS) - 1
+_HASH_MULT = 2654435761
+
+
+def _hash4(data: bytes, i: int) -> int:
+    key = (
+        data[i]
+        | (data[i + 1] << 8)
+        | (data[i + 2] << 16)
+        | (data[i + 3] << 24)
+    )
+    return ((key * _HASH_MULT) >> 16) & _HASH_MASK
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        chunk = value & 0x7F
+        value >>= 7
+        out.append(chunk | (0x80 if value else 0))
+        if not value:
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptStreamError("varint truncated")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 35:
+            raise CorruptStreamError("varint too long")
+
+
+@register_codec
+class LzFastCodec(Codec):
+    """LZO-style codec: greedy single-probe matcher, byte-aligned output."""
+
+    name = "lzfast"
+    # lzo1x: ~600 MBps compress, ~800 MBps decompress per ~2.6 GHz core.
+    spec = CodecSpec(
+        name="lzfast",
+        compress_cycles_per_byte=4.3,
+        decompress_cycles_per_byte=3.2,
+    )
+
+    def __init__(self, window_size: int = 64 * 1024) -> None:
+        if not 16 <= window_size <= _MAX_DISTANCE + 1:
+            raise ConfigError(
+                f"lzfast window must be in [16, 65536], got {window_size}"
+            )
+        self.window_size = window_size
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray([_MAGIC, _MODE_COMPRESSED])
+        _write_varint(out, len(data))
+        out += zlib.crc32(data).to_bytes(4, "little")
+        n = len(data)
+        table = [-1] * (1 << _HASH_BITS)
+        literal_start = 0
+        pos = 0
+
+        def flush_literals(end: int) -> None:
+            start = literal_start
+            while start < end:
+                run = min(end - start, _MAX_LITERAL_RUN)
+                out.append(run - 1)
+                out.extend(data[start : start + run])
+                start += run
+
+        while pos + _MIN_MATCH <= n:
+            h = _hash4(data, pos)
+            candidate = table[h]
+            table[h] = pos
+            if (
+                candidate >= 0
+                and pos - candidate <= min(self.window_size, _MAX_DISTANCE)
+                and data[candidate : candidate + _MIN_MATCH]
+                == data[pos : pos + _MIN_MATCH]
+            ):
+                length = _MIN_MATCH
+                max_len = min(_MAX_MATCH, n - pos)
+                while (
+                    length < max_len
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                flush_literals(pos)
+                distance = pos - candidate
+                out.append(0x80 | (length - _MIN_MATCH))
+                out.append(distance & 0xFF)
+                out.append(distance >> 8)
+                # Insert a couple of positions inside the match so later
+                # repeats of the same content are still findable.
+                for i in range(pos + 1, min(pos + length, n - _MIN_MATCH + 1)):
+                    table[_hash4(data, i)] = i
+                pos += length
+                literal_start = pos
+            else:
+                pos += 1
+        flush_literals(n)
+        literal_start = n
+
+        if len(out) >= n + 2:
+            stored = bytearray([_MAGIC, _MODE_STORED])
+            _write_varint(stored, n)
+            stored += zlib.crc32(data).to_bytes(4, "little")
+            stored.extend(data)
+            return bytes(stored)
+        return bytes(out)
+
+    def decompress(self, blob: bytes) -> bytes:
+        if len(blob) < 2 or blob[0] != _MAGIC:
+            raise CorruptStreamError("bad lzfast header")
+        mode = blob[1]
+        orig_len, pos = _read_varint(blob, 2)
+        if pos + 4 > len(blob):
+            raise CorruptStreamError("checksum field truncated")
+        checksum = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        if mode == _MODE_STORED:
+            body = blob[pos : pos + orig_len]
+            if len(body) != orig_len:
+                raise CorruptStreamError("stored block truncated")
+            if zlib.crc32(body) != checksum:
+                raise CorruptStreamError("content checksum mismatch")
+            return bytes(body)
+        if mode != _MODE_COMPRESSED:
+            raise CorruptStreamError(f"unknown lzfast mode {mode}")
+        out = bytearray()
+        n = len(blob)
+        while pos < n:
+            control = blob[pos]
+            pos += 1
+            if control < 0x80:
+                run = control + 1
+                if pos + run > n:
+                    raise CorruptStreamError("literal run truncated")
+                out.extend(blob[pos : pos + run])
+                pos += run
+            else:
+                if pos + 2 > n:
+                    raise CorruptStreamError("match token truncated")
+                length = (control & 0x7F) + _MIN_MATCH
+                distance = blob[pos] | (blob[pos + 1] << 8)
+                pos += 2
+                start = len(out) - distance
+                if start < 0 or distance == 0:
+                    raise CorruptStreamError("invalid match distance")
+                for i in range(length):
+                    out.append(out[start + i])
+        if len(out) != orig_len:
+            raise CorruptStreamError(
+                f"decoded {len(out)} bytes, header said {orig_len}"
+            )
+        if zlib.crc32(bytes(out)) != checksum:
+            raise CorruptStreamError("content checksum mismatch")
+        return bytes(out)

@@ -1,0 +1,188 @@
+"""zstd-style codec: large-window LZ77 with entropy-coded literals.
+
+Stands in for zstd as used by Google/Meta SFM deployments (§2.1). Like
+zstd it separates the stream into a Huffman-coded *literals section* and a
+*sequences section* of (literal-run, match-length, offset) triples; unlike
+real zstd the sequences use plain bit-varints rather than FSE, which keeps
+the implementation honest (real window-size effects, real entropy stage on
+literals) at a fraction of the complexity.
+
+Blob layout::
+
+    magic(1) | mode(1) | orig_len(varint) | payload
+    payload = lit_count(varint) lit_lengths(4b x 256) lit_codes...
+              seq_count(varint) sequences...
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Tuple
+
+from repro.compression.base import Codec, CodecSpec, register_codec
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.huffman import HuffmanTable
+from repro.compression.lz77 import Literal, Lz77Matcher
+from repro.errors import ConfigError, CorruptStreamError
+
+_MAGIC = 0x25
+_MODE_STORED = 0
+_MODE_COMPRESSED = 1
+
+_MIN_MATCH = 3
+
+
+def _write_varint_bits(writer: BitWriter, value: int) -> None:
+    while True:
+        chunk = value & 0x7F
+        value >>= 7
+        writer.write_bits(1 if value else 0, 1)
+        writer.write_bits(chunk, 7)
+        if not value:
+            return
+
+
+def _read_varint_bits(reader: BitReader) -> int:
+    value = 0
+    shift = 0
+    while True:
+        more = reader.read_bits(1)
+        value |= reader.read_bits(7) << shift
+        if not more:
+            return value
+        shift += 7
+        if shift > 35:
+            raise CorruptStreamError("varint too long")
+
+
+@register_codec
+class ZstdLikeCodec(Codec):
+    """zstd-style codec with a configurable (large) window."""
+
+    name = "zstd-like"
+    # zstd -3: ~450 MBps compress, ~1.3 GBps decompress per ~2.6 GHz core.
+    # Average over compress+decompress ~ the paper's 7.65 cycles/byte.
+    spec = CodecSpec(
+        name="zstd-like",
+        compress_cycles_per_byte=5.8,
+        decompress_cycles_per_byte=2.0,
+    )
+
+    def __init__(
+        self,
+        window_size: int = 128 * 1024,
+        max_chain: int = 96,
+        lazy: bool = True,
+    ) -> None:
+        if window_size > 8 * 1024 * 1024:
+            raise ConfigError(
+                f"zstd-like window cannot exceed 8 MiB, got {window_size}"
+            )
+        self._matcher = Lz77Matcher(
+            window_size=window_size, max_chain=max_chain, lazy=lazy
+        )
+        self.window_size = window_size
+
+    def compress(self, data: bytes) -> bytes:
+        body = self._compress_body(data) if data else b""
+        writer = BitWriter()
+        if not data or len(body) + 3 >= len(data):
+            writer.write_bits(_MAGIC, 8)
+            writer.write_bits(_MODE_STORED, 8)
+            _write_varint_bits(writer, len(data))
+            writer.write_bits(zlib.crc32(data), 32)
+            writer.align_to_byte()
+            writer.write_bytes(data)
+            return writer.getvalue()
+        writer.write_bits(_MAGIC, 8)
+        writer.write_bits(_MODE_COMPRESSED, 8)
+        _write_varint_bits(writer, len(data))
+        writer.write_bits(zlib.crc32(data), 32)
+        writer.align_to_byte()
+        writer.write_bytes(body)
+        return writer.getvalue()
+
+    def _compress_body(self, data: bytes) -> bytes:
+        tokens = self._matcher.tokenize(data)
+        literals = bytearray()
+        # Sequence: (literal_run, match_length, offset); a trailing run of
+        # literals is encoded as a sequence with match_length == 0.
+        sequences: List[Tuple[int, int, int]] = []
+        run = 0
+        for token in tokens:
+            if isinstance(token, Literal):
+                literals.append(token.byte)
+                run += 1
+            else:
+                sequences.append((run, token.length, token.distance))
+                run = 0
+        if run:
+            sequences.append((run, 0, 0))
+
+        writer = BitWriter()
+        _write_varint_bits(writer, len(literals))
+        if literals:
+            freq = [0] * 256
+            for byte in literals:
+                freq[byte] += 1
+            table = HuffmanTable.from_frequencies(freq)
+            for length in table.lengths:
+                writer.write_bits(length, 4)
+            for byte in literals:
+                table.encode(writer, byte)
+        _write_varint_bits(writer, len(sequences))
+        for lit_run, match_len, offset in sequences:
+            _write_varint_bits(writer, lit_run)
+            _write_varint_bits(writer, match_len)
+            if match_len:
+                _write_varint_bits(writer, offset)
+        return writer.getvalue()
+
+    def decompress(self, blob: bytes) -> bytes:
+        reader = BitReader(blob)
+        if reader.read_bits(8) != _MAGIC:
+            raise CorruptStreamError("bad zstd-like magic")
+        mode = reader.read_bits(8)
+        orig_len = _read_varint_bits(reader)
+        checksum = reader.read_bits(32)
+        reader.align_to_byte()
+        if mode == _MODE_STORED:
+            out = reader.read_bytes(orig_len)
+            if zlib.crc32(out) != checksum:
+                raise CorruptStreamError("content checksum mismatch")
+            return out
+        if mode != _MODE_COMPRESSED:
+            raise CorruptStreamError(f"unknown zstd-like mode {mode}")
+
+        lit_count = _read_varint_bits(reader)
+        literals = bytearray()
+        if lit_count:
+            lengths = [reader.read_bits(4) for _ in range(256)]
+            decoder = HuffmanTable.from_lengths(lengths).build_decoder()
+            for _ in range(lit_count):
+                literals.append(decoder.decode(reader))
+        seq_count = _read_varint_bits(reader)
+
+        out = bytearray()
+        lit_pos = 0
+        for _ in range(seq_count):
+            lit_run = _read_varint_bits(reader)
+            match_len = _read_varint_bits(reader)
+            if lit_pos + lit_run > len(literals):
+                raise CorruptStreamError("literal section overrun")
+            out.extend(literals[lit_pos : lit_pos + lit_run])
+            lit_pos += lit_run
+            if match_len:
+                offset = _read_varint_bits(reader)
+                start = len(out) - offset
+                if start < 0 or offset == 0 or match_len < _MIN_MATCH:
+                    raise CorruptStreamError("invalid sequence")
+                for i in range(match_len):
+                    out.append(out[start + i])
+        if len(out) != orig_len:
+            raise CorruptStreamError(
+                f"decoded {len(out)} bytes, header said {orig_len}"
+            )
+        if zlib.crc32(bytes(out)) != checksum:
+            raise CorruptStreamError("content checksum mismatch")
+        return bytes(out)

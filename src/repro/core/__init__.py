@@ -1,0 +1,53 @@
+"""XFM core: the paper's primary contribution (systems S7–S8).
+
+The pieces mirror §4–§6 of the paper:
+
+* :mod:`~repro.core.registers` — the MMIO register file the driver talks to
+  (``SP_Capacity_Register``, the ``Compress_Request_Queue`` doorbells, SFM
+  region configuration).
+* :mod:`~repro.core.spm` — the ScratchPad Memory staging buffer with
+  PENDING/COMPLETED entry tags.
+* :mod:`~repro.core.nma` — the near-memory accelerator: request queue,
+  (de)compression engines, SPM.
+* :mod:`~repro.core.refresh_channel` — the refresh-window access scheduler:
+  conditional vs random access classification, per-tRFC budgets, subarray
+  conflict avoidance.
+* :mod:`~repro.core.driver` — the host-side XFM_Driver (ioctl/MMIO shim).
+* :mod:`~repro.core.backend` — the XFM_Backend (``xfm_swap_in/out`` with
+  ``CPU_Fallback``), a drop-in for the baseline SFM backend.
+* :mod:`~repro.core.multichannel` — multi-channel mode data layout (Fig. 8/9).
+* :mod:`~repro.core.emulator` — the event-driven emulator behind Fig. 12.
+"""
+
+from repro.core.backend import XfmBackend
+from repro.core.driver import XfmDriver
+from repro.core.emulator import EmulatorConfig, EmulatorReport, XfmEmulator
+from repro.core.multichannel import MultiChannelLayout, MultiChannelReport
+from repro.core.nma import NearMemoryAccelerator, NmaConfig
+from repro.core.refresh_channel import AccessKind, AccessRequest, WindowScheduler
+from repro.core.registers import RegisterFile, Registers
+from repro.core.spm import ScratchpadMemory, SpmTag
+from repro.core.system import MultiChannelXfmBackend, XfmDimm
+from repro.core.xfm_module import XfmModule
+
+__all__ = [
+    "AccessKind",
+    "AccessRequest",
+    "EmulatorConfig",
+    "EmulatorReport",
+    "MultiChannelLayout",
+    "MultiChannelReport",
+    "MultiChannelXfmBackend",
+    "NearMemoryAccelerator",
+    "NmaConfig",
+    "RegisterFile",
+    "Registers",
+    "ScratchpadMemory",
+    "SpmTag",
+    "WindowScheduler",
+    "XfmBackend",
+    "XfmDimm",
+    "XfmDriver",
+    "XfmEmulator",
+    "XfmModule",
+]

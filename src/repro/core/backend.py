@@ -1,0 +1,162 @@
+"""XFM_Backend: the modified SFM backend with near-memory offload (§6).
+
+``xfm_swap_out`` mirrors the baseline swap-out flow but pushes the selected
+page into the Compress_Request_Queue instead of compressing on the CPU;
+``xfm_swap_in`` calls ``CPU_Fallback`` *by default* — decompression latency
+sits on the fault path, so offload happens only when the controller asserts
+``do_offload`` (prefetch-style promotions). All NMA data movement is
+charged to the ``nma`` ledger (on-DIMM, invisible to the DDR channel),
+which is exactly the bandwidth-elimination claim of Fig. 1/Fig. 11.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compression.base import Codec
+from repro.core.driver import XfmDriver
+from repro.core.nma import NearMemoryAccelerator, NmaConfig
+from repro.errors import QueueFullError, SfmError, SpmFullError, ZpoolFullError
+from repro.sfm.backend import SfmBackend, SwapOutcome
+from repro.sfm.page import PAGE_SIZE, Page
+
+
+class XfmBackend(SfmBackend):
+    """SFM backend whose data plane is the near-memory accelerator."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        nma: Optional[NearMemoryAccelerator] = None,
+        codec: Optional[Codec] = None,
+        cpu_freq_hz: float = 2.6e9,
+        row_bytes: int = 8192,
+    ) -> None:
+        self.nma = nma if nma is not None else NearMemoryAccelerator(
+            NmaConfig(), codec=codec
+        )
+        super().__init__(
+            capacity_bytes, codec=self.nma.codec, cpu_freq_hz=cpu_freq_hz
+        )
+        self.driver = XfmDriver(self.nma)
+        self.driver.xfm_paramset(sfm_base=0, sfm_size=capacity_bytes)
+        self.row_bytes = row_bytes
+
+    def _row_of(self, addr: int) -> int:
+        """Rank-row index of an address inside the SFM region (the
+        granularity the refresh side channel schedules on)."""
+        return addr // self.row_bytes
+
+    # -- swap-out: offload with CPU fallback ---------------------------------
+
+    def xfm_swap_out(self, page: Page) -> SwapOutcome:
+        """Offload compression to the NMA; falls back to the CPU when the
+        SPM or the request queue is exhausted."""
+        if page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} already swapped")
+        if page.data is None:
+            raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
+        try:
+            request = self.driver.submit_compress(
+                source_row=self._row_of(page.vaddr),
+                input_bytes=PAGE_SIZE,
+            )
+        except (SpmFullError, QueueFullError):
+            self.stats.cpu_fallback_compressions += 1
+            return super().swap_out(page)
+
+        # Device side: stage, compress, write back — all on-DIMM.
+        self.nma.pop_request()
+        entry = self.nma.spm.admit(PAGE_SIZE)
+        blob = self.nma.compress_page(page.data)
+        self.ledger.record("nma", "read", PAGE_SIZE)
+        if len(blob) > int(PAGE_SIZE * self.max_stored_fraction):
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="incompressible")
+        self.nma.spm.complete(entry.entry_id, output_bytes=len(blob))
+        try:
+            handle = self.zpool.store(blob)
+        except ZpoolFullError:
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="pool-full")
+        self.ledger.record("nma", "write", len(blob))
+        self.nma.spm.release(entry.entry_id)
+        self.driver.notify_release(PAGE_SIZE)
+
+        self.index.insert(page.vaddr, handle)
+        page.swapped = True
+        page.data = None
+        self.stats.swap_outs += 1
+        self.stats.offloaded_compressions += 1
+        self.stats.bytes_out_uncompressed += PAGE_SIZE
+        self.stats.bytes_out_compressed += len(blob)
+        del request
+        return SwapOutcome(accepted=True, compressed_len=len(blob))
+
+    # -- swap-in: CPU by default, offload for prefetch ------------------------
+
+    def xfm_swap_in(self, page: Page, do_offload: bool = False) -> bytes:
+        """Promote a page out of far memory.
+
+        ``CPU_Fallback`` is the default (§6: applications are sensitive to
+        the XFM datapath's decompression latency); the controller asserts
+        ``do_offload`` for prefetch promotions.
+        """
+        if not do_offload:
+            self.stats.cpu_fallback_decompressions += 1
+            return super().swap_in(page)
+        if not page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
+        handle = self.index.lookup(page.vaddr)
+        blob_len = self.zpool.entry(handle).length
+        try:
+            self.driver.submit_decompress(
+                source_row=self._row_of(page.vaddr),
+                input_bytes=blob_len,
+                dest_row=self._row_of(page.vaddr),
+            )
+        except (SpmFullError, QueueFullError):
+            self.stats.cpu_fallback_decompressions += 1
+            return super().swap_in(page)
+
+        self.nma.pop_request()
+        blob = self.zpool.load(handle)
+        self.ledger.record("nma", "read", len(blob))
+        entry = self.nma.spm.admit(PAGE_SIZE)
+        data = self.nma.decompress_blob(blob)
+        if len(data) != PAGE_SIZE:
+            raise SfmError(
+                f"decompressed page is {len(data)} bytes, expected {PAGE_SIZE}"
+            )
+        self.nma.spm.complete(entry.entry_id)
+        self.ledger.record("nma", "write", PAGE_SIZE)
+        self.nma.spm.release(entry.entry_id)
+        self.driver.notify_release(PAGE_SIZE)
+
+        self.zpool.free(handle)
+        self.index.delete(page.vaddr)
+        page.swapped = False
+        page.data = data
+        self.stats.swap_ins += 1
+        self.stats.offloaded_decompressions += 1
+        self.stats.bytes_in_uncompressed += PAGE_SIZE
+        self.stats.bytes_in_compressed += len(blob)
+        return data
+
+    # -- drop-in aliases --------------------------------------------------------
+
+    def swap_out(self, page: Page) -> SwapOutcome:
+        """Drop-in override: route the baseline API through the NMA."""
+        return self.xfm_swap_out(page)
+
+    def swap_in(self, page: Page) -> bytes:
+        """Drop-in override: demand faults use the CPU path (§6 default)."""
+        return self.xfm_swap_in(page, do_offload=False)
+
+    def xfm_compact(self) -> int:
+        """Manually-initiated compaction (host memcpys, §6)."""
+        return self.compact()

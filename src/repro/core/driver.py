@@ -1,0 +1,146 @@
+"""XFM_Driver: the host-side kernel-driver shim (§6).
+
+The driver exposes the DIMM through ioctl-style primitives over MMIO:
+``xfm_paramset`` programs the SFM region, ``submit_compress`` /
+``submit_decompress`` push offloads into the Compress_Request_Queue, and
+the SPM occupancy is tracked *lazily*: the driver keeps an upper bound on
+consumed scratchpad bytes and only reads ``SP_Capacity_Register`` when that
+bound says the SPM might be full. If the register confirms exhaustion, the
+call raises and the backend runs ``CPU_Fallback``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.nma import NearMemoryAccelerator, OffloadRequest
+from repro.core.registers import Registers
+from repro.errors import ConfigError, SpmFullError
+
+IOCTL_PARAMSET = 0x5801
+IOCTL_COMPACT = 0x5802
+
+
+@dataclass
+class DriverStats:
+    """MMIO/synchronization accounting."""
+
+    mmio_reads: int = 0
+    mmio_writes: int = 0
+    capacity_syncs: int = 0
+    submissions: int = 0
+    rejected_submissions: int = 0
+
+
+class XfmDriver:
+    """Host interface to one XFM DIMM."""
+
+    def __init__(self, nma: NearMemoryAccelerator) -> None:
+        self.nma = nma
+        self.stats = DriverStats()
+        #: Lazy upper bound on SPM bytes consumed by our submissions.
+        self._inferred_spm_used = 0
+        self._sfm_base = 0
+        self._sfm_size = 0
+
+    # -- ioctl surface --------------------------------------------------------
+
+    def ioctl(self, cmd: int, arg: object) -> int:
+        """Character-device ioctl dispatch (§6's Linux integration)."""
+        if cmd == IOCTL_PARAMSET:
+            base, size = arg  # type: ignore[misc]
+            return self.xfm_paramset(base, size)
+        if cmd == IOCTL_COMPACT:
+            return 0  # compaction is a host-side memcpy path (§6)
+        raise ConfigError(f"unknown ioctl 0x{cmd:x}")
+
+    def xfm_paramset(self, sfm_base: int, sfm_size: int) -> int:
+        """Program the SFM region base/size configuration registers."""
+        if sfm_base < 0 or sfm_size <= 0:
+            raise ConfigError("SFM region must have positive size")
+        self._mmio_write(Registers.SFM_BASE, sfm_base)
+        self._mmio_write(Registers.SFM_SIZE, sfm_size)
+        self._mmio_write(Registers.CTRL, 1)
+        self._sfm_base = sfm_base
+        self._sfm_size = sfm_size
+        return 0
+
+    @property
+    def sfm_region(self) -> tuple:
+        return self._sfm_base, self._sfm_size
+
+    # -- MMIO helpers ------------------------------------------------------------
+
+    def _mmio_read(self, register: Registers) -> int:
+        self.stats.mmio_reads += 1
+        return self.nma.registers.mmio_read(int(register))
+
+    def _mmio_write(self, register: Registers, value: int) -> None:
+        self.stats.mmio_writes += 1
+        self.nma.registers.mmio_write(int(register), value)
+
+    def sp_capacity(self) -> int:
+        """Read the SP_Capacity_Register (free SPM bytes)."""
+        return self._mmio_read(Registers.SP_CAPACITY)
+
+    # -- offload submission ----------------------------------------------------------
+
+    def submit_compress(
+        self, source_row: int, input_bytes: int, dest_row: Optional[int] = None
+    ) -> OffloadRequest:
+        """``xfm_compress()``: queue a compression offload.
+
+        Raises :class:`SpmFullError` (caller falls back to the CPU) when
+        the scratchpad truly has no room, or
+        :class:`~repro.errors.QueueFullError` when the CRQ is full.
+        """
+        self._reserve_spm(input_bytes)
+        request = self.nma.submit(
+            is_compress=True,
+            source_row=source_row,
+            dest_row=dest_row,
+            input_bytes=input_bytes,
+        )
+        self.stats.mmio_writes += 1  # CRQ tail doorbell
+        self.stats.submissions += 1
+        return request
+
+    def submit_decompress(
+        self, source_row: int, input_bytes: int, dest_row: int,
+        output_bytes: int = 4096,
+    ) -> OffloadRequest:
+        """``xfm_decompress()``: queue a decompression offload.
+
+        The SPM reservation is the *output* page size — decompression
+        inflates, so the staging buffer must hold the result.
+        """
+        self._reserve_spm(output_bytes)
+        request = self.nma.submit(
+            is_compress=False,
+            source_row=source_row,
+            dest_row=dest_row,
+            input_bytes=input_bytes,
+        )
+        self.stats.mmio_writes += 1
+        self.stats.submissions += 1
+        return request
+
+    def _reserve_spm(self, nbytes: int) -> None:
+        """Lazy occupancy check: sync with hardware only on inferred-full."""
+        capacity = self.nma.spm.capacity_bytes
+        if self._inferred_spm_used + nbytes > capacity:
+            self.stats.capacity_syncs += 1
+            free = self.sp_capacity()
+            self._inferred_spm_used = capacity - free
+            if self._inferred_spm_used + nbytes > capacity:
+                self.stats.rejected_submissions += 1
+                raise SpmFullError(
+                    f"SPM exhausted: need {nbytes}, free {free}"
+                )
+        self._inferred_spm_used += nbytes
+
+    def notify_release(self, nbytes: int) -> None:
+        """Optional fast-path hint when the host observes a writeback
+        completion; keeps the inferred bound tight without an MMIO read."""
+        self._inferred_spm_used = max(0, self._inferred_spm_used - nbytes)

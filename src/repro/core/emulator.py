@@ -1,0 +1,409 @@
+"""Event-driven XFM emulator: the engine behind Fig. 12.
+
+Reproduces the paper's methodology (§7): the emulator skips actual
+(de)compression byte work but runs the complete offload pipeline against
+the refresh-window timing model — per-rank REF cadence, conditional vs
+random access budgets per tRFC, SPM reservation with the driver's lazy
+upper-bound tracking, Compress_Request_Queue back-pressure, and
+``CPU_Fallback`` when resources are exhausted.
+
+Pipeline per offload (Fig. 10):
+
+1. *arrival* — the backend reserves SPM (driver upper bound) and a CRQ
+   slot; failure of either is a CPU fallback.
+2. *read* — the input is fetched during a refresh window. Compression
+   reads are *slot-flexible*: cold candidates vastly outnumber the access
+   budget (30% of memory is cold in Google's fleet, §3.1), so the
+   controller always has candidates whose rows are refreshing right now —
+   conditional by construction. Decompression (prefetch) reads target the
+   *fixed* rows where the blobs live: they are served conditionally when
+   their refresh slot comes up, or by the budgeted random slots
+   (1 per tRFC) when the scheduler has leftover budget — this is why the
+   random-access rate scales with the promotion rate (Fig. 12).
+3. *engine* — (de)compression runs between windows (engine throughput far
+   exceeds the side channel's bandwidth, §8).
+4. *writeback* — compressed blobs are placement-flexible and coalesce into
+   4 KiB groups written into whatever rows are refreshing; decompressed
+   pages go to freshly allocated frames, also placement-flexible.
+5. *release* — SPM bytes return on writeback completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro._units import SECONDS_PER_MINUTE
+from repro.core.refresh_channel import AccessKind, WindowScheduler
+from repro.dram.device import DDR5_32GB, PAGE_SIZE, DramDeviceConfig, timings_for_device
+from repro.dram.energy import AccessEnergyModel
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import DramTimings
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EmulatorConfig:
+    """One Fig. 12 experiment point."""
+
+    #: Far memory capacity across the whole system.
+    sfm_capacity_bytes: float = 512e9
+    #: Fraction of far memory promoted per minute (§2.1).
+    promotion_rate: float = 1.0
+    #: Fraction of promotions the controller offloads as prefetches; the
+    #: remainder are demand faults that use the CPU path *by design* (§6)
+    #: and do not count as fallbacks.
+    decompress_offload_fraction: float = 0.5
+    #: NMA accesses accommodated per tRFC (Fig. 12's 1 / 2 / 3 series).
+    accesses_per_ref: int = 3
+    #: Random accesses per tRFC (§7 methodology: 1).
+    random_per_ref: int = 1
+    #: ScratchPad Memory size per DIMM.
+    spm_bytes: int = 8 * 1024 * 1024
+    #: Compress_Request_Queue depth per DIMM.
+    crq_depth: int = 512
+    #: Assumed compression ratio for blob sizes.
+    compression_ratio: float = 3.0
+    #: System topology: ranks sharing the swap traffic.
+    num_ranks: int = 8
+    device: DramDeviceConfig = DDR5_32GB
+    timings: Optional[DramTimings] = None
+    #: SPM occupancy above which randoms fire eagerly.
+    pressure_threshold: float = 0.5
+    #: Simulated wall-clock per rank.
+    sim_time_s: float = 0.25
+    seed: int = 1234
+
+    def resolved_timings(self) -> DramTimings:
+        return (
+            self.timings
+            if self.timings is not None
+            else timings_for_device(self.device)
+        )
+
+    @property
+    def blob_bytes(self) -> int:
+        return max(64, int(PAGE_SIZE / self.compression_ratio))
+
+    def ops_per_second_per_rank(self) -> tuple:
+        """(compressions/s, offloaded decompressions/s) per rank."""
+        pages_per_s = (
+            self.sfm_capacity_bytes
+            * self.promotion_rate
+            / SECONDS_PER_MINUTE
+            / PAGE_SIZE
+        )
+        per_rank = pages_per_s / self.num_ranks
+        return per_rank, per_rank * self.decompress_offload_fraction
+
+
+@dataclass
+class EmulatorReport:
+    """Outcome of one emulation run."""
+
+    config: EmulatorConfig
+    total_ops: int
+    fallback_ops: int
+    completed_ops: int
+    conditional_accesses: int
+    random_accesses: int
+    spm_peak_bytes: int
+    nma_bytes_moved: int
+    sim_time_s: float
+    nma_energy_j: float
+    all_conditional_energy_j: float
+    all_random_energy_j: float
+    mean_latency_ms: float
+    #: Completion-latency percentiles in ms (p50/p95/p99), empty when no
+    #: op completed.
+    latency_percentiles_ms: Dict[int, float] = None  # type: ignore[assignment]
+
+    @property
+    def fallback_fraction(self) -> float:
+        return self.fallback_ops / self.total_ops if self.total_ops else 0.0
+
+    @property
+    def random_fraction(self) -> float:
+        total = self.conditional_accesses + self.random_accesses
+        return self.random_accesses / total if total else 0.0
+
+    @property
+    def nma_bandwidth_bps(self) -> float:
+        return self.nma_bytes_moved / self.sim_time_s
+
+    @property
+    def conditional_energy_saving(self) -> float:
+        """Energy saved vs serving every access randomly (§8: ~10.1%)."""
+        if self.all_random_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.nma_energy_j / self.all_random_energy_j
+
+
+@dataclass
+class _Op:
+    """One in-flight offload."""
+
+    op_id: int
+    is_compress: bool
+    spm_reserved: int
+    arrival_ref: int
+    finish_ref: int = -1
+
+
+class XfmEmulator:
+    """Per-rank refresh-window pipeline simulator."""
+
+    def __init__(self, config: EmulatorConfig) -> None:
+        if not 0.0 < config.promotion_rate <= 1.0:
+            raise ConfigError("promotion_rate must be in (0, 1]")
+        self.config = config
+        self.timings = config.resolved_timings()
+        self.device = config.device
+        self.refresh = RefreshScheduler(self.device, self.timings)
+        self.scheduler = WindowScheduler(
+            refresh=self.refresh,
+            accesses_per_ref=config.accesses_per_ref,
+            random_per_ref=config.random_per_ref,
+        )
+        self.energy_model = AccessEnergyModel()
+
+    def run(self) -> EmulatorReport:
+        """Synthetic mode: Poisson arrivals at the promotion-rate-implied
+        per-rank operation rates (the Fig. 12 methodology)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        trefi_s = self.timings.trefi_ns / 1e9
+        num_refs = int(cfg.sim_time_s / trefi_s)
+        comp_rate, decomp_rate = cfg.ops_per_second_per_rank()
+        comp_arrivals = rng.poisson(comp_rate * trefi_s, num_refs)
+        decomp_arrivals = rng.poisson(decomp_rate * trefi_s, num_refs)
+        return self._simulate(comp_arrivals, decomp_arrivals)
+
+    def run_trace(self, trace, time_scale: float = 1.0) -> EmulatorReport:
+        """Trace-driven mode: replay a :class:`~repro.workloads.traces.
+        SwapTrace` (e.g. from the AIFM web front-end, §7).
+
+        ``time_scale`` compresses trace time: an event at ``t`` seconds
+        arrives at REF index ``t / time_scale / tREFI``. Swap-outs become
+        compression offloads; the configured
+        ``decompress_offload_fraction`` of swap-ins become prefetch
+        decompressions (the rest are demand faults on the CPU path and
+        are not emulated).
+        """
+        from repro.workloads.traces import SWAP_IN, SWAP_OUT
+
+        cfg = self.config
+        if time_scale <= 0:
+            raise ConfigError("time_scale must be positive")
+        trefi_s = self.timings.trefi_ns / 1e9
+        if not len(trace):
+            return self._simulate(np.zeros(1, int), np.zeros(1, int))
+        start = trace.events[0].time_s
+        duration = max(trace.duration_s, trefi_s * time_scale)
+        num_refs = int(duration / time_scale / trefi_s) + 1
+        comp_arrivals = np.zeros(num_refs, dtype=int)
+        decomp_arrivals = np.zeros(num_refs, dtype=int)
+        rng = np.random.default_rng(cfg.seed)
+        for event in trace:
+            ref = min(
+                num_refs - 1,
+                int((event.time_s - start) / time_scale / trefi_s),
+            )
+            if event.kind == SWAP_OUT:
+                comp_arrivals[ref] += 1
+            elif event.kind == SWAP_IN and (
+                rng.random() < cfg.decompress_offload_fraction
+            ):
+                decomp_arrivals[ref] += 1
+        return self._simulate(comp_arrivals, decomp_arrivals)
+
+    def _simulate(self, comp_arrivals, decomp_arrivals) -> EmulatorReport:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        num_refs = len(comp_arrivals)
+        rows = self.device.rows_per_bank
+
+        spm_capacity = cfg.spm_bytes
+        spm_used = 0
+        spm_peak = 0
+        crq_used = 0
+
+        ops: Dict[int, _Op] = {}
+        next_op = 1
+        #: request_id -> op ids progressed by that access.
+        read_of: Dict[int, int] = {}
+        write_of: Dict[int, List[int]] = {}
+        #: compress blobs awaiting writeback grouping.
+        flex_buffer: Deque[int] = deque()
+        flex_buffer_bytes = 0
+
+        total_ops = 0
+        fallbacks = 0
+        completed = 0
+        conditional = 0
+        random_count = 0
+        moved_bytes = 0
+        energy = 0.0
+        energy_all_random = 0.0
+        energy_all_conditional = 0.0
+        latency_refs_sum = 0.0
+        latency_samples: List[int] = []
+
+        blob = cfg.blob_bytes
+        group_limit = PAGE_SIZE
+
+        for ref in range(num_refs):
+            # -- arrivals -------------------------------------------------
+            for is_compress, count in (
+                (True, comp_arrivals[ref]),
+                (False, decomp_arrivals[ref]),
+            ):
+                for _ in range(int(count)):
+                    total_ops += 1
+                    reserve = PAGE_SIZE  # input page or output page
+                    if (
+                        spm_used + reserve > spm_capacity
+                        or crq_used >= cfg.crq_depth
+                    ):
+                        fallbacks += 1
+                        continue
+                    spm_used += reserve
+                    spm_peak = max(spm_peak, spm_used)
+                    crq_used += 1
+                    op = _Op(
+                        op_id=next_op,
+                        is_compress=is_compress,
+                        spm_reserved=reserve,
+                        arrival_ref=ref,
+                    )
+                    next_op += 1
+                    ops[op.op_id] = op
+                    if is_compress:
+                        # Cold candidates are abundant: the controller picks
+                        # one whose row is refreshing -> slot-flexible.
+                        row: Optional[int] = None
+                        nbytes = PAGE_SIZE
+                    else:
+                        # The blob's location is fixed.
+                        row = int(rng.integers(0, rows))
+                        nbytes = blob
+                    request = self.scheduler.submit(
+                        AccessKind.READ, row, ref, nbytes=nbytes
+                    )
+                    read_of[request.request_id] = op.op_id
+
+            # -- drain one refresh window ----------------------------------
+            pressure = spm_used / spm_capacity >= cfg.pressure_threshold
+            executed = self.scheduler.drain(ref, pressure=pressure)
+            for access in executed:
+                nbytes = access.request.nbytes
+                moved_bytes += nbytes
+                op_energy = self.energy_model.nma_page_access_j(
+                    nbytes, conditional=access.conditional
+                )
+                energy += op_energy
+                energy_all_random += self.energy_model.nma_page_access_j(
+                    nbytes, conditional=False
+                )
+                energy_all_conditional += self.energy_model.nma_page_access_j(
+                    nbytes, conditional=True
+                )
+                if access.conditional:
+                    conditional += 1
+                else:
+                    random_count += 1
+
+                rid = access.request.request_id
+                if rid in read_of:
+                    # Read done -> engine (fast, §8) -> schedule writeback
+                    # at the next window.
+                    op = ops[read_of.pop(rid)]
+                    crq_used -= 1
+                    if op.is_compress:
+                        flex_buffer.append(op.op_id)
+                        flex_buffer_bytes += blob
+                    else:
+                        # The promoted page lands in a freshly allocated
+                        # frame: placement-flexible writeback.
+                        wreq = self.scheduler.submit(
+                            AccessKind.WRITE, None, ref, nbytes=PAGE_SIZE
+                        )
+                        write_of[wreq.request_id] = [op.op_id]
+                elif rid in write_of:
+                    for op_id in write_of.pop(rid):
+                        op = ops.pop(op_id)
+                        spm_used -= op.spm_reserved
+                        completed += 1
+                        latency_refs_sum += ref - op.arrival_ref
+                        latency_samples.append(ref - op.arrival_ref)
+
+            # -- coalesce compressed blobs into flexible writebacks ---------
+            while flex_buffer_bytes >= group_limit or (
+                flex_buffer and pressure
+            ):
+                group: List[int] = []
+                group_bytes = 0
+                while flex_buffer and group_bytes + blob <= group_limit:
+                    group.append(flex_buffer.popleft())
+                    group_bytes += blob
+                if not group:
+                    break
+                flex_buffer_bytes -= group_bytes
+                wreq = self.scheduler.submit(
+                    AccessKind.WRITE, None, ref, nbytes=group_bytes
+                )
+                write_of[wreq.request_id] = group
+
+        # Flush: remaining in-flight ops are neither fallbacks nor
+        # completions; exclude them from latency statistics.
+        mean_latency_ms = (
+            latency_refs_sum * (self.timings.trefi_ns / 1e6) / completed
+            if completed
+            else 0.0
+        )
+        percentiles: Dict[int, float] = {}
+        if latency_samples:
+            refs_to_ms = self.timings.trefi_ns / 1e6
+            for percentile in (50, 95, 99):
+                percentiles[percentile] = float(
+                    np.percentile(latency_samples, percentile) * refs_to_ms
+                )
+        return EmulatorReport(
+            config=cfg,
+            total_ops=total_ops,
+            fallback_ops=fallbacks,
+            completed_ops=completed,
+            conditional_accesses=conditional,
+            random_accesses=random_count,
+            spm_peak_bytes=spm_peak,
+            nma_bytes_moved=moved_bytes,
+            sim_time_s=num_refs * (self.timings.trefi_ns / 1e9),
+            nma_energy_j=energy,
+            all_conditional_energy_j=energy_all_conditional,
+            all_random_energy_j=energy_all_random,
+            mean_latency_ms=mean_latency_ms,
+            latency_percentiles_ms=percentiles,
+        )
+
+
+def fallback_sweep(
+    spm_sizes_mib=(1, 2, 4, 8),
+    accesses_per_ref=(1, 2, 3),
+    promotion_rate: float = 1.0,
+    **overrides,
+) -> List[EmulatorReport]:
+    """Run the Fig. 12 grid and return one report per point."""
+    reports = []
+    for spm_mib in spm_sizes_mib:
+        for budget in accesses_per_ref:
+            config = EmulatorConfig(
+                promotion_rate=promotion_rate,
+                spm_bytes=int(spm_mib * 1024 * 1024),
+                accesses_per_ref=budget,
+                **overrides,
+            )
+            reports.append(XfmEmulator(config).run())
+    return reports

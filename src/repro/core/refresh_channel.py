@@ -1,0 +1,212 @@
+"""Refresh-window access scheduling: XFM's transparent DRAM side channel.
+
+XFM batches NMA accesses received during a tREFI interval and executes
+them during the next tRFC, in parallel with the all-bank refresh (§4.3,
+Fig. 5). Accesses are *conditional* when their target row is in the set
+being refreshed (the row is open in its local row buffer anyway) and
+*random* otherwise (served from a non-refreshing subarray via the Fig. 7
+latches, budgeted by unused TRR slots — one per REF in the paper's
+methodology).
+
+:class:`WindowScheduler` keeps per-REF-slot buckets so each refresh window
+pops its conditional matches in O(1), and serves randoms oldest-first from
+a deadline heap when budget remains.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.refresh import RefreshScheduler
+from repro.errors import ConfigError
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class AccessRequest:
+    """One pending NMA access to a rank-local row."""
+
+    request_id: int
+    kind: AccessKind
+    #: Target row; None means placement-flexible (the compressed-blob
+    #: writeback case: the allocator can target whatever row is being
+    #: refreshed right now, making the access conditional by construction).
+    row: Optional[int]
+    #: REF index at which the request was enqueued.
+    enqueued_ref: int
+    #: Bytes moved by this access (page or blob).
+    nbytes: int = 4096
+
+
+@dataclass
+class ExecutedAccess:
+    """Record of one access performed inside a refresh window."""
+
+    request: AccessRequest
+    ref_index: int
+    conditional: bool
+
+    @property
+    def waited_refs(self) -> int:
+        return self.ref_index - self.request.enqueued_ref
+
+
+@dataclass
+class WindowScheduler:
+    """Batches NMA accesses and drains them through refresh windows."""
+
+    refresh: RefreshScheduler
+    #: Total NMA accesses accommodated per tRFC (Fig. 12's 1/2/3 series).
+    accesses_per_ref: int = 3
+    #: Of those, how many may be random (methodology: 1).
+    random_per_ref: int = 1
+    #: Randoms are spent on the oldest requests once they have waited this
+    #: many REFs, or immediately when pressure (see :meth:`drain`) demands
+    #: it. The default of 0 makes the scheduler work-conserving: conditional
+    #: service is still preferred (it is tried first and costs less energy),
+    #: but leftover budget is never wasted while fixed-row requests starve.
+    random_age_refs: int = 0
+
+    _slot_buckets: Dict[int, List[AccessRequest]] = field(
+        default_factory=dict, init=False
+    )
+    _age_heap: List[Tuple[int, int, AccessRequest]] = field(
+        default_factory=list, init=False
+    )
+    _flexible: List[AccessRequest] = field(default_factory=list, init=False)
+    _done: set = field(default_factory=set, init=False)
+    _next_id: int = field(default=1, init=False)
+    pending_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_ref < 1:
+            raise ConfigError("accesses_per_ref must be >= 1")
+        if not 0 <= self.random_per_ref <= self.accesses_per_ref:
+            raise ConfigError(
+                "random_per_ref must be within [0, accesses_per_ref]"
+            )
+
+    # -- enqueue -----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: AccessKind,
+        row: Optional[int],
+        current_ref: int,
+        nbytes: int = 4096,
+    ) -> AccessRequest:
+        """Queue an access; it will execute in some later refresh window."""
+        request = AccessRequest(
+            request_id=self._next_id,
+            kind=kind,
+            row=row,
+            enqueued_ref=current_ref,
+            nbytes=nbytes,
+        )
+        self._next_id += 1
+        if row is None:
+            self._flexible.append(request)
+        else:
+            slot = self.refresh.ref_slot_for_row(row)
+            self._slot_buckets.setdefault(slot, []).append(request)
+            heapq.heappush(
+                self._age_heap,
+                (request.enqueued_ref, request.request_id, request),
+            )
+        self.pending_count += 1
+        return request
+
+    # -- drain -------------------------------------------------------------
+
+    def drain(
+        self, ref_index: int, pressure: bool = False
+    ) -> List[ExecutedAccess]:
+        """Execute up to ``accesses_per_ref`` accesses in this window.
+
+        Priority: (1) placement-flexible writebacks (conditional by
+        construction), (2) row-matching conditional accesses, (3) random
+        accesses for the oldest starving requests — always when
+        ``pressure`` is set (SPM high-watermark), otherwise only past
+        ``random_age_refs``.
+        """
+        budget = self.accesses_per_ref
+        random_budget = self.random_per_ref
+        executed: List[ExecutedAccess] = []
+
+        # (1) flexible writebacks ride the current refresh rows.
+        while budget and self._flexible:
+            request = self._flexible.pop(0)
+            executed.append(
+                ExecutedAccess(request=request, ref_index=ref_index, conditional=True)
+            )
+            budget -= 1
+
+        # (2) conditional matches for this window's slot.
+        slot = ref_index % self.refresh.refs_per_retention
+        bucket = self._slot_buckets.get(slot)
+        if bucket:
+            while budget and bucket:
+                request = bucket.pop(0)
+                self._done.add(request.request_id)
+                executed.append(
+                    ExecutedAccess(
+                        request=request, ref_index=ref_index, conditional=True
+                    )
+                )
+                budget -= 1
+            if not bucket:
+                del self._slot_buckets[slot]
+
+        # (3) randoms for the oldest requests, subarray conflicts avoided.
+        while budget and random_budget and self._age_heap:
+            enqueued_ref, _, request = self._age_heap[0]
+            if request.request_id in self._done:
+                heapq.heappop(self._age_heap)
+                continue
+            old_enough = ref_index - enqueued_ref >= self.random_age_refs
+            if not (pressure or old_enough):
+                break
+            assert request.row is not None
+            if not self.refresh.random_access_allowed(request.row, ref_index):
+                # Subarray conflict with a refreshing row: the reorder
+                # logic defers this request to the next window.
+                break
+            heapq.heappop(self._age_heap)
+            self._remove_from_bucket(request)
+            self._done.add(request.request_id)
+            executed.append(
+                ExecutedAccess(
+                    request=request, ref_index=ref_index, conditional=False
+                )
+            )
+            budget -= 1
+            random_budget -= 1
+
+        self.pending_count -= len(executed)
+        return executed
+
+    def _remove_from_bucket(self, request: AccessRequest) -> None:
+        assert request.row is not None
+        slot = self.refresh.ref_slot_for_row(request.row)
+        bucket = self._slot_buckets.get(slot)
+        if bucket and request in bucket:
+            bucket.remove(request)
+            if not bucket:
+                del self._slot_buckets[slot]
+
+    # -- introspection --------------------------------------------------------
+
+    def oldest_wait_refs(self, ref_index: int) -> int:
+        """Age (in REFs) of the oldest pending fixed-row request."""
+        while self._age_heap and self._age_heap[0][2].request_id in self._done:
+            heapq.heappop(self._age_heap)
+        if not self._age_heap:
+            return 0
+        return ref_index - self._age_heap[0][0]

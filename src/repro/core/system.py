@@ -1,0 +1,264 @@
+"""Multi-DIMM XFM system: multi-channel mode in the functional stack.
+
+Assembles what §6's "Multi-Channel Mode" describes as a working backend:
+one XFM DIMM (NMA + driver + per-DIMM SFM region) per channel, pages
+striped across them at the 256 B interleave, each DIMM's NMA compressing
+its own stripe, and compressed segments placed at the *same offset* in
+every DIMM's region (the design that avoids DIMM-side address
+translation, at the price of internal fragmentation).
+
+This is the functional counterpart of
+:mod:`repro.core.multichannel`'s measurement path: contents really round-
+trip through per-DIMM zpools, fragmentation really occupies slots, and the
+gather-decompress CPU_Fallback path is exercised for demand faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compression.base import Codec
+from repro.core.driver import XfmDriver
+from repro.core.multichannel import MultiChannelLayout
+from repro.core.nma import NearMemoryAccelerator, NmaConfig
+from repro.errors import ConfigError, QueueFullError, SfmError, SpmFullError, ZpoolFullError
+from repro.sfm.backend import SwapOutcome
+from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.sfm.page import PAGE_SIZE, Page
+from repro.sfm.rbtree import RedBlackTree
+from repro.sfm.zpool import Zpool
+
+
+@dataclass
+class XfmDimm:
+    """One channel's XFM-enabled DIMM: NMA, driver, and SFM region."""
+
+    index: int
+    nma: NearMemoryAccelerator
+    driver: XfmDriver
+    region: Zpool
+
+    @classmethod
+    def build(
+        cls,
+        index: int,
+        region_bytes: int,
+        nma_config: NmaConfig,
+        codec: Codec,
+    ) -> "XfmDimm":
+        nma = NearMemoryAccelerator(nma_config, codec=codec)
+        driver = XfmDriver(nma)
+        driver.xfm_paramset(sfm_base=index << 40, sfm_size=region_bytes)
+        return cls(
+            index=index,
+            nma=nma,
+            driver=driver,
+            region=Zpool(region_bytes),
+        )
+
+
+@dataclass(frozen=True)
+class _StripeEntry:
+    """Index record for one page striped across all DIMMs."""
+
+    handles: tuple
+    segment_lengths: tuple
+
+    @property
+    def slot_bytes(self) -> int:
+        """Same-offset placement: every DIMM's cursor advances by the
+        largest segment (§6)."""
+        return max(self.segment_lengths) * len(self.segment_lengths)
+
+
+class MultiChannelXfmBackend:
+    """Far-memory backend striping pages across N XFM DIMMs."""
+
+    max_stored_fraction = 0.9
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        num_dimms: int = 4,
+        interleave_bytes: int = 256,
+        nma_config: Optional[NmaConfig] = None,
+        cpu_freq_hz: float = 2.6e9,
+    ) -> None:
+        if num_dimms < 1:
+            raise ConfigError("need at least one DIMM")
+        if capacity_bytes % num_dimms:
+            raise ConfigError("capacity must divide evenly across DIMMs")
+        self.layout = MultiChannelLayout(
+            num_dimms=num_dimms, interleave_bytes=interleave_bytes
+        )
+        config = nma_config if nma_config is not None else NmaConfig()
+        # Each DIMM's NMA compresses with the per-DIMM window (Fig. 9b).
+        from repro.compression.deflate import DeflateCodec
+
+        self._codec_window = max(256, PAGE_SIZE // num_dimms)
+        self.dimms: List[XfmDimm] = [
+            XfmDimm.build(
+                index=i,
+                region_bytes=capacity_bytes // num_dimms,
+                nma_config=config,
+                codec=DeflateCodec(window_size=self._codec_window),
+            )
+            for i in range(num_dimms)
+        ]
+        self.index = RedBlackTree()
+        self.stats = SwapStats()
+        self.ledger = BandwidthLedger()
+        self.cpu_freq_hz = cpu_freq_hz
+        #: Internal fragmentation accumulated by same-offset placement.
+        self.fragmentation_bytes = 0
+
+    @property
+    def num_dimms(self) -> int:
+        return len(self.dimms)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(dimm.region.capacity_bytes for dimm in self.dimms)
+
+    def stored_pages(self) -> int:
+        return len(self.index)
+
+    def contains(self, vaddr: int) -> bool:
+        return vaddr in self.index
+
+    # -- swap-out: scatter + per-DIMM offload ---------------------------------
+
+    def swap_out(self, page: Page) -> SwapOutcome:
+        """Stripe the page, offload each stripe to its DIMM's NMA, and
+        place all segments at the same region offset."""
+        if page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} already swapped")
+        if page.data is None:
+            raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
+
+        stripes = self.layout.split(page.data)
+        segments: List[bytes] = []
+        for dimm, stripe in zip(self.dimms, stripes):
+            try:
+                dimm.driver.submit_compress(
+                    source_row=page.vaddr >> 13, input_bytes=len(stripe)
+                )
+                dimm.nma.pop_request()
+                segments.append(dimm.nma.compress_page(stripe))
+                self.ledger.record("nma", "read", len(stripe))
+                dimm.driver.notify_release(len(stripe))
+            except (SpmFullError, QueueFullError):
+                # CPU fallback for this stripe (rare; accounted as host
+                # work + channel traffic).
+                self.stats.cpu_fallback_compressions += 1
+                codec = dimm.nma.codec
+                segments.append(codec.compress(stripe))
+                self.stats.cpu_compress_cycles += (
+                    codec.spec.compress_cycles_per_byte * len(stripe)
+                )
+                self.ledger.record("sfm_cpu", "read", len(stripe))
+
+        slot = max(len(segment) for segment in segments)
+        if slot * self.num_dimms > int(PAGE_SIZE * self.max_stored_fraction):
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="incompressible")
+
+        handles: List[int] = []
+        try:
+            for dimm, segment in zip(self.dimms, segments):
+                # Same-offset placement: reserve the full slot on every
+                # DIMM; the segment occupies its prefix.
+                padded = segment + bytes(slot - len(segment))
+                handles.append(dimm.region.store(padded))
+                self.ledger.record("nma", "write", len(segment))
+        except ZpoolFullError:
+            for dimm, handle in zip(self.dimms, handles):
+                dimm.region.free(handle)
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="pool-full")
+
+        entry = _StripeEntry(
+            handles=tuple(handles),
+            segment_lengths=tuple(len(s) for s in segments),
+        )
+        self.fragmentation_bytes += entry.slot_bytes - sum(
+            entry.segment_lengths
+        )
+        self.index.insert(page.vaddr, entry)
+        page.swapped = True
+        page.data = None
+        self.stats.swap_outs += 1
+        self.stats.offloaded_compressions += 1
+        self.stats.bytes_out_uncompressed += PAGE_SIZE
+        self.stats.bytes_out_compressed += sum(entry.segment_lengths)
+        return SwapOutcome(
+            accepted=True, compressed_len=sum(entry.segment_lengths)
+        )
+
+    # -- swap-in: gather-decompress (CPU_Fallback of Fig. 9b) -------------------
+
+    def swap_in(self, page: Page, do_offload: bool = False) -> bytes:
+        """Promote a striped page: decompress each DIMM's segment and
+        re-interleave. ``do_offload`` routes decompression through the
+        NMAs; the default is the host gather path."""
+        if not page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
+        entry: _StripeEntry = self.index.lookup(page.vaddr)
+        stripes: List[bytes] = []
+        for dimm, handle, length in zip(
+            self.dimms, entry.handles, entry.segment_lengths
+        ):
+            blob = dimm.region.load(handle)[:length]
+            if do_offload:
+                stripes.append(dimm.nma.decompress_blob(blob))
+                self.ledger.record("nma", "read", length)
+                self.ledger.record(
+                    "nma", "write", PAGE_SIZE // self.num_dimms
+                )
+                self.stats.offloaded_decompressions += 1
+            else:
+                codec = dimm.nma.codec
+                stripes.append(codec.decompress(blob))
+                self.stats.cpu_decompress_cycles += (
+                    codec.spec.decompress_cycles_per_byte * length
+                )
+                self.ledger.record("sfm_cpu", "read", length)
+                self.stats.cpu_fallback_decompressions += 1
+        data = self.layout.gather(stripes)
+        if not do_offload:
+            self.ledger.record("sfm_cpu", "write", PAGE_SIZE)
+        for dimm, handle in zip(self.dimms, entry.handles):
+            dimm.region.free(handle)
+        self.fragmentation_bytes -= entry.slot_bytes - sum(
+            entry.segment_lengths
+        )
+        self.index.delete(page.vaddr)
+        page.swapped = False
+        page.data = data
+        self.stats.swap_ins += 1
+        self.stats.bytes_in_uncompressed += PAGE_SIZE
+        self.stats.bytes_in_compressed += sum(entry.segment_lengths)
+        return data
+
+    # -- accounting --------------------------------------------------------------
+
+    def per_dimm_occupancy(self) -> Dict[int, float]:
+        return {dimm.index: dimm.region.occupancy() for dimm in self.dimms}
+
+    def effective_ratio(self) -> float:
+        """Compression ratio including same-offset slot fragmentation."""
+        stored = sum(
+            dimm.region.stored_bytes() for dimm in self.dimms
+        )
+        if not stored:
+            return 0.0
+        return self.stored_pages() * PAGE_SIZE / stored
+
+    def compact(self) -> int:
+        moved = 0
+        for dimm in self.dimms:
+            moved += dimm.region.compact()
+        self.ledger.record("sfm_cpu", "read", moved)
+        self.ledger.record("sfm_cpu", "write", moved)
+        return moved

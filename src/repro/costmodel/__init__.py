@@ -1,0 +1,28 @@
+"""First-order cost and carbon model for DFM vs SFM (system S11, §3).
+
+Implements EQ1–EQ5 of the paper with explicit, documented parameters:
+capital cost of DRAM/PMem-based disaggregated far memory versus the
+CPU-cycle (or accelerator) cost of software-defined far memory, and the
+embodied + operational carbon of both. Constants stated in the paper are
+used verbatim; the handful it omits (memory $/GB, CPU purchase price) are
+calibrated so the published break-even claims hold — see
+:mod:`~repro.costmodel.params` and DESIGN.md.
+"""
+
+from repro.costmodel.accel import integrated_accel_breakeven_promotion
+from repro.costmodel.breakeven import breakeven_years, fig3_series
+from repro.costmodel.capital import dfm_cost_usd, sfm_cost_usd
+from repro.costmodel.carbon import dfm_emission_kg, sfm_emission_kg
+from repro.costmodel.params import CostParams, MemoryKind
+
+__all__ = [
+    "CostParams",
+    "MemoryKind",
+    "breakeven_years",
+    "dfm_cost_usd",
+    "dfm_emission_kg",
+    "fig3_series",
+    "integrated_accel_breakeven_promotion",
+    "sfm_cost_usd",
+    "sfm_emission_kg",
+]

@@ -1,0 +1,60 @@
+"""On-chip accelerator offload model (§3.2's QAT discussion, experiment X1).
+
+An integrated compression accelerator (QAT-class: 9.8 GBps compression,
+13.3 GBps decompression measured in §3.2) removes the compression cycles
+from the CPU but "comes at the cost of consuming a physical core to manage
+the offload operations". It becomes worthwhile once the CPU cycles it
+frees exceed one core's worth — the paper puts that crossover at a ~6%
+average promotion rate for a 512 GB SFM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.costmodel.params import CostParams
+from repro.errors import ConfigError
+
+QAT_COMPRESS_GBPS = 9.8
+QAT_DECOMPRESS_GBPS = 13.3
+
+
+@dataclass(frozen=True)
+class IntegratedAccelerator:
+    """An on-chip (QAT-class) compression accelerator."""
+
+    compress_gbps: float = QAT_COMPRESS_GBPS
+    decompress_gbps: float = QAT_DECOMPRESS_GBPS
+    #: Physical cores consumed driving the offload queue.
+    management_cores: float = 1.0
+
+    def can_sustain(self, params: CostParams, promotion_rate: float) -> bool:
+        """Whether the engine keeps up with the swap rate (§3.2: a QAT can
+        absorb a 512 GB SFM even at 100% promotion)."""
+        gbps = params.gb_swapped_per_min(promotion_rate) / 60.0
+        return gbps <= min(self.compress_gbps, self.decompress_gbps)
+
+
+def cores_needed_for_sfm(params: CostParams, promotion_rate: float) -> float:
+    """CPU cores the software data plane consumes at this promotion rate."""
+    return params.cpu_fraction_needed(promotion_rate) * params.cpu_cores
+
+
+def integrated_accel_breakeven_promotion(
+    params: Optional[CostParams] = None,
+    accelerator: Optional[IntegratedAccelerator] = None,
+) -> float:
+    """Promotion rate above which the integrated accelerator pays off:
+    the software data plane's core consumption exceeds the accelerator's
+    management-core cost. ~5% with the paper's constants (the paper quotes
+    6% from its cost model)."""
+    if params is None:
+        params = CostParams()
+    if accelerator is None:
+        accelerator = IntegratedAccelerator()
+    # cores(promo) is linear in promo: solve cores(promo) = management_cores.
+    cores_at_full = cores_needed_for_sfm(params, 1.0)
+    if cores_at_full <= 0:
+        raise ConfigError("degenerate CPU parameters")
+    return accelerator.management_cores / cores_at_full

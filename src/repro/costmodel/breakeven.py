@@ -1,0 +1,130 @@
+"""Break-even solver and the Fig. 3 series generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.costmodel.capital import dfm_cost_usd, sfm_cost_usd
+from repro.costmodel.carbon import dfm_emission_kg, sfm_emission_kg
+from repro.costmodel.params import CostParams, MemoryKind
+from repro.errors import ConfigError
+
+
+def breakeven_years(
+    cost_a: Callable[[float], float],
+    cost_b: Callable[[float], float],
+    horizon_years: float = 50.0,
+    tolerance: float = 1e-4,
+) -> Optional[float]:
+    """First year at which ``cost_a`` (initially cheaper) reaches
+    ``cost_b``; None if it never does within the horizon."""
+    lo, hi = 0.0, horizon_years
+    gap = lambda t: cost_a(t) - cost_b(t)  # noqa: E731 - local one-liner
+    if gap(lo) > 0:
+        return 0.0
+    if gap(hi) < 0:
+        return None
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if gap(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def sfm_vs_dfm_cost_breakeven(
+    params: CostParams,
+    promotion_rate: float,
+    kind: MemoryKind = MemoryKind.DRAM,
+    accelerated: bool = False,
+) -> Optional[float]:
+    """Years until the SFM's cumulative cost reaches the DFM's (8.5 years
+    at 100% promotion vs DRAM DFM with the calibrated defaults)."""
+    return breakeven_years(
+        lambda t: sfm_cost_usd(params, promotion_rate, t, accelerated),
+        lambda t: dfm_cost_usd(params, promotion_rate, t, kind),
+    )
+
+
+def sfm_vs_dfm_emission_breakeven(
+    params: CostParams,
+    promotion_rate: float,
+    kind: MemoryKind = MemoryKind.DRAM,
+    accelerated: bool = False,
+) -> Optional[float]:
+    """Years until the SFM's cumulative emissions reach the DFM's."""
+    return breakeven_years(
+        lambda t: sfm_emission_kg(params, promotion_rate, t, accelerated),
+        lambda t: dfm_emission_kg(params, promotion_rate, t, kind),
+    )
+
+
+@dataclass
+class Fig3Series:
+    """One normalized line of Fig. 3."""
+
+    label: str
+    years: List[float]
+    #: Value normalized to the DRAM-DFM at the same year.
+    normalized: List[float]
+
+
+def fig3_series(
+    params: Optional[CostParams] = None,
+    years: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    promotion_rates: Sequence[float] = (0.2, 1.0),
+    metric: str = "cost",
+) -> Dict[str, Fig3Series]:
+    """Regenerate Fig. 3's series, normalized to the DRAM-based DFM.
+
+    ``metric`` is ``"cost"`` (capital, USD) or ``"emission"`` (kgCO2e).
+    Series: DFM-DRAM (the 1.0 reference), DFM-PMem, and SFM at each
+    promotion rate, CPU and XFM-accelerated variants.
+    """
+    if params is None:
+        params = CostParams()
+    if metric == "cost":
+        dfm_fn, sfm_fn = dfm_cost_usd, sfm_cost_usd
+    elif metric == "emission":
+        dfm_fn, sfm_fn = dfm_emission_kg, sfm_emission_kg
+    else:
+        raise ConfigError(f"metric must be cost/emission, got {metric!r}")
+
+    year_list = list(years)
+    reference = [
+        dfm_fn(params, 1.0, t, MemoryKind.DRAM) for t in year_list
+    ]
+    out: Dict[str, Fig3Series] = {
+        "dfm-dram": Fig3Series(
+            "DFM (DRAM)", year_list, [1.0] * len(year_list)
+        ),
+        "dfm-pmem": Fig3Series(
+            "DFM (PMem)",
+            year_list,
+            [
+                dfm_fn(params, 1.0, t, MemoryKind.PMEM) / ref
+                for t, ref in zip(year_list, reference)
+            ],
+        ),
+    }
+    for rate in promotion_rates:
+        pct = int(round(rate * 100))
+        out[f"sfm-{pct}"] = Fig3Series(
+            f"SFM ({pct}% promotion)",
+            year_list,
+            [
+                sfm_fn(params, rate, t, False) / ref
+                for t, ref in zip(year_list, reference)
+            ],
+        )
+        out[f"sfm-xfm-{pct}"] = Fig3Series(
+            f"XFM-accelerated SFM ({pct}% promotion)",
+            year_list,
+            [
+                sfm_fn(params, rate, t, True) / ref
+                for t, ref in zip(year_list, reference)
+            ],
+        )
+    return out

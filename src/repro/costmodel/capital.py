@@ -1,0 +1,95 @@
+"""Capital cost of DFM and SFM over time (EQ2 and EQ3).
+
+DFM pays its memory up front and then PCIe transfer energy plus static
+DIMM power; SFM pays a provisioned-CPU share up front (EQ3.1) and then
+(de)compression energy proportional to the swap rate. The paper's EQ2.2
+scales idle-DIMM energy by ``GBSwappedPerMin / DIMMSIZE``; we charge the
+physically meaningful static power of every provisioned DIMM instead and
+note the deviation here (it is small either way: tens of dollars/year).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.params import (
+    HOURS_PER_YEAR,
+    MINUTES_PER_YEAR,
+    CostParams,
+    MemoryKind,
+)
+from repro.errors import ConfigError
+
+
+def _check_years(years: float) -> None:
+    if years < 0:
+        raise ConfigError("years must be non-negative")
+
+
+def dfm_pcie_energy_kwh(
+    params: CostParams, promotion_rate: float, years: float
+) -> float:
+    """EQ2.1: PCIe transfer energy for all swapped bytes."""
+    _check_years(years)
+    return (
+        params.pcie_kwh_per_gb
+        * params.gb_swapped_per_min(promotion_rate)
+        * MINUTES_PER_YEAR
+        * years
+    )
+
+
+def dfm_idle_energy_kwh(
+    params: CostParams, kind: MemoryKind, years: float
+) -> float:
+    """Static power of the provisioned extra DIMMs (EQ2.2, see module
+    docstring for the deviation from the printed form)."""
+    _check_years(years)
+    dimms = params.dfm_dimm_count(kind)
+    return dimms * params.idle_dimm_w / 1000.0 * HOURS_PER_YEAR * years
+
+
+def dfm_cost_usd(
+    params: CostParams,
+    promotion_rate: float,
+    years: float,
+    kind: MemoryKind = MemoryKind.DRAM,
+) -> float:
+    """EQ2: upfront memory purchase + operational energy cost."""
+    upfront = params.extra_gb * params.memory_cost_per_gb(kind)
+    energy_kwh = dfm_pcie_energy_kwh(
+        params, promotion_rate, years
+    ) + dfm_idle_energy_kwh(params, kind, years)
+    return upfront + energy_kwh * params.electricity_cost_per_kwh
+
+
+def sfm_cpu_cost_usd(params: CostParams, promotion_rate: float) -> float:
+    """EQ3.1: provisioned-CPU cost, %CPUNeeded x purchase price."""
+    return params.cpu_fraction_needed(promotion_rate) * params.cpu_purchase_price
+
+
+def sfm_cost_usd(
+    params: CostParams,
+    promotion_rate: float,
+    years: float,
+    accelerated: bool = False,
+) -> float:
+    """EQ3: (de)compression energy over time + provisioned compute.
+
+    ``accelerated=True`` prices the XFM variant: the NMA's power/throughput
+    replace the CPU's, and no extra CPU is provisioned (offloads ride the
+    refresh channel; the control plane is negligible).
+    """
+    _check_years(years)
+    if accelerated:
+        energy_per_gb = params.nma_energy_kwh_per_gb()
+        compute_cost = 0.0
+    else:
+        energy_per_gb = params.cpu_energy_kwh_per_gb()
+        compute_cost = sfm_cpu_cost_usd(params, promotion_rate)
+    operational = (
+        energy_per_gb
+        * params.gb_swapped_per_min(promotion_rate)
+        * MINUTES_PER_YEAR
+        * years
+        * params.electricity_cost_per_kwh
+    )
+    return compute_cost + operational

@@ -1,0 +1,60 @@
+"""Carbon footprint of DFM and SFM over time (EQ4 and EQ5).
+
+Embodied emissions use Boavizta-derived constants (1.01 kg/GB DRAM,
+0.62 kg/GB PMem, 0.625 kg per CPU core); operational emissions use the
+2022 Southwest Power Pool grid intensity (479 g/kWh). Manufacturing
+emissions of the *local* DRAM are excluded — identical on both sides.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.capital import dfm_idle_energy_kwh
+from repro.costmodel.params import MINUTES_PER_YEAR, CostParams, MemoryKind
+
+
+def dfm_emission_kg(
+    params: CostParams,
+    promotion_rate: float,
+    years: float,
+    kind: MemoryKind = MemoryKind.DRAM,
+) -> float:
+    """EQ4: embodied memory emissions + operational idle-DIMM emissions."""
+    embodied = params.extra_gb * params.memory_kg_per_gb(kind)
+    operational = (
+        dfm_idle_energy_kwh(params, kind, years) * params.grid_kg_per_kwh
+    )
+    return embodied + operational
+
+
+def sfm_emission_kg(
+    params: CostParams,
+    promotion_rate: float,
+    years: float,
+    accelerated: bool = False,
+) -> float:
+    """EQ5: embodied provisioned-CPU emissions + (de)compression energy
+    emissions.
+
+    ``accelerated=True`` gives the XFM variant (the "ideal, accelerated
+    SFM" of §3.1): NMA energy instead of CPU energy, and the buffer-device
+    accelerator's embodied share is treated as negligible next to DRAM
+    manufacturing (logic has an order of magnitude lower emissions, §1).
+    """
+    if accelerated:
+        embodied = 0.0
+        energy_per_gb = params.nma_energy_kwh_per_gb()
+    else:
+        embodied = (
+            params.cpu_fraction_needed(promotion_rate)
+            * params.cpu_cores
+            * params.cpu_kg_per_core
+        )
+        energy_per_gb = params.cpu_energy_kwh_per_gb()
+    operational = (
+        energy_per_gb
+        * params.gb_swapped_per_min(promotion_rate)
+        * MINUTES_PER_YEAR
+        * years
+        * params.grid_kg_per_kwh
+    )
+    return embodied + operational

@@ -1,0 +1,150 @@
+"""Fleet-scale savings: the paper's motivation, quantified.
+
+The introduction motivates XFM with fleet economics: DRAM is over 50% of
+server cost and 75% of embodied carbon (§1), ~30% of fleet memory is cold
+at a 120 s age threshold, and zswap-class compression roughly triples the
+density of that cold data (§3.1, Google's deployment). This module turns
+those constants into the questions an operator asks: across N servers,
+how much DRAM does an SFM tier avoid buying, what does that save in
+dollars and CO2e, and what does the data plane cost — CPU cycles priced
+via EQ3, or an XFM accelerator per DIMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.costmodel.capital import sfm_cost_usd
+from repro.costmodel.carbon import sfm_emission_kg
+from repro.costmodel.params import CostParams
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One homogeneous server fleet."""
+
+    num_servers: int = 10_000
+    dram_per_server_gb: float = 512.0
+    #: Fraction of memory cold at the chosen age threshold (§3.1: ~30%).
+    cold_fraction: float = 0.30
+    #: Compression ratio achieved on cold pages (zstd-class: ~3x).
+    compression_ratio: float = 3.0
+    #: Fleet-average promotion rate (§3.1: ~15% at 120 s cold age).
+    promotion_rate: float = 0.15
+    #: DRAM share of server capital cost (§1: >50%).
+    dram_cost_share: float = 0.50
+    #: DRAM share of server embodied carbon (§1: ~75%).
+    dram_carbon_share: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigError("num_servers must be >= 1")
+        for name in ("cold_fraction", "dram_cost_share", "dram_carbon_share"):
+            if not 0.0 < getattr(self, name) <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1]")
+        if self.compression_ratio <= 1.0:
+            raise ConfigError("compression_ratio must exceed 1")
+
+
+@dataclass
+class FleetReport:
+    """Fleet-wide savings over a deployment horizon."""
+
+    config: FleetConfig
+    horizon_years: float
+    #: GB of DRAM purchases avoided fleet-wide.
+    dram_avoided_gb: float
+    #: Capital saved on that DRAM.
+    capital_saved_usd: float
+    #: Embodied emissions avoided on that DRAM.
+    embodied_saved_kg: float
+    #: Data-plane cost over the horizon (CPU or NMA).
+    dataplane_cost_usd: float
+    dataplane_emission_kg: float
+
+    @property
+    def net_usd(self) -> float:
+        return self.capital_saved_usd - self.dataplane_cost_usd
+
+    @property
+    def net_kg(self) -> float:
+        return self.embodied_saved_kg - self.dataplane_emission_kg
+
+    @property
+    def per_server_dram_saved_gb(self) -> float:
+        return self.dram_avoided_gb / self.config.num_servers
+
+
+def dram_avoided_per_server_gb(config: FleetConfig) -> float:
+    """Memory an SFM tier frees on one server.
+
+    Cold bytes shrink by the compression ratio: cold * (1 - 1/ratio) of
+    each server's DRAM no longer needs to exist to hold the same data.
+    """
+    return (
+        config.dram_per_server_gb
+        * config.cold_fraction
+        * (1.0 - 1.0 / config.compression_ratio)
+    )
+
+
+def fleet_savings(
+    config: FleetConfig,
+    params: CostParams = None,
+    horizon_years: float = 5.0,
+    accelerated: bool = False,
+) -> FleetReport:
+    """Fleet-wide dollars and CO2e over ``horizon_years``.
+
+    ``accelerated=True`` prices the data plane as XFM (NMA energy, no
+    provisioned CPUs); otherwise as the EQ3 CPU data plane.
+    """
+    if params is None:
+        params = CostParams()
+    if horizon_years <= 0:
+        raise ConfigError("horizon must be positive")
+    per_server_gb = dram_avoided_per_server_gb(config)
+    total_gb = per_server_gb * config.num_servers
+    capital = total_gb * params.dram_cost_per_gb
+    embodied = total_gb * params.dram_kg_per_gb
+
+    # Each server's SFM manages its cold region at the fleet promotion
+    # rate; EQ3/EQ5 price its data plane.
+    from dataclasses import replace
+
+    server_params = replace(
+        params, extra_gb=config.dram_per_server_gb * config.cold_fraction
+    )
+    dataplane_usd = config.num_servers * sfm_cost_usd(
+        server_params, config.promotion_rate, horizon_years, accelerated
+    )
+    dataplane_kg = config.num_servers * sfm_emission_kg(
+        server_params, config.promotion_rate, horizon_years, accelerated
+    )
+    return FleetReport(
+        config=config,
+        horizon_years=horizon_years,
+        dram_avoided_gb=total_gb,
+        capital_saved_usd=capital,
+        embodied_saved_kg=embodied,
+        dataplane_cost_usd=dataplane_usd,
+        dataplane_emission_kg=dataplane_kg,
+    )
+
+
+def savings_summary(
+    config: FleetConfig = None, horizon_years: float = 5.0
+) -> Dict[str, FleetReport]:
+    """CPU-SFM vs XFM-SFM fleet reports, side by side."""
+    if config is None:
+        config = FleetConfig()
+    return {
+        "sfm-cpu": fleet_savings(
+            config, horizon_years=horizon_years, accelerated=False
+        ),
+        "sfm-xfm": fleet_savings(
+            config, horizon_years=horizon_years, accelerated=True
+        ),
+    }

@@ -1,0 +1,24 @@
+"""Disaggregated far memory (DFM): the paper's §3 comparator, functional.
+
+The cost model (EQ2/EQ4) prices DFM; this package makes it a runnable
+baseline with the same swap surface as the SFM backends: pages move
+*uncompressed* over a serial interconnect (CXL / PCIe / RDMA presets with
+the paper's 88 pJ/B PCIe energy), so swap-ins are fast and CPU-free but
+capacity is what you bought — no compression gain, no elasticity.
+"""
+
+from repro.dfm.backend import DfmBackend
+from repro.dfm.interconnect import (
+    CXL_LINK,
+    PCIE4_X8,
+    RDMA_LINK,
+    InterconnectModel,
+)
+
+__all__ = [
+    "CXL_LINK",
+    "DfmBackend",
+    "InterconnectModel",
+    "PCIE4_X8",
+    "RDMA_LINK",
+]

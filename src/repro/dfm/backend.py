@@ -1,0 +1,115 @@
+"""DFM backend: uncompressed pages over a serial interconnect.
+
+Implements the same ``swap_out``/``swap_in`` surface as
+:class:`~repro.sfm.backend.SfmBackend`, so the AIFM runtime, the zswap
+frontend, and the examples can run on either tier unchanged. The contrast
+the paper draws falls out of the accounting:
+
+* swap-in latency is one link round trip (fast, no CPU cycles) — DFM's
+  strength;
+* every page occupies its full 4 KiB in the pool — no compression gain,
+  and capacity is statically provisioned (§2.1's "static provisioning of
+  DRAM resources");
+* every swap crosses the link, paying transfer energy (EQ2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dfm.interconnect import CXL_LINK, InterconnectModel
+from repro.errors import ConfigError, SfmError
+from repro.sfm.backend import SwapOutcome
+from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.sfm.page import PAGE_SIZE, Page
+
+
+class DfmBackend:
+    """Far-memory backend over disaggregated, uncompressed DRAM."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        link: InterconnectModel = CXL_LINK,
+    ) -> None:
+        if capacity_bytes < PAGE_SIZE:
+            raise ConfigError("capacity below one page")
+        self.link = link
+        self.capacity_bytes = capacity_bytes
+        self._pool: Dict[int, bytes] = {}
+        self.stats = SwapStats()
+        self.ledger = BandwidthLedger()
+        self.link_energy_j = 0.0
+        self.link_busy_s = 0.0
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.capacity_bytes // PAGE_SIZE
+
+    def stored_pages(self) -> int:
+        return len(self._pool)
+
+    def contains(self, vaddr: int) -> bool:
+        return vaddr in self._pool
+
+    def effective_bytes_freed(self) -> int:
+        """Local bytes released per stored page — exactly one page each;
+        unlike SFM there is no compression multiplier."""
+        return self.stored_pages() * PAGE_SIZE
+
+    # -- swap paths --------------------------------------------------------------
+
+    def swap_out(self, page: Page) -> SwapOutcome:
+        """Move a page to the far pool (uncompressed)."""
+        if page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} already swapped")
+        if page.data is None:
+            raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
+        if self.stored_pages() >= self.capacity_pages:
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="pool-full")
+        self._pool[page.vaddr] = page.data
+        self._account_transfer()
+        page.swapped = True
+        page.data = None
+        self.stats.swap_outs += 1
+        self.stats.bytes_out_uncompressed += PAGE_SIZE
+        self.stats.bytes_out_compressed += PAGE_SIZE  # ratio 1.0
+        return SwapOutcome(accepted=True, compressed_len=PAGE_SIZE)
+
+    def swap_in(self, page: Page) -> bytes:
+        """Fetch a page back over the link."""
+        if not page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
+        try:
+            data = self._pool.pop(page.vaddr)
+        except KeyError:
+            raise SfmError(
+                f"page 0x{page.vaddr:x} missing from far pool"
+            ) from None
+        self._account_transfer()
+        page.swapped = False
+        page.data = data
+        self.stats.swap_ins += 1
+        self.stats.bytes_in_uncompressed += PAGE_SIZE
+        self.stats.bytes_in_compressed += PAGE_SIZE
+        return data
+
+    def _account_transfer(self) -> None:
+        self.ledger.record("dfm_link", "read", PAGE_SIZE)
+        self.link_energy_j += self.link.transfer_energy_j(PAGE_SIZE)
+        self.link_busy_s += self.link.page_swap_latency_s(PAGE_SIZE)
+
+    # -- latency comparison helpers -------------------------------------------------
+
+    def swap_latency_s(self, direction: str) -> float:
+        """One link round trip either way; no CPU (de)compression."""
+        if direction not in ("in", "out"):
+            raise ValueError(f"direction must be in/out, got {direction}")
+        return self.link.page_swap_latency_s(PAGE_SIZE)
+
+    def compact(self) -> int:
+        """No compressed pool, nothing to compact."""
+        return 0

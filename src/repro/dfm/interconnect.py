@@ -1,0 +1,56 @@
+"""Far-memory interconnect models.
+
+DFM implementations reach their memory over PCIe, CXL, or the datacenter
+network (§1, §2.1). Each preset carries the round-trip access latency,
+usable bandwidth, and transfer energy; the PCIe energy is the paper's own
+88 pJ/B (EQ2.1's 2.44e-8 kWh/GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """One serial link between the CPU and the far memory pool."""
+
+    name: str
+    #: One-way small-access latency added over local DRAM.
+    access_latency_ns: float
+    #: Usable (post-protocol) bandwidth.
+    bandwidth_gbps: float
+    #: Transfer energy per byte moved.
+    pj_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.access_latency_ns < 0 or self.bandwidth_gbps <= 0:
+            raise ConfigError(f"{self.name}: bad link parameters")
+
+    def transfer_time_ns(self, num_bytes: int) -> float:
+        """Latency + serialization for one transfer."""
+        return self.access_latency_ns + num_bytes / self.bandwidth_gbps
+
+    def transfer_energy_j(self, num_bytes: int) -> float:
+        return num_bytes * self.pj_per_byte * 1e-12
+
+    def page_swap_latency_s(self, page_bytes: int = 4096) -> float:
+        return self.transfer_time_ns(page_bytes) / 1e9
+
+
+#: CXL.mem attached DRAM: ~2-3x local DRAM latency (Pond-class, §2.1).
+CXL_LINK = InterconnectModel(
+    name="cxl", access_latency_ns=350.0, bandwidth_gbps=32.0, pj_per_byte=60.0
+)
+
+#: PCIe 4.0 x8 attached memory; 88 pJ/B from the paper's cost model.
+PCIE4_X8 = InterconnectModel(
+    name="pcie4x8", access_latency_ns=900.0, bandwidth_gbps=14.0, pj_per_byte=88.0
+)
+
+#: One-sided RDMA to a remote host (Infiniswap/AIFM-class).
+RDMA_LINK = InterconnectModel(
+    name="rdma", access_latency_ns=3000.0, bandwidth_gbps=10.0, pj_per_byte=150.0
+)

@@ -1,0 +1,49 @@
+"""DRAM memory-system substrate (systems S3–S5).
+
+Models the parts of a DDR4/DDR5 memory system that XFM's refresh-window
+side channel depends on: device geometry (Table 1), command timing,
+Skylake-style physical address interleaving (§5, Fig. 6a), the all-bank
+auto-refresh schedule (§2.2), per-bank/subarray state, a cycle-approximate
+memory controller in the spirit of gem5's DDR4 interface (§7), and an
+access-energy model.
+"""
+
+from repro.dram.address import AddressMapping, DramCoordinate
+from repro.dram.commands import CommandKind, TimedCommand
+from repro.dram.device import (
+    DDR5_16GB,
+    DDR5_32GB,
+    DDR5_8GB,
+    DEVICE_PRESETS,
+    DramDeviceConfig,
+)
+from repro.dram.energy import AccessEnergyModel
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import (
+    DDR4_2400,
+    DDR4_3200,
+    DDR5_3200,
+    DDR5_4800,
+    TIMING_PRESETS,
+    DramTimings,
+)
+
+__all__ = [
+    "AccessEnergyModel",
+    "AddressMapping",
+    "CommandKind",
+    "DDR4_2400",
+    "DDR4_3200",
+    "DDR5_16GB",
+    "DDR5_32GB",
+    "DDR5_3200",
+    "DDR5_4800",
+    "DDR5_8GB",
+    "DEVICE_PRESETS",
+    "DramCoordinate",
+    "DramDeviceConfig",
+    "DramTimings",
+    "RefreshScheduler",
+    "TIMING_PRESETS",
+    "TimedCommand",
+]

@@ -1,0 +1,168 @@
+"""Physical-address-to-DRAM-topology mapping (Skylake-style, Sec. 5).
+
+The paper assumes Intel Skylake's mapping: 256 B channel interleaving and
+128 B bank interleaving, so a contiguous 4 KiB page is striped across four
+channels and, within each channel, alternates between two banks of the same
+rank (Fig. 6a). :class:`AddressMapping` implements that layout as explicit
+nested div/mod strides — LSB to MSB: byte-in-line, bank way, column, row,
+bank pair, rank, DIMM — and provides the exact inverse for round-trip
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.device import DDR5_32GB, DramDeviceConfig
+from repro.errors import AddressMapError, ConfigError
+
+
+@dataclass(frozen=True)
+class DramCoordinate:
+    """Location of one bank-interleave line (default 128 B) in the system."""
+
+    channel: int
+    dimm: int
+    rank: int
+    bank: int
+    row: int
+    #: Byte offset of the line within the rank-wide row.
+    row_offset: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Decode/encode physical addresses onto the DRAM hierarchy."""
+
+    device: DramDeviceConfig = DDR5_32GB
+    channels: int = 4
+    dimms_per_channel: int = 2
+    ranks_per_dimm: int = 1
+    channel_interleave_bytes: int = 256
+    bank_interleave_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.channel_interleave_bytes % self.bank_interleave_bytes:
+            raise ConfigError(
+                "channel interleave must be a multiple of bank interleave"
+            )
+        if self.device.banks_per_chip % self.device.page_bank_ways:
+            raise ConfigError("banks must divide evenly into interleave ways")
+        for field in ("channels", "dimms_per_channel", "ranks_per_dimm"):
+            if getattr(self, field) < 1:
+                raise ConfigError(f"{field} must be >= 1")
+
+    # -- derived sizes ----------------------------------------------------
+
+    @property
+    def ranks_total(self) -> int:
+        return self.channels * self.dimms_per_channel * self.ranks_per_dimm
+
+    @property
+    def rank_capacity_bytes(self) -> int:
+        return (
+            self.device.banks_per_chip
+            * self.device.rows_per_bank
+            * self.device.rank_row_bytes
+        )
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.rank_capacity_bytes * self.ranks_total
+
+    @property
+    def _bank_pairs(self) -> int:
+        return self.device.banks_per_chip // self.device.page_bank_ways
+
+    @property
+    def _lines_per_row(self) -> int:
+        return self.device.rank_row_bytes // self.bank_interleave_bytes
+
+    # -- decode / encode ---------------------------------------------------
+
+    def decode(self, addr: int) -> DramCoordinate:
+        """Map a physical byte address to its DRAM coordinate."""
+        if not 0 <= addr < self.total_capacity_bytes:
+            raise AddressMapError(
+                f"address 0x{addr:x} outside capacity "
+                f"{self.total_capacity_bytes}"
+            )
+        chan_chunk, chunk_off = divmod(addr, self.channel_interleave_bytes)
+        channel = chan_chunk % self.channels
+        ch_addr = (
+            chan_chunk // self.channels
+        ) * self.channel_interleave_bytes + chunk_off
+
+        line, line_off = divmod(ch_addr, self.bank_interleave_bytes)
+        ways = self.device.page_bank_ways
+        bank_way = line % ways
+        per_bank_line = line // ways
+
+        col_line = per_bank_line % self._lines_per_row
+        remaining = per_bank_line // self._lines_per_row
+        row = remaining % self.device.rows_per_bank
+        remaining //= self.device.rows_per_bank
+        pair = remaining % self._bank_pairs
+        remaining //= self._bank_pairs
+        rank = remaining % self.ranks_per_dimm
+        dimm = remaining // self.ranks_per_dimm
+
+        return DramCoordinate(
+            channel=channel,
+            dimm=dimm,
+            rank=rank,
+            bank=pair * ways + bank_way,
+            row=row,
+            row_offset=col_line * self.bank_interleave_bytes + line_off,
+        )
+
+    def encode(self, coord: DramCoordinate) -> int:
+        """Inverse of :meth:`decode`."""
+        ways = self.device.page_bank_ways
+        pair, bank_way = divmod(coord.bank, ways)
+        col_line, line_off = divmod(coord.row_offset, self.bank_interleave_bytes)
+        per_bank_line = (
+            (
+                (coord.dimm * self.ranks_per_dimm + coord.rank)
+                * self._bank_pairs
+                + pair
+            )
+            * self.device.rows_per_bank
+            + coord.row
+        ) * self._lines_per_row + col_line
+        line = per_bank_line * ways + bank_way
+        ch_addr = line * self.bank_interleave_bytes + line_off
+        chan_chunk, chunk_off = divmod(ch_addr, self.channel_interleave_bytes)
+        return (
+            chan_chunk * self.channels + coord.channel
+        ) * self.channel_interleave_bytes + chunk_off
+
+    # -- page-level helpers -------------------------------------------------
+
+    def page_lines(self, page_addr: int, page_size: int = 4096) -> List[DramCoordinate]:
+        """Coordinates of every bank-interleave line of a page."""
+        if page_addr % self.bank_interleave_bytes:
+            raise AddressMapError("page address must be line-aligned")
+        return [
+            self.decode(page_addr + off)
+            for off in range(0, page_size, self.bank_interleave_bytes)
+        ]
+
+    def page_footprint(self, page_addr: int, page_size: int = 4096):
+        """Distinct (channel, dimm, rank, bank, row) tuples a page touches.
+
+        For the Skylake defaults a 4 KiB page touches 4 channels x 2 banks
+        (Fig. 6a): one row in each of two banks per channel.
+        """
+        return sorted(
+            {
+                (c.channel, c.dimm, c.rank, c.bank, c.row)
+                for c in self.page_lines(page_addr, page_size)
+            }
+        )
+
+    def per_dimm_bytes(self, page_size: int = 4096) -> int:
+        """Bytes of a page landing on each channel's DIMM — the effective
+        compression-window size in multi-channel mode (Fig. 8)."""
+        return page_size // self.channels

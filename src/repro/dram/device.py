@@ -1,0 +1,164 @@
+"""DRAM device geometry (Table 1) and derived refresh/access arithmetic.
+
+A :class:`DramDeviceConfig` describes one DRAM chip generation. The three
+DDR5 presets reproduce Table 1 of the paper, including the derived "#rows
+of a bank refreshed during tRFC" (rows per bank / 8192 REF commands) and
+the conditional-access capacity per tRFC of Sec. 5 (4/3/2 page reads for
+32/16/8 Gb chips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import (
+    DDR5_3200,
+    REF_COMMANDS_PER_RETENTION,
+    DramTimings,
+)
+from repro.errors import ConfigError
+
+ROWS_PER_SUBARRAY = 512
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class DramDeviceConfig:
+    """Geometry of a single DRAM chip."""
+
+    name: str
+    capacity_gbit: int
+    rows_per_bank: int
+    banks_per_chip: int
+    #: Number of banks a contiguous page is interleaved across (Fig. 6a).
+    page_bank_ways: int = 2
+    rows_per_subarray: int = ROWS_PER_SUBARRAY
+    chips_per_rank: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows_per_bank % self.rows_per_subarray:
+            raise ConfigError(
+                f"{self.name}: rows_per_bank must be a multiple of "
+                f"rows_per_subarray"
+            )
+        if self.rows_per_bank % REF_COMMANDS_PER_RETENTION:
+            raise ConfigError(
+                f"{self.name}: rows_per_bank must be a multiple of "
+                f"{REF_COMMANDS_PER_RETENTION} REF commands"
+            )
+        expected_bits = (
+            self.rows_per_bank * self.banks_per_chip * self.row_bits
+        )
+        if expected_bits != self.capacity_gbit * (1 << 30):
+            raise ConfigError(
+                f"{self.name}: geometry implies {expected_bits / (1 << 30):.1f} "
+                f"Gbit, declared {self.capacity_gbit} Gbit"
+            )
+
+    @property
+    def row_bits(self) -> int:
+        """Bits per row per chip (fixed 8 Kbit = 1 KiB row for these parts)."""
+        return 8 * 1024
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per row per chip."""
+        return self.row_bits // 8
+
+    @property
+    def rank_row_bytes(self) -> int:
+        """Bytes per (rank-wide) row: all chips in lockstep."""
+        return self.row_bytes * self.chips_per_rank
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        return self.rows_per_bank // self.rows_per_subarray
+
+    @property
+    def rows_refreshed_per_trfc(self) -> int:
+        """Rows of each bank refreshed by a single REF command (Table 1)."""
+        return self.rows_per_bank // REF_COMMANDS_PER_RETENTION
+
+    @property
+    def chip_capacity_bytes(self) -> int:
+        return self.capacity_gbit * (1 << 30) // 8
+
+    @property
+    def rank_capacity_bytes(self) -> int:
+        return self.chip_capacity_bytes * self.chips_per_rank
+
+    def subarray_of_row(self, row: int) -> int:
+        """Subarray index containing ``row``."""
+        if not 0 <= row < self.rows_per_bank:
+            raise ConfigError(f"row {row} out of range")
+        return row // self.rows_per_subarray
+
+    # -- refresh-window access arithmetic (Sec. 5) -----------------------
+
+    def page_stream_time_ns(
+        self, timings: DramTimings, page_bytes: int = PAGE_SIZE, first: bool = True
+    ) -> float:
+        """Time to stream one page between a rank and the NMA.
+
+        A page is read as ``page_bytes / (chips * burst_bytes)`` bursts
+        alternating between the interleaved banks (Fig. 6b). The first
+        access in a tRFC pays tRCD + tCL; subsequent accesses overlap their
+        tRCD + tCL with the tail of the previous burst.
+        """
+        bursts = -(-page_bytes // (self.chips_per_rank * timings.burst_bytes))
+        stream = bursts * timings.tburst_ns
+        if first:
+            return timings.trcd_ns + timings.tcl_ns + stream
+        return stream
+
+    def conditional_accesses_per_trfc(
+        self, timings: DramTimings, page_bytes: int = PAGE_SIZE
+    ) -> int:
+        """Max page-sized conditional accesses in one tRFC (4/3/2 in Sec. 5)."""
+        first = self.page_stream_time_ns(timings, page_bytes, first=True)
+        follow = self.page_stream_time_ns(timings, page_bytes, first=False)
+        if first > timings.trfc_ns:
+            return 0
+        return 1 + int((timings.trfc_ns - first) // follow)
+
+    def nma_bandwidth_bps(
+        self,
+        timings: DramTimings,
+        accesses_per_trfc: int,
+        page_bytes: int = PAGE_SIZE,
+    ) -> float:
+        """Sustained NMA<->DRAM bandwidth from refresh-window accesses only."""
+        pages_per_second = accesses_per_trfc * 1e9 / timings.trefi_ns
+        return pages_per_second * page_bytes
+
+
+# Table 1 presets. Row width is 1 KiB/chip, so:
+#   8 Gb:  64 Ki rows x 16 banks x 8 Kib = 8 Gb,  8 rows/REF, 128 subarrays
+#   16 Gb: 64 Ki rows x 32 banks x 8 Kib = 16 Gb, 8 rows/REF, 128 subarrays
+#   32 Gb: 128 Ki rows x 32 banks x 8 Kib = 32 Gb, 16 rows/REF, 256 subarrays
+DDR5_8GB = DramDeviceConfig(
+    name="DDR5-8Gb", capacity_gbit=8, rows_per_bank=64 * 1024, banks_per_chip=16
+)
+DDR5_16GB = DramDeviceConfig(
+    name="DDR5-16Gb", capacity_gbit=16, rows_per_bank=64 * 1024, banks_per_chip=32
+)
+DDR5_32GB = DramDeviceConfig(
+    name="DDR5-32Gb", capacity_gbit=32, rows_per_bank=128 * 1024, banks_per_chip=32
+)
+
+DEVICE_PRESETS = {d.name: d for d in (DDR5_8GB, DDR5_16GB, DDR5_32GB)}
+
+# Per-device tRFC from Table 1 (all-bank refresh).
+DEVICE_TRFC_NS = {"DDR5-8Gb": 195.0, "DDR5-16Gb": 295.0, "DDR5-32Gb": 410.0}
+
+
+def timings_for_device(
+    device: DramDeviceConfig, base: DramTimings = DDR5_3200
+) -> DramTimings:
+    """Timing preset with the device's Table-1 tRFC substituted in."""
+    from dataclasses import replace
+
+    trfc = DEVICE_TRFC_NS.get(device.name)
+    if trfc is None:
+        return base
+    return replace(base, name=f"{base.name}/{device.name}", trfc_ns=trfc)

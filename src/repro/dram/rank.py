@@ -1,0 +1,93 @@
+"""Rank model: a lockstep set of chips viewed as a set of banks plus the
+shared refresh counter.
+
+All chips of a rank act in unison (§2.2), so the rank model keeps one
+logical bank array whose rows are rank-wide (chips x 1 KiB). REF commands
+advance the shared refresh counter and lock every bank for tRFC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import DramDeviceConfig
+from repro.dram.refresh import RefreshScheduler, RefreshWindow
+from repro.dram.timing import DramTimings
+from repro.errors import DramProtocolError
+
+
+@dataclass
+class Rank:
+    """One DRAM rank: banks + refresh scheduler."""
+
+    device: DramDeviceConfig
+    timings: DramTimings
+    index: int = 0
+    random_slots_per_ref: int = 1
+    banks: List[Bank] = field(init=False)
+    scheduler: RefreshScheduler = field(init=False)
+    _in_refresh: bool = field(default=False, init=False)
+    _current_window: Optional[RefreshWindow] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.banks = [
+            Bank(device=self.device, timings=self.timings, index=i)
+            for i in range(self.device.banks_per_chip)
+        ]
+        self.scheduler = RefreshScheduler(
+            device=self.device,
+            timings=self.timings,
+            random_slots_per_ref=self.random_slots_per_ref,
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (
+            self.device.banks_per_chip
+            * self.device.rows_per_bank
+            * self.device.rank_row_bytes
+        )
+
+    @property
+    def in_refresh(self) -> bool:
+        return self._in_refresh
+
+    @property
+    def current_window(self) -> Optional[RefreshWindow]:
+        return self._current_window
+
+    def begin_refresh(self, now_ns: float) -> RefreshWindow:
+        """Issue the next REF: lock every bank for tRFC."""
+        if self._in_refresh:
+            raise DramProtocolError(f"rank {self.index}: REF while refreshing")
+        window = self.scheduler.tick()
+        for bank in self.banks:
+            bank.begin_refresh(window.rows, now_ns)
+        self._in_refresh = True
+        self._current_window = window
+        return window
+
+    def end_refresh(self, now_ns: float) -> None:
+        """Close the refresh window; all banks precharged."""
+        if not self._in_refresh:
+            raise DramProtocolError(f"rank {self.index}: end_refresh while open")
+        for bank in self.banks:
+            bank.end_refresh(now_ns)
+        self._in_refresh = False
+        self._current_window = None
+
+    def host_accessible(self) -> bool:
+        """The CPU can only access the rank outside refresh windows."""
+        return not self._in_refresh
+
+    def nma_access_allowed(self, bank: int, row: int, conditional: bool) -> bool:
+        """Check an NMA access against the current window's rules."""
+        if not self._in_refresh:
+            return False
+        return self.banks[bank].nma_access_allowed(row, conditional)
+
+    def open_banks(self) -> List[int]:
+        """Banks with a row currently open (host side)."""
+        return [b.index for b in self.banks if b.state is BankState.ACTIVE]

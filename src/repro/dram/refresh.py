@@ -1,0 +1,157 @@
+"""All-bank auto-refresh scheduling (§2.2) and the XFM access windows (§5).
+
+The memory controller spreads 8192 REF commands across the retention
+interval; each REF locks the whole rank for tRFC and refreshes
+``rows_refreshed_per_trfc`` rows *in every bank* (one row per subarray in
+parallel, Table 1). :class:`RefreshScheduler` exposes the mapping both ways
+— which rows a given REF refreshes, and which REF will next refresh a given
+row — which is exactly what XFM's conditional-access scheduling needs.
+
+Target Row Refresh (TRR) slots ride on each REF; when unused by Rowhammer
+mitigation they are available to XFM for *random* accesses (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dram.device import DramDeviceConfig
+from repro.dram.timing import REF_COMMANDS_PER_RETENTION, DramTimings
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RefreshWindow:
+    """One REF command's window: rank locked, a row set being refreshed."""
+
+    ref_index: int
+    start_ns: float
+    #: Rows (same indices in every bank) refreshed during this window.
+    rows: range
+
+    @property
+    def row_set(self) -> frozenset:
+        return frozenset(self.rows)
+
+
+@dataclass
+class RefreshScheduler:
+    """Per-rank refresh bookkeeping shared by the CPU and NMA sides."""
+
+    device: DramDeviceConfig
+    timings: DramTimings
+    #: Unused-TRR slots per REF usable for XFM random accesses.
+    random_slots_per_ref: int = 1
+    _ref_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.random_slots_per_ref < 0:
+            raise ConfigError("random_slots_per_ref must be >= 0")
+
+    @property
+    def rows_per_ref(self) -> int:
+        return self.device.rows_refreshed_per_trfc
+
+    @property
+    def refs_per_retention(self) -> int:
+        return REF_COMMANDS_PER_RETENTION
+
+    @property
+    def trefi_ns(self) -> float:
+        return self.timings.trefi_ns
+
+    @property
+    def trfc_ns(self) -> float:
+        return self.timings.trfc_ns
+
+    # -- REF index <-> rows ------------------------------------------------
+
+    def rows_refreshed(self, ref_index: int) -> range:
+        """Rows (in each bank) refreshed by the ``ref_index``-th REF."""
+        slot = ref_index % self.refs_per_retention
+        start = slot * self.rows_per_ref
+        return range(start, start + self.rows_per_ref)
+
+    def window(self, ref_index: int) -> RefreshWindow:
+        """Full description of one refresh window."""
+        return RefreshWindow(
+            ref_index=ref_index,
+            start_ns=ref_index * self.trefi_ns,
+            rows=self.rows_refreshed(ref_index),
+        )
+
+    def ref_slot_for_row(self, row: int) -> int:
+        """Which REF slot (0..8191 within a retention cycle) refreshes
+        ``row``."""
+        if not 0 <= row < self.device.rows_per_bank:
+            raise ConfigError(f"row {row} out of range")
+        return row // self.rows_per_ref
+
+    def next_ref_for_row(self, row: int, current_ref: int) -> int:
+        """First REF index >= ``current_ref`` whose window covers ``row``."""
+        slot = self.ref_slot_for_row(row)
+        cycle, cur_slot = divmod(current_ref, self.refs_per_retention)
+        if slot < cur_slot:
+            cycle += 1
+        return cycle * self.refs_per_retention + slot
+
+    def wait_refs_for_row(self, row: int, current_ref: int) -> int:
+        """REF commands until ``row``'s conditional window (0 = this one)."""
+        return self.next_ref_for_row(row, current_ref) - current_ref
+
+    def is_conditional(self, row: int, ref_index: int) -> bool:
+        """True if accessing ``row`` during REF ``ref_index`` is conditional
+        (the row is in the set being refreshed, §5)."""
+        return row in self.rows_refreshed(ref_index)
+
+    # -- subarray-conflict rule (§5, Fig. 7) --------------------------------
+
+    def random_access_allowed(self, row: int, ref_index: int) -> bool:
+        """A random access must not target a subarray that is busy
+        refreshing one of this window's rows.
+
+        With one refreshed row per subarray (Table 1: rows/REF is far below
+        subarrays/bank), the conflict set is the subarrays of the refreshed
+        rows; XFM reorders pending accesses around conflicts.
+        """
+        busy = {
+            self.device.subarray_of_row(r)
+            for r in self.rows_refreshed(ref_index)
+        }
+        return self.device.subarray_of_row(row) not in busy
+
+    # -- stateful iteration --------------------------------------------------
+
+    @property
+    def refs_issued(self) -> int:
+        return self._ref_count
+
+    def tick(self) -> RefreshWindow:
+        """Advance to the next REF command and return its window."""
+        window = self.window(self._ref_count)
+        self._ref_count += 1
+        return window
+
+    def reset(self) -> None:
+        self._ref_count = 0
+
+    # -- aggregate refresh math ----------------------------------------------
+
+    def locked_fraction(self) -> float:
+        """Fraction of wall-clock time the rank is locked (~8% at 32 ms)."""
+        return self.trfc_ns / self.trefi_ns
+
+    def lock_time_per_retention_ms(self) -> float:
+        """Total locked time per retention interval, in ms (~2.46 ms)."""
+        return self.refs_per_retention * self.trfc_ns / 1e6
+
+    def windows_between(self, start_ns: float, end_ns: float) -> List[RefreshWindow]:
+        """All refresh windows starting in ``[start_ns, end_ns)``."""
+        first = max(0, int(-(-start_ns // self.trefi_ns)))
+        out: List[RefreshWindow] = []
+        index = first
+        while index * self.trefi_ns < end_ns:
+            out.append(self.window(index))
+            index += 1
+        return out

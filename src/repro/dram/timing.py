@@ -1,0 +1,148 @@
+"""DRAM timing parameter sets.
+
+All times are in nanoseconds. The DDR5 presets follow the Micron DDR5
+datasheet values the paper cites (Table 1: tRFC of 195/295/410 ns for
+8/16/32 Gb devices) and the paper's own working numbers: 32 ms retention,
+8192 REF commands per retention interval (tREFI ~= 3.9 us), tBURST 2.5 ns
+at 3200 MT/s with BL16 on an 8-bit-wide chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+REF_COMMANDS_PER_RETENTION = 8192
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Timing parameters of one DRAM device generation/speed bin."""
+
+    name: str
+    transfer_rate_mts: float
+    #: Row activate-to-column command delay.
+    trcd_ns: float
+    #: Column access (CAS) latency.
+    tcl_ns: float
+    #: Precharge time.
+    trp_ns: float
+    #: All-bank refresh cycle time.
+    trfc_ns: float
+    #: Retention time: every row must be refreshed once per this interval.
+    retention_ms: float
+    #: Burst length in transfers (BL16 for DDR5, BL8 for DDR4).
+    burst_length: int
+    #: Per-chip data width in bits.
+    device_width_bits: int
+    #: Time to stream one burst. Held as an explicit field because the
+    #: paper's working value (2.5 ns for BL16, §7 and Fig. 6b's
+    #: 110 ns = tRCD + tCL + 32 x tBURST) is what Table 1's conditional
+    #: access counts derive from.
+    tburst_ns: float = 2.5
+    #: Stagger between refresh starts in consecutive banks (power delivery).
+    tstag_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.transfer_rate_mts <= 0:
+            raise ConfigError("transfer rate must be positive")
+        for field in ("trcd_ns", "tcl_ns", "trp_ns", "trfc_ns"):
+            if getattr(self, field) <= 0:
+                raise ConfigError(f"{field} must be positive")
+        if self.trefi_ns <= self.trfc_ns:
+            raise ConfigError(
+                f"{self.name}: tREFI ({self.trefi_ns:.0f} ns) must exceed "
+                f"tRFC ({self.trfc_ns:.0f} ns)"
+            )
+
+    @property
+    def tck_ns(self) -> float:
+        """Clock period; two transfers per clock (DDR)."""
+        return 2000.0 / self.transfer_rate_mts
+
+    @property
+    def trc_ns(self) -> float:
+        """Row cycle time: activate + restore + precharge."""
+        return self.trcd_ns + self.tcl_ns + self.trp_ns
+
+    @property
+    def trefi_ns(self) -> float:
+        """Average refresh command interval."""
+        return self.retention_ms * 1_000_000.0 / REF_COMMANDS_PER_RETENTION
+
+    @property
+    def refresh_lock_fraction(self) -> float:
+        """Fraction of time a rank is locked by all-bank refresh (~8%)."""
+        return self.trfc_ns / self.trefi_ns
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved per burst per chip."""
+        return self.burst_length * self.device_width_bits // 8
+
+    def channel_bandwidth_bps(self, channel_width_bits: int = 64) -> float:
+        """Peak channel bandwidth in bytes/second."""
+        return self.transfer_rate_mts * 1e6 * channel_width_bits / 8
+
+    def with_retention_ms(self, retention_ms: float) -> "DramTimings":
+        """Copy with a different retention time (temperature scaling)."""
+        return replace(self, retention_ms=retention_ms)
+
+
+DDR4_2400 = DramTimings(
+    name="DDR4-2400",
+    transfer_rate_mts=2400.0,
+    trcd_ns=14.16,
+    tcl_ns=14.16,
+    trp_ns=14.16,
+    trfc_ns=350.0,
+    retention_ms=64.0,
+    burst_length=8,
+    device_width_bits=8,
+    tburst_ns=3.33,
+)
+
+DDR4_3200 = DramTimings(
+    name="DDR4-3200",
+    transfer_rate_mts=3200.0,
+    trcd_ns=13.75,
+    tcl_ns=13.75,
+    trp_ns=13.75,
+    trfc_ns=350.0,
+    retention_ms=64.0,
+    burst_length=8,
+    device_width_bits=8,
+    tburst_ns=2.5,
+)
+
+# The paper's working configuration (§7): 32 ms retention, tRFC 410 ns,
+# tBURST 2.5 ns. tRCD + tCL = 30 ns reproduces the 110 ns conditional read
+# of Fig. 6b (tRCD + tCL + 32 x tBURST).
+DDR5_3200 = DramTimings(
+    name="DDR5-3200",
+    transfer_rate_mts=3200.0,
+    trcd_ns=15.0,
+    tcl_ns=15.0,
+    trp_ns=15.0,
+    trfc_ns=410.0,
+    retention_ms=32.0,
+    burst_length=16,
+    device_width_bits=8,
+)
+
+DDR5_4800 = DramTimings(
+    name="DDR5-4800",
+    transfer_rate_mts=4800.0,
+    trcd_ns=14.0,
+    tcl_ns=14.0,
+    trp_ns=14.0,
+    trfc_ns=410.0,
+    retention_ms=32.0,
+    burst_length=16,
+    device_width_bits=8,
+)
+
+TIMING_PRESETS = {
+    t.name: t for t in (DDR4_2400, DDR4_3200, DDR5_3200, DDR5_4800)
+}

@@ -1,0 +1,183 @@
+"""DRAM command-trace validation.
+
+A :class:`TraceValidator` replays a time-ordered stream of
+:class:`~repro.dram.commands.TimedCommand` against per-bank state
+machines and the refresh schedule, raising
+:class:`~repro.errors.DramProtocolError` on any violation: column access
+without a matching ACT, ACT inside tRP, host commands inside a refresh
+window, NMA accesses outside one, or NMA accesses breaking the
+conditional/subarray rules. The channel controller can emit its command
+stream (``command_log=`` in :meth:`ChannelController.run`), so the
+controller's closed-form service math is cross-checked against the FSMs
+— the same validation discipline gem5 applies to its DRAM models.
+
+Conventions (documented simplifications):
+
+* REF acts as precharge-all: open rows are implicitly closed at the
+  window start (real controllers issue PREA first);
+* a refresh window ends implicitly at ``REF.time + tRFC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import CommandKind, TimedCommand
+from repro.dram.device import DramDeviceConfig
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import DramTimings
+from repro.errors import DramProtocolError
+
+
+@dataclass
+class TraceStats:
+    """Outcome of a validated trace."""
+
+    commands: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    refresh_windows: int = 0
+    host_reads: int = 0
+    host_writes: int = 0
+    nma_accesses: int = 0
+
+    def count(self, kind: CommandKind) -> int:
+        return self.by_kind.get(kind.name, 0)
+
+
+class TraceValidator:
+    """Replay/validate a command stream for one channel."""
+
+    def __init__(
+        self,
+        device: DramDeviceConfig,
+        timings: DramTimings,
+        num_ranks: int = 2,
+    ) -> None:
+        self.device = device
+        self.timings = timings
+        self.num_ranks = num_ranks
+        self._banks: Dict[Tuple[int, int], Bank] = {
+            (rank, bank): Bank(device=device, timings=timings, index=bank)
+            for rank in range(num_ranks)
+            for bank in range(device.banks_per_chip)
+        }
+        self._refresh: Dict[int, RefreshScheduler] = {
+            rank: RefreshScheduler(device, timings)
+            for rank in range(num_ranks)
+        }
+        #: rank -> (window_start, rows) while a refresh window is open.
+        self._open_window: Dict[int, Tuple[float, range]] = {}
+
+    def _rank_banks(self, rank: int) -> List[Bank]:
+        return [
+            self._banks[(rank, bank)]
+            for bank in range(self.device.banks_per_chip)
+        ]
+
+    def _close_expired_windows(self, now_ns: float) -> None:
+        for rank, (start, _rows) in list(self._open_window.items()):
+            if now_ns >= start + self.timings.trfc_ns:
+                for bank in self._rank_banks(rank):
+                    bank.end_refresh(start + self.timings.trfc_ns)
+                del self._open_window[rank]
+
+    def _in_window(self, rank: int, now_ns: float) -> bool:
+        window = self._open_window.get(rank)
+        return window is not None and now_ns < window[0] + self.timings.trfc_ns
+
+    def validate(self, commands: Iterable[TimedCommand]) -> TraceStats:
+        """Replay ``commands`` (sorted by time) and return statistics."""
+        stats = TraceStats()
+        last_time = float("-inf")
+        for command in commands:
+            if command.time_ns < last_time:
+                raise DramProtocolError(
+                    f"trace not time-ordered at {command.time_ns} ns"
+                )
+            last_time = command.time_ns
+            self._close_expired_windows(command.time_ns)
+            self._dispatch(command)
+            stats.commands += 1
+            stats.by_kind[command.kind.name] = (
+                stats.by_kind.get(command.kind.name, 0) + 1
+            )
+            if command.kind is CommandKind.REF:
+                stats.refresh_windows += 1
+            elif command.kind is CommandKind.RD:
+                stats.host_reads += 1
+            elif command.kind is CommandKind.WR:
+                stats.host_writes += 1
+            elif command.kind.is_nma:
+                stats.nma_accesses += 1
+        self._close_expired_windows(float("inf"))
+        return stats
+
+    def _dispatch(self, command: TimedCommand) -> None:
+        rank = command.rank
+        if rank not in self._refresh:
+            raise DramProtocolError(f"command for unknown rank {rank}")
+        bank = self._banks.get((rank, command.bank))
+        if bank is None:
+            raise DramProtocolError(
+                f"command for unknown bank {command.bank}"
+            )
+        kind = command.kind
+        now = command.time_ns
+
+        if kind is CommandKind.REF:
+            if self._in_window(rank, now):
+                raise DramProtocolError(
+                    f"REF at {now} ns while rank {rank} is refreshing"
+                )
+            window = self._refresh[rank].tick()
+            for rank_bank in self._rank_banks(rank):
+                if rank_bank.state is BankState.ACTIVE:
+                    # PREA semantics: close open rows at the window start.
+                    rank_bank.precharge(now)
+                rank_bank.begin_refresh(window.rows, now)
+            self._open_window[rank] = (now, window.rows)
+            return
+
+        if kind.is_nma:
+            if not self._in_window(rank, now):
+                raise DramProtocolError(
+                    f"NMA access at {now} ns outside a refresh window"
+                )
+            _start, rows = self._open_window[rank]
+            conditional = command.row in rows
+            if not bank.nma_access_allowed(command.row, conditional):
+                raise DramProtocolError(
+                    f"illegal NMA access to row {command.row} at {now} ns"
+                )
+            return
+
+        # Host commands are barred during the rank's refresh window.
+        if self._in_window(rank, now):
+            raise DramProtocolError(
+                f"host {kind.name} at {now} ns inside a refresh window"
+            )
+        if kind is CommandKind.ACT:
+            bank.activate(command.row, now)
+        elif kind is CommandKind.PRE:
+            bank.precharge(now)
+        elif kind in (CommandKind.RD, CommandKind.WR):
+            bank.column_access(command.row, now)
+        else:
+            raise DramProtocolError(f"unhandled command kind {kind}")
+
+
+def refresh_command_stream(
+    until_ns: float, num_ranks: int, timings: DramTimings
+) -> List[TimedCommand]:
+    """The periodic REF stream a controller issues in ``[0, until_ns)``."""
+    commands = []
+    time_ns = 0.0
+    while time_ns < until_ns:
+        for rank in range(num_ranks):
+            commands.append(
+                TimedCommand(time_ns=time_ns, kind=CommandKind.REF, rank=rank)
+            )
+        time_ns += timings.trefi_ns
+    return commands

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the XFM reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while still
+letting programming errors (``TypeError``, ``ValueError`` from misuse of the
+stdlib, ...) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to encode or decode a buffer."""
+
+
+class CorruptStreamError(CompressionError):
+    """A compressed stream failed validation during decode."""
+
+
+class DramProtocolError(ReproError):
+    """A DRAM command violated the device's timing or state rules."""
+
+
+class AddressMapError(ReproError):
+    """A physical address cannot be mapped onto the DRAM topology."""
+
+
+class SfmError(ReproError):
+    """An SFM control-plane or backend operation failed."""
+
+
+class ZpoolFullError(SfmError):
+    """The compressed pool has no room for a new entry, even after compaction."""
+
+
+class EntryNotFoundError(SfmError):
+    """Lookup of a swapped-out page in the far-memory index failed."""
+
+
+class XfmError(ReproError):
+    """An XFM device, driver, or backend operation failed."""
+
+
+class SpmFullError(XfmError):
+    """The scratchpad memory cannot admit another page."""
+
+
+class QueueFullError(XfmError):
+    """The Compress_Request_Queue is at capacity."""
+
+
+class MmioError(XfmError):
+    """An MMIO access targeted an unknown or read-only register."""
+
+
+class ConfigError(ReproError):
+    """A model was constructed with inconsistent or out-of-range parameters."""

@@ -1,0 +1,20 @@
+"""Hardware overhead models (system S12, Tables 2–3 and the CACTI study).
+
+The paper's FPGA prototype numbers (Vivado synthesis on the AxDIMM's
+UltraScale+ part) and its CACTI study of the DRAM bank modifications are
+reproduced here as component-inventory models: the roll-ups regenerate the
+published tables, and the per-component breakdowns make the ablations
+(e.g. SPM size vs BRAM) computable.
+"""
+
+from repro.hwmodel.cacti import BankModModel
+from repro.hwmodel.energy import SwapEnergyModel
+from repro.hwmodel.fpga import FpgaComponent, FpgaDesign, xfm_fpga_design
+
+__all__ = [
+    "BankModModel",
+    "FpgaComponent",
+    "FpgaDesign",
+    "SwapEnergyModel",
+    "xfm_fpga_design",
+]

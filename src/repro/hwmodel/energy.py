@@ -1,0 +1,75 @@
+"""End-to-end swap-operation energy: CPU path vs XFM path (experiment X2).
+
+Combines the DRAM access-energy model with engine energy to price one
+page's journey through the SFM: the CPU path moves the cold page and the
+blob across the DDR channel and burns CPU cycles; the XFM path stays on
+the DIMM (1.17 pJ/b links, §4.1) and rides refresh activations for its
+conditional accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.energy import AccessEnergyModel
+from repro.sfm.page import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class SwapEnergyModel:
+    """Per-swap-operation energy accounting."""
+
+    access: AccessEnergyModel = field(default_factory=AccessEnergyModel)
+    #: CPU core energy per byte compressed (Xeon-class, §3.1 constants).
+    cpu_j_per_byte: float = 42.3e-9
+    #: NMA engine energy per byte (prototype power / engine rate).
+    nma_j_per_byte: float = 0.47e-9
+    compression_ratio: float = 3.0
+
+    @property
+    def blob_bytes(self) -> int:
+        return int(PAGE_SIZE / self.compression_ratio)
+
+    def cpu_swap_out_j(self) -> float:
+        """CPU compress: read page over channel, write blob back, + cycles."""
+        return (
+            self.access.cpu_page_access_j(PAGE_SIZE)
+            + self.access.cpu_page_access_j(self.blob_bytes)
+            + self.cpu_j_per_byte * PAGE_SIZE
+        )
+
+    def xfm_swap_out_j(self, conditional: bool = True) -> float:
+        """XFM compress: on-DIMM read + writeback, + engine energy."""
+        return (
+            self.access.nma_page_access_j(PAGE_SIZE, conditional=conditional)
+            + self.access.nma_page_access_j(
+                self.blob_bytes, conditional=True
+            )
+            + self.nma_j_per_byte * PAGE_SIZE
+        )
+
+    def cpu_swap_in_j(self) -> float:
+        return (
+            self.access.cpu_page_access_j(self.blob_bytes)
+            + self.access.cpu_page_access_j(PAGE_SIZE)
+            + self.cpu_j_per_byte * PAGE_SIZE
+        )
+
+    def xfm_swap_in_j(self, conditional: bool = True) -> float:
+        return (
+            self.access.nma_page_access_j(
+                self.blob_bytes, conditional=conditional
+            )
+            + self.access.nma_page_access_j(PAGE_SIZE, conditional=True)
+            + self.nma_j_per_byte * PAGE_SIZE
+        )
+
+    def movement_saving(self) -> float:
+        """Data-movement energy saved by staying on-DIMM (~69%, §4.3)."""
+        return self.access.data_movement_saving()
+
+    def total_saving(self) -> float:
+        """Whole-operation energy saving of XFM vs the CPU path."""
+        cpu = self.cpu_swap_out_j() + self.cpu_swap_in_j()
+        xfm = self.xfm_swap_out_j() + self.xfm_swap_in_j()
+        return 1.0 - xfm / cpu

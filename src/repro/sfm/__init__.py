@@ -1,0 +1,36 @@
+"""Software-defined far memory stack (system S6).
+
+A functional zswap-like SFM: a cold-page control plane
+(:mod:`~repro.sfm.controller`), a zsmalloc-style compressed pool with
+compaction (:mod:`~repro.sfm.zpool`), a red-black tree index of swapped
+entries (:mod:`~repro.sfm.rbtree`), and a baseline CPU backend implementing
+``swap_out``/``swap_in`` (:mod:`~repro.sfm.backend`). The XFM backend in
+:mod:`repro.core.backend` wraps the same pool but offloads (de)compression
+to the near-memory accelerator.
+"""
+
+from repro.sfm.backend import SfmBackend, SwapOutcome
+from repro.sfm.controller import ColdScanController, PressureController
+from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.sfm.page import PAGE_SIZE, Page
+from repro.sfm.policy import OffloadPolicy, io_amplification_ratio
+from repro.sfm.rbtree import RedBlackTree
+from repro.sfm.zpool import Zpool, ZpoolEntry
+from repro.sfm.zswap import ZswapFrontend
+
+__all__ = [
+    "BandwidthLedger",
+    "ColdScanController",
+    "OffloadPolicy",
+    "PAGE_SIZE",
+    "Page",
+    "PressureController",
+    "RedBlackTree",
+    "SfmBackend",
+    "SwapOutcome",
+    "SwapStats",
+    "Zpool",
+    "ZpoolEntry",
+    "ZswapFrontend",
+    "io_amplification_ratio",
+]

@@ -1,0 +1,181 @@
+"""Baseline CPU SFM backend: the zswap-like ``swapOut``/``swapIn`` path.
+
+Implements the control flow of §6's baseline: ``swap_out`` checks pool
+capacity (compacting if needed), compresses the cold page on the CPU, and
+stores it in the zpool with an rbtree index entry; ``swap_in`` looks up the
+entry, decompresses, and returns the page. Every step charges CPU cycles
+(via the codec's :class:`~repro.compression.base.CodecSpec`) and DDR
+channel traffic (cold page read + compressed write, and the reverse on
+swap-in) — overheads O2/O3 of §3.2 that XFM later removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compression.base import Codec
+from repro.compression.zstd_like import ZstdLikeCodec
+from repro.errors import SfmError, ZpoolFullError
+from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.sfm.page import PAGE_SIZE, Page
+from repro.sfm.rbtree import RedBlackTree
+from repro.sfm.zpool import Zpool
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """Result of one swap-out attempt."""
+
+    accepted: bool
+    reason: str = "ok"
+    compressed_len: int = 0
+    cpu_cycles: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        if not self.compressed_len:
+            return 0.0
+        return PAGE_SIZE / self.compressed_len
+
+
+class SfmBackend:
+    """CPU-compression far-memory backend over a bounded zpool."""
+
+    #: Pages compressing worse than this fraction of PAGE_SIZE are
+    #: rejected: storing them would waste pool space (zswap rejects
+    #: same-size-or-bigger results; production stacks use a threshold).
+    max_stored_fraction = 0.9
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        codec: Optional[Codec] = None,
+        cpu_freq_hz: float = 2.6e9,
+    ) -> None:
+        self.codec = codec if codec is not None else ZstdLikeCodec()
+        self.cpu_freq_hz = cpu_freq_hz
+        self.zpool = Zpool(capacity_bytes)
+        self.index = RedBlackTree()
+        self.stats = SwapStats()
+        self.ledger = BandwidthLedger()
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.zpool.capacity_bytes
+
+    def stored_pages(self) -> int:
+        return len(self.index)
+
+    def effective_bytes_freed(self) -> int:
+        """Resident bytes released minus pool footprint consumed — the
+        memory SFM actually wins back."""
+        resident_released = self.stored_pages() * PAGE_SIZE
+        footprint = self.zpool.used_slabs() * self.zpool.slab_size
+        return resident_released - footprint
+
+    def contains(self, vaddr: int) -> bool:
+        return vaddr in self.index
+
+    # -- swap-out path (compression) -------------------------------------------
+
+    def swap_out(self, page: Page) -> SwapOutcome:
+        """Compress ``page`` into far memory.
+
+        Returns a rejected :class:`SwapOutcome` (rather than raising) when
+        the page is incompressible or the pool is full — both are normal
+        control-plane signals, not errors.
+        """
+        if page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} already swapped")
+        if page.data is None:
+            raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
+
+        blob = self._compress(page.data)
+        cycles = self.codec.spec.compress_cycles_per_byte * PAGE_SIZE
+        self.stats.cpu_compress_cycles += cycles
+        # O3: the cold page is read from DRAM, the blob written back.
+        self.ledger.record("sfm_cpu", "read", PAGE_SIZE)
+
+        if len(blob) > int(PAGE_SIZE * self.max_stored_fraction):
+            self.stats.rejected += 1
+            return SwapOutcome(
+                accepted=False, reason="incompressible", cpu_cycles=cycles
+            )
+        try:
+            handle = self.zpool.store(blob)
+        except ZpoolFullError:
+            self.stats.rejected += 1
+            return SwapOutcome(
+                accepted=False, reason="pool-full", cpu_cycles=cycles
+            )
+        self.ledger.record("sfm_cpu", "write", len(blob))
+        self.index.insert(page.vaddr, handle)
+        page.swapped = True
+        page.data = None
+        self.stats.swap_outs += 1
+        self.stats.bytes_out_uncompressed += PAGE_SIZE
+        self.stats.bytes_out_compressed += len(blob)
+        return SwapOutcome(
+            accepted=True, compressed_len=len(blob), cpu_cycles=cycles
+        )
+
+    def _compress(self, data: bytes) -> bytes:
+        return self.codec.compress(data)
+
+    # -- swap-in path (decompression) ---------------------------------------------
+
+    def swap_in(self, page: Page) -> bytes:
+        """Decompress ``page`` back into local memory and return its data."""
+        if not page.swapped:
+            raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
+        handle = self.index.lookup(page.vaddr)
+        blob = self.zpool.load(handle)
+        self.ledger.record("sfm_cpu", "read", len(blob))
+        data = self._decompress(blob)
+        if len(data) != PAGE_SIZE:
+            raise SfmError(
+                f"decompressed page is {len(data)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+        cycles = self.codec.spec.decompress_cycles_per_byte * PAGE_SIZE
+        self.stats.cpu_decompress_cycles += cycles
+        self.ledger.record("sfm_cpu", "write", PAGE_SIZE)
+        self.zpool.free(handle)
+        self.index.delete(page.vaddr)
+        page.swapped = False
+        page.data = data
+        self.stats.swap_ins += 1
+        self.stats.bytes_in_uncompressed += PAGE_SIZE
+        self.stats.bytes_in_compressed += len(blob)
+        return data
+
+    def _decompress(self, blob: bytes) -> bytes:
+        return self.codec.decompress(blob)
+
+    def peek(self, vaddr: int) -> bytes:
+        """Decompress a far page without promoting it (diagnostics)."""
+        handle = self.index.lookup(vaddr)
+        return self._decompress(self.zpool.load(handle))
+
+    # -- maintenance ------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Manually-initiated compaction (``xfm_compact`` analogue, §6)."""
+        moved = self.zpool.compact()
+        # Compaction memcpys cross the channel twice (read + write).
+        self.ledger.record("sfm_cpu", "read", moved)
+        self.ledger.record("sfm_cpu", "write", moved)
+        return moved
+
+    def swap_latency_s(self, direction: str) -> float:
+        """Single-page CPU (de)compression latency at this backend's clock."""
+        if direction == "out":
+            cycles = self.codec.spec.compress_cycles_per_byte * PAGE_SIZE
+        elif direction == "in":
+            cycles = self.codec.spec.decompress_cycles_per_byte * PAGE_SIZE
+        else:
+            raise ValueError(f"direction must be in/out, got {direction}")
+        return cycles / self.cpu_freq_hz

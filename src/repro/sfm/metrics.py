@@ -1,0 +1,116 @@
+"""Counters shared by the SFM backends and the XFM emulator.
+
+Two ledgers matter for the paper's experiments: swap statistics (how much
+was compressed/decompressed, at what CPU cost) and memory-channel traffic
+split by actor — the CPU-side SFM traffic that Fig. 1/Fig. 11 charge
+against co-runners versus the NMA-side traffic XFM hides inside refresh
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro._units import SECONDS_PER_MINUTE
+
+
+@dataclass
+class SwapStats:
+    """Aggregate swap-path statistics."""
+
+    swap_outs: int = 0
+    swap_ins: int = 0
+    rejected: int = 0
+    bytes_out_uncompressed: int = 0
+    bytes_out_compressed: int = 0
+    bytes_in_uncompressed: int = 0
+    bytes_in_compressed: int = 0
+    cpu_compress_cycles: float = 0.0
+    cpu_decompress_cycles: float = 0.0
+    cpu_fallback_compressions: int = 0
+    cpu_fallback_decompressions: int = 0
+    offloaded_compressions: int = 0
+    offloaded_decompressions: int = 0
+
+    @property
+    def mean_compression_ratio(self) -> float:
+        if not self.bytes_out_compressed:
+            return 0.0
+        return self.bytes_out_uncompressed / self.bytes_out_compressed
+
+    @property
+    def total_cpu_cycles(self) -> float:
+        return self.cpu_compress_cycles + self.cpu_decompress_cycles
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of (de)compressions the CPU had to perform (Fig. 12)."""
+        fallbacks = (
+            self.cpu_fallback_compressions + self.cpu_fallback_decompressions
+        )
+        offloads = (
+            self.offloaded_compressions + self.offloaded_decompressions
+        )
+        total = fallbacks + offloads
+        return fallbacks / total if total else 0.0
+
+
+@dataclass
+class BandwidthLedger:
+    """Memory-channel traffic accounting, bytes by (actor, direction).
+
+    Actors: ``app`` (co-running applications), ``sfm_cpu`` (CPU-side swap
+    traffic over the DDR channel), ``nma`` (on-DIMM accelerator traffic,
+    invisible to the channel).
+    """
+
+    window_s: float = SECONDS_PER_MINUTE
+    _bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, actor: str, direction: str, num_bytes: int) -> None:
+        """Add ``num_bytes`` of traffic for (actor, direction)."""
+        if direction not in ("read", "write"):
+            raise ValueError(f"direction must be read/write, got {direction}")
+        key = f"{actor}:{direction}"
+        self._bytes[key] = self._bytes.get(key, 0) + num_bytes
+
+    def total(self, actor: str) -> int:
+        """Total bytes (read + write) for ``actor``."""
+        return sum(
+            count
+            for key, count in self._bytes.items()
+            if key.startswith(f"{actor}:")
+        )
+
+    def channel_bytes(self) -> int:
+        """Bytes that crossed the DDR channel (everything but the NMA)."""
+        return sum(
+            count
+            for key, count in self._bytes.items()
+            if not key.startswith("nma:")
+        )
+
+    def bandwidth_bps(self, actor: str, elapsed_s: float) -> float:
+        """Average bandwidth of ``actor`` over ``elapsed_s`` seconds."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.total(actor) / elapsed_s
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._bytes)
+
+    def reset(self) -> None:
+        self._bytes.clear()
+
+
+def promotion_rate(bytes_accessed_per_min: float, far_bytes: float) -> float:
+    """Promotion rate (§2.1): fraction of far memory accessed per minute."""
+    if far_bytes <= 0:
+        return 0.0
+    return bytes_accessed_per_min / far_bytes
+
+
+def gb_swapped_per_min(extra_gb: float, promo_rate: float) -> float:
+    """EQ1: GBSwappedPerMin = ExtraGB x PromotionRate."""
+    return extra_gb * promo_rate

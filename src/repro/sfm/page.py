@@ -1,0 +1,53 @@
+"""OS page representation used throughout the SFM stack.
+
+SFM swap ins and outs happen at OS-page granularity (§1: this is one of the
+properties that makes SFM a good near-memory offload target). A
+:class:`Page` carries its virtual address, its current resident data, and
+the access metadata the cold-page controllers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class Page:
+    """One 4 KiB application page with access-tracking metadata."""
+
+    vaddr: int
+    data: Optional[bytes] = None
+    #: Simulation time of the most recent access, seconds.
+    last_access_s: float = 0.0
+    #: Total accesses observed (controller statistics).
+    access_count: int = 0
+    #: True while the page lives in far memory (compressed).
+    swapped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vaddr % PAGE_SIZE:
+            raise ConfigError(
+                f"vaddr 0x{self.vaddr:x} is not page-aligned"
+            )
+        if self.data is not None and len(self.data) != PAGE_SIZE:
+            raise ConfigError(
+                f"page data must be {PAGE_SIZE} bytes, got {len(self.data)}"
+            )
+
+    def touch(self, now_s: float) -> None:
+        """Record an access at time ``now_s``."""
+        self.last_access_s = now_s
+        self.access_count += 1
+
+    def idle_s(self, now_s: float) -> float:
+        """Seconds since the last access."""
+        return now_s - self.last_access_s
+
+    def is_cold(self, now_s: float, threshold_s: float) -> bool:
+        """Google's criterion (§3.1): no access for ``threshold_s``."""
+        return self.idle_s(now_s) >= threshold_s

@@ -1,0 +1,117 @@
+"""Offload policy: when should decompression go to the NMA? (§3.2)
+
+The paper gives the SFM controller two disqualifiers for near-memory
+decompression: (1) the NMA's decompression latency exceeds the CPU's, and
+(2) the I/O amplification ratio is too low — the decompressed page would
+have been consumed straight out of the cache hierarchy, so moving the
+work to memory saves no channel traffic.
+
+The I/O amplification ratio is defined as compressed bytes crossing the
+channel over decompressed bytes the application actually uses. It rises
+with LLC contention and with the *use distance* of the decompressed bytes
+(a page decompressed long before use gets written back to DRAM and
+re-read). :func:`io_amplification_ratio` models that dependence;
+:class:`OffloadPolicy` packages the §3.2 decision for the controller, and
+is what justifies §6's choice of ``do_offload`` only for prefetches —
+prefetched pages have long use distances by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sfm.page import PAGE_SIZE
+
+
+def io_amplification_ratio(
+    compression_ratio: float,
+    writeback_probability: float,
+) -> float:
+    """Channel bytes with CPU-side decompression per byte of page.
+
+    CPU decompression reads the blob (PAGE/ratio bytes) and produces the
+    page in cache; with probability ``writeback_probability`` (rising
+    with LLC contention and use distance) the page is written back to
+    DRAM and read again at use time, adding 2 x PAGE_SIZE of traffic.
+    Normalized to PAGE_SIZE: ratio >= 1/compression_ratio.
+    """
+    if compression_ratio <= 0:
+        raise ConfigError("compression_ratio must be positive")
+    if not 0.0 <= writeback_probability <= 1.0:
+        raise ConfigError("writeback_probability must be in [0, 1]")
+    blob_fraction = 1.0 / compression_ratio
+    return blob_fraction + 2.0 * writeback_probability
+
+
+def writeback_probability(
+    use_distance_s: float,
+    llc_contention: float,
+    residency_halflife_s: float = 0.05,
+) -> float:
+    """Probability a freshly decompressed page leaves the LLC before use.
+
+    Exponential decay of cache residency with use distance, accelerated
+    by contention: ``1 - exp(-d * (1 + k*contention) / halflife)`` — the
+    §3.2 mechanism ("if there is contention on the LLC or the use-distance
+    ... is long, the I/O amplification ratio increases").
+    """
+    import math
+
+    if use_distance_s < 0:
+        raise ConfigError("use_distance must be non-negative")
+    if not 0.0 <= llc_contention <= 1.0:
+        raise ConfigError("llc_contention must be in [0, 1]")
+    rate = (1.0 + 4.0 * llc_contention) / residency_halflife_s
+    return 1.0 - math.exp(-use_distance_s * rate)
+
+
+@dataclass(frozen=True)
+class OffloadPolicy:
+    """The controller's per-promotion offload decision."""
+
+    #: NMA decompression latency for one page (engine + side-channel wait).
+    nma_decompress_latency_s: float = 30e-6
+    #: CPU decompression latency for one page.
+    cpu_decompress_latency_s: float = 8e-6
+    #: Offload pays off when CPU-side traffic would exceed this multiple
+    #: of the offloaded traffic (blob only).
+    min_amplification_gain: float = 1.5
+
+    def should_offload(
+        self,
+        compression_ratio: float,
+        use_distance_s: float,
+        llc_contention: float,
+        latency_critical: bool,
+    ) -> bool:
+        """§3.2's two conditions, plus the fault-path rule of §6.
+
+        A latency-critical promotion (demand fault) only offloads if the
+        NMA is actually faster; a prefetch offloads whenever the channel-
+        traffic saving is material.
+        """
+        if latency_critical:
+            return (
+                self.nma_decompress_latency_s
+                < self.cpu_decompress_latency_s
+            )
+        amplification = io_amplification_ratio(
+            compression_ratio,
+            writeback_probability(use_distance_s, llc_contention),
+        )
+        offloaded_traffic = 1.0 / compression_ratio  # blob via side channel
+        return amplification >= offloaded_traffic * self.min_amplification_gain
+
+    def traffic_saved_bytes(
+        self,
+        compression_ratio: float,
+        use_distance_s: float,
+        llc_contention: float,
+    ) -> float:
+        """Channel bytes saved per page by offloading its decompression."""
+        amplification = io_amplification_ratio(
+            compression_ratio,
+            writeback_probability(use_distance_s, llc_contention),
+        )
+        return max(0.0, amplification * PAGE_SIZE)

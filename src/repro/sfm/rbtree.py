@@ -1,0 +1,310 @@
+"""Red-black tree keyed by integer virtual address.
+
+The XFM backend "performs a lookup in an internal red-black tree to find
+the associated physical address of the compressed page entry" (§6); Linux's
+zswap likewise indexes its entries in an rbtree per swap device. This is a
+textbook CLRS implementation with insert, delete, exact lookup, floor
+lookup, and ordered iteration; its invariants (root black, no red-red
+edges, equal black heights) are enforced by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import EntryNotFoundError
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """Mutable ordered map from int keys to arbitrary values."""
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = 0
+        self._nil.value = None
+        self._nil.color = BLACK
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not self._nil
+
+    # -- rotations ----------------------------------------------------------
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace the value at ``key``."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _find(self, key: int) -> _Node:
+        node = self._root
+        while node is not self._nil and node.key != key:
+            node = node.left if key < node.key else node.right
+        return node
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def lookup(self, key: int) -> Any:
+        """Value at ``key``; raises :class:`EntryNotFoundError` if absent."""
+        node = self._find(key)
+        if node is self._nil:
+            raise EntryNotFoundError(f"key 0x{key:x} not in tree")
+        return node.value
+
+    def floor(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Largest (key, value) with key <= ``key``, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not self._nil:
+            if node.key == key:
+                return node.key, node.value
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def min_key(self) -> Optional[int]:
+        if self._root is self._nil:
+            return None
+        return self._minimum(self._root).key
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    # -- delete -------------------------------------------------------------------
+
+    def delete(self, key: int) -> Any:
+        """Remove ``key`` and return its value; raises if absent."""
+        z = self._find(key)
+        if z is self._nil:
+            raise EntryNotFoundError(f"key 0x{key:x} not in tree")
+        value = z.value
+        y = z
+        y_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        self._size -= 1
+        if y_color is BLACK:
+            self._delete_fixup(x)
+        return value
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # -- iteration / validation ------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order (sorted) iteration."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> List[int]:
+        return [k for k, _ in self.items()]
+
+    def check_invariants(self) -> int:
+        """Validate red-black properties; returns the black height.
+
+        Raises ``AssertionError`` on violation — used by the property tests.
+        """
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: _Node, low: float, high: float) -> int:
+            if node is self._nil:
+                return 1
+            assert low < node.key < high, "BST ordering violated"
+            if node.color is RED:
+                assert node.left.color is BLACK, "red node with red left child"
+                assert node.right.color is BLACK, "red node with red right child"
+            lh = walk(node.left, low, node.key)
+            rh = walk(node.right, node.key, high)
+            assert lh == rh, "unequal black heights"
+            return lh + (1 if node.color is BLACK else 0)
+
+        return walk(self._root, float("-inf"), float("inf"))

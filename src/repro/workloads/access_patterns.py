@@ -1,0 +1,144 @@
+"""Page-access pattern generators.
+
+SFM pays off for applications with *predictable access patterns over
+compressible data* (§1, §3.2). These generators produce the page-access
+streams the far-memory runtime and the controllers are exercised with:
+
+* :class:`HotColdPattern` — a hot set absorbing most accesses, the classic
+  warehouse-scale shape (Google: ~30% of memory cold at a 120 s age).
+* :class:`ZipfPattern` — skewed popularity without a hard hot/cold split.
+* :class:`ScanPattern` — periodic sequential sweeps (analytics), the
+  prefetch-friendly pattern XFM's ``do_offload`` swap-ins target.
+* :class:`MixedPattern` — weighted composition of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class AccessPattern:
+    """Base: a deterministic stream of page indices in ``[0, num_pages)``."""
+
+    num_pages: int
+
+    def next_accesses(self, count: int) -> List[int]:
+        """Produce the next ``count`` page accesses."""
+        raise NotImplementedError
+
+
+@dataclass
+class HotColdPattern(AccessPattern):
+    """A hot fraction of pages receives most accesses."""
+
+    num_pages: int
+    hot_fraction: float = 0.3
+    hot_access_probability: float = 0.95
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_access_probability <= 1.0:
+            raise ConfigError("hot_access_probability must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def hot_pages(self) -> int:
+        return max(1, int(self.num_pages * self.hot_fraction))
+
+    def next_accesses(self, count: int) -> List[int]:
+        rng = self._rng
+        hot = self.hot_pages
+        is_hot = rng.random(count) < self.hot_access_probability
+        hot_picks = rng.integers(0, hot, count)
+        cold_span = max(1, self.num_pages - hot)
+        cold_picks = hot + rng.integers(0, cold_span, count)
+        return [
+            int(hot_picks[i]) if is_hot[i] else int(cold_picks[i])
+            for i in range(count)
+        ]
+
+
+@dataclass
+class ZipfPattern(AccessPattern):
+    """Zipf-distributed page popularity."""
+
+    num_pages: int
+    exponent: float = 1.1
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _cdf: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigError("zipf exponent must be positive")
+        self._rng = np.random.default_rng(self.seed)
+        ranks = np.arange(1, self.num_pages + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def next_accesses(self, count: int) -> List[int]:
+        draws = self._rng.random(count)
+        return [int(i) for i in np.searchsorted(self._cdf, draws)]
+
+
+@dataclass
+class ScanPattern(AccessPattern):
+    """Sequential sweep over all pages, restarting at the end."""
+
+    num_pages: int
+    stride: int = 1
+    _cursor: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ConfigError("stride must be >= 1")
+
+    def next_accesses(self, count: int) -> List[int]:
+        out = []
+        for _ in range(count):
+            out.append(self._cursor)
+            self._cursor = (self._cursor + self.stride) % self.num_pages
+        return out
+
+    def predicted_next(self, lookahead: int) -> List[int]:
+        """The pages the sweep will touch next — what a prefetcher sees."""
+        return [
+            (self._cursor + i * self.stride) % self.num_pages
+            for i in range(lookahead)
+        ]
+
+
+@dataclass
+class MixedPattern(AccessPattern):
+    """Weighted mixture of sub-patterns over the same page range."""
+
+    patterns: Sequence[AccessPattern] = ()
+    weights: Sequence[float] = ()
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.patterns or len(self.patterns) != len(self.weights):
+            raise ConfigError("patterns and weights must align and be non-empty")
+        spans = {p.num_pages for p in self.patterns}
+        if len(spans) != 1:
+            raise ConfigError("all sub-patterns must cover the same pages")
+        self.num_pages = self.patterns[0].num_pages
+        self._rng = np.random.default_rng(self.seed)
+
+    def next_accesses(self, count: int) -> List[int]:
+        weights = np.asarray(self.weights, dtype=float)
+        weights = weights / weights.sum()
+        choices = self._rng.choice(len(self.patterns), size=count, p=weights)
+        out: List[int] = []
+        for index in choices:
+            out.extend(self.patterns[int(index)].next_accesses(1))
+        return out

@@ -1,0 +1,127 @@
+"""lzbench-style codec benchmark harness.
+
+The paper's artifact evaluates compression with lzbench over public
+corpora (Appendix A). This module is the equivalent harness over this
+repo's codecs and synthetic corpora: for each (codec, corpus) pair it
+measures compression ratio and wall-clock throughput, verifying every
+round trip. Throughputs are pure-Python and meaningful *relatively*
+(codec vs codec), not against C implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.compression.base import Codec, get_codec
+from repro.errors import ConfigError, CorruptStreamError
+from repro.workloads.corpus import CORPUS_NAMES, corpus_pages
+
+DEFAULT_CODECS = ("deflate", "lzfast", "zstd-like")
+
+
+@dataclass(frozen=True)
+class LzBenchRow:
+    """One (codec, corpus) measurement."""
+
+    codec: str
+    corpus: str
+    input_bytes: int
+    compressed_bytes: int
+    compress_s: float
+    decompress_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.input_bytes / self.compressed_bytes
+
+    @property
+    def compress_mbps(self) -> float:
+        return self.input_bytes / max(self.compress_s, 1e-12) / 1e6
+
+    @property
+    def decompress_mbps(self) -> float:
+        return self.input_bytes / max(self.decompress_s, 1e-12) / 1e6
+
+
+def run_lzbench(
+    corpora: Optional[Sequence[str]] = None,
+    codecs: Optional[Sequence[str]] = None,
+    pages_per_corpus: int = 4,
+    seed: int = 0,
+) -> List[LzBenchRow]:
+    """Measure every codec on every corpus; round trips are verified."""
+    if pages_per_corpus < 1:
+        raise ConfigError("pages_per_corpus must be >= 1")
+    corpus_list = list(corpora) if corpora is not None else list(CORPUS_NAMES)
+    codec_list: List[Codec] = [
+        get_codec(name) for name in (codecs or DEFAULT_CODECS)
+    ]
+    rows: List[LzBenchRow] = []
+    for corpus in corpus_list:
+        pages = corpus_pages(corpus, pages_per_corpus, seed=seed)
+        total = sum(len(page) for page in pages)
+        for codec in codec_list:
+            start = time.perf_counter()
+            blobs = [codec.compress(page) for page in pages]
+            compress_s = time.perf_counter() - start
+            start = time.perf_counter()
+            for blob, page in zip(blobs, pages):
+                if codec.decompress(blob) != page:
+                    raise CorruptStreamError(
+                        f"{codec.name} failed to round-trip {corpus}"
+                    )
+            decompress_s = time.perf_counter() - start
+            rows.append(
+                LzBenchRow(
+                    codec=codec.name,
+                    corpus=corpus,
+                    input_bytes=total,
+                    compressed_bytes=sum(len(blob) for blob in blobs),
+                    compress_s=compress_s,
+                    decompress_s=decompress_s,
+                )
+            )
+    return rows
+
+
+def format_lzbench(rows: Sequence[LzBenchRow]) -> str:
+    """Render measurements lzbench-style."""
+    from repro.analysis.report import format_table
+
+    return format_table(
+        ["codec", "corpus", "ratio", "comp MB/s", "decomp MB/s"],
+        [
+            [
+                row.codec,
+                row.corpus,
+                round(row.ratio, 2),
+                round(row.compress_mbps, 2),
+                round(row.decompress_mbps, 2),
+            ]
+            for row in rows
+        ],
+        title="lzbench-style codec comparison (pure-Python throughputs)",
+    )
+
+
+def summarize_by_codec(rows: Sequence[LzBenchRow]) -> dict:
+    """Geometric-mean ratio and mean throughput per codec."""
+    import math
+
+    out = {}
+    for codec in {row.codec for row in rows}:
+        mine = [row for row in rows if row.codec == codec]
+        out[codec] = {
+            "geomean_ratio": math.exp(
+                sum(math.log(row.ratio) for row in mine) / len(mine)
+            ),
+            "mean_compress_mbps": sum(row.compress_mbps for row in mine)
+            / len(mine),
+            "mean_decompress_mbps": sum(
+                row.decompress_mbps for row in mine
+            )
+            / len(mine),
+        }
+    return out

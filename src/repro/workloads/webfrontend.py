@@ -1,0 +1,143 @@
+"""Synthetic web front-end workload (the paper's trace generator, §7).
+
+The paper drives AIFM with "a synthetic web front-end application" built on
+a DataFrame library, allocating objects at page granularity. This module
+reproduces that: a table of user records stored page-per-row-group, a
+request mix of point lookups (Zipf-skewed — sessions hit popular users),
+periodic full-table analytics scans (sequential, prefetchable), and writes.
+Running it against a :class:`~repro.workloads.aifm.FarMemoryRuntime`
+produces the swap-in/out trace the emulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.sfm.page import PAGE_SIZE
+from repro.workloads.access_patterns import ScanPattern, ZipfPattern
+from repro.workloads.aifm import FarMemoryRuntime
+from repro.workloads.corpus import generate_corpus
+
+
+@dataclass
+class WebFrontendConfig:
+    """Shape of the synthetic service."""
+
+    num_pages: int = 256
+    #: Point lookups per simulated second.
+    lookups_per_s: float = 40.0
+    #: Fraction of lookups that also write.
+    write_fraction: float = 0.2
+    #: Seconds between analytics scans (0 disables them).
+    scan_period_s: float = 20.0
+    #: Pages touched per scan burst.
+    scan_burst_pages: int = 64
+    #: Prefetch lookahead announced to the runtime before scans.
+    prefetch_lookahead: int = 8
+    zipf_exponent: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_pages < 1:
+            raise ConfigError("num_pages must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigError("write_fraction must be in [0, 1]")
+
+
+@dataclass
+class WebFrontendReport:
+    simulated_s: float
+    lookups: int
+    scans: int
+    demand_faults: int
+    prefetch_promotions: int
+    swap_outs: int
+    swap_ins: int
+
+    @property
+    def fault_rate(self) -> float:
+        return self.demand_faults / self.lookups if self.lookups else 0.0
+
+
+class WebFrontend:
+    """The request generator bound to a far-memory runtime."""
+
+    def __init__(
+        self,
+        runtime: FarMemoryRuntime,
+        config: Optional[WebFrontendConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else WebFrontendConfig()
+        self.runtime = runtime
+        cfg = self.config
+        # Populate the table with JSON-record pages (realistic content so
+        # the backend's real compression sees realistic ratios).
+        data = generate_corpus(
+            "json-records", cfg.num_pages * PAGE_SIZE, seed=cfg.seed
+        )
+        pages = [
+            data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i in range(cfg.num_pages)
+        ]
+        self.vaddrs: List[int] = runtime.allocate(pages)
+        self._lookup_pattern = ZipfPattern(
+            num_pages=cfg.num_pages,
+            exponent=cfg.zipf_exponent,
+            seed=cfg.seed,
+        )
+        self._scan_pattern = ScanPattern(num_pages=cfg.num_pages)
+        self._write_toggle = 0
+
+    def run(self, duration_s: float, step_s: float = 1.0) -> WebFrontendReport:
+        """Simulate ``duration_s`` seconds of traffic."""
+        cfg = self.config
+        runtime = self.runtime
+        now = 0.0
+        lookups = 0
+        scans = 0
+        next_scan = cfg.scan_period_s if cfg.scan_period_s > 0 else float("inf")
+        while now < duration_s:
+            count = max(1, int(cfg.lookups_per_s * step_s))
+            for page_index in self._lookup_pattern.next_accesses(count):
+                vaddr = self.vaddrs[page_index]
+                self._write_toggle += 1
+                if (
+                    cfg.write_fraction > 0
+                    and self._write_toggle
+                    % max(1, int(1 / max(cfg.write_fraction, 1e-9)))
+                    == 0
+                ):
+                    data = runtime.read(vaddr, now)
+                    runtime.write(vaddr, data, now)
+                else:
+                    runtime.read(vaddr, now)
+                lookups += 1
+            if now >= next_scan:
+                scans += 1
+                next_scan += cfg.scan_period_s
+                # Announce the scan to the prefetcher, then sweep.
+                predicted = self._scan_pattern.predicted_next(
+                    cfg.prefetch_lookahead
+                )
+                runtime.prefetch(
+                    [self.vaddrs[i] for i in predicted], now
+                )
+                for page_index in self._scan_pattern.next_accesses(
+                    cfg.scan_burst_pages
+                ):
+                    runtime.read(self.vaddrs[page_index], now)
+            runtime.maintain(now)
+            now += step_s
+        stats = runtime.stats
+        backend = runtime.backend
+        return WebFrontendReport(
+            simulated_s=duration_s,
+            lookups=lookups,
+            scans=scans,
+            demand_faults=stats.demand_faults,
+            prefetch_promotions=stats.prefetch_promotions,
+            swap_outs=backend.stats.swap_outs,
+            swap_ins=backend.stats.swap_ins,
+        )

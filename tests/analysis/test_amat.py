@@ -1,0 +1,78 @@
+"""AMAT model tests: the §2/§3 latency story, quantified."""
+
+import pytest
+
+from repro.analysis.amat import (
+    AmatConfig,
+    TierLatency,
+    amat_s,
+    dfm_tier,
+    sfm_tier,
+    slowdown_vs_local,
+    xfm_tier,
+)
+from repro.dfm.interconnect import RDMA_LINK
+from repro.errors import ConfigError
+
+
+class TestTiers:
+    def test_dfm_fault_faster_than_sfm_cpu(self):
+        """One CXL round trip beats a software decompression."""
+        assert dfm_tier().fault_latency_s < sfm_tier().fault_latency_s
+
+    def test_rdma_slower_than_cxl(self):
+        assert (
+            dfm_tier(RDMA_LINK).fault_latency_s
+            > dfm_tier().fault_latency_s
+        )
+
+    def test_xfm_fault_path_is_cpu_path(self):
+        """§6: demand faults keep CPU_Fallback; XFM changes hit rates."""
+        assert xfm_tier().fault_latency_s == sfm_tier().fault_latency_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TierLatency(name="bad", fault_latency_s=-1.0)
+        with pytest.raises(ConfigError):
+            AmatConfig(far_access_fraction=1.5)
+
+
+class TestAmat:
+    def test_no_far_accesses_is_local(self):
+        config = AmatConfig(far_access_fraction=0.0)
+        assert amat_s(config, sfm_tier()) == config.local_latency_s
+        assert slowdown_vs_local(config, sfm_tier()) == 1.0
+
+    def test_far_fraction_scales_penalty(self):
+        small = AmatConfig(far_access_fraction=0.01)
+        large = AmatConfig(far_access_fraction=0.05)
+        tier = sfm_tier()
+        assert amat_s(large, tier) > amat_s(small, tier)
+
+    def test_prefetching_hides_fault_latency(self):
+        """The XFM argument: aggressive (offloaded) prefetching converts
+        fault-path misses into local hits."""
+        tier = xfm_tier()
+        cold = AmatConfig(far_access_fraction=0.02, prefetch_hit_rate=0.0)
+        warm = AmatConfig(far_access_fraction=0.02, prefetch_hit_rate=0.9)
+        assert amat_s(warm, tier) < amat_s(cold, tier) / 2
+
+    def test_xfm_with_prefetch_beats_dfm_without(self):
+        """A prefetch-heavy XFM-SFM can out-AMAT even a CXL DFM — the
+        predictable-access-pattern sweet spot of §1."""
+        xfm_warm = amat_s(
+            AmatConfig(far_access_fraction=0.02, prefetch_hit_rate=0.95),
+            xfm_tier(),
+        )
+        dfm_cold = amat_s(
+            AmatConfig(far_access_fraction=0.02, prefetch_hit_rate=0.0),
+            dfm_tier(),
+        )
+        assert xfm_warm < dfm_cold
+
+    def test_slowdown_ordering_at_equal_hit_rates(self):
+        """With no prefetching, DFM < SFM in AMAT (its latency edge)."""
+        config = AmatConfig(far_access_fraction=0.02)
+        assert slowdown_vs_local(config, dfm_tier()) < slowdown_vs_local(
+            config, sfm_tier()
+        )

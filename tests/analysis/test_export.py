@@ -1,0 +1,80 @@
+"""Figure data export tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    EXPORTERS,
+    fig1_csv,
+    fig3_json,
+    fig8_csv,
+    fig11_json,
+    fig12_csv,
+    rows_to_csv,
+)
+from repro.errors import ConfigError
+
+
+def _parse_csv(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestRowsToCsv:
+    def test_simple(self):
+        text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        rows = _parse_csv(text)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            rows_to_csv(["a"], [[1, 2]])
+
+
+class TestFigureExports:
+    def test_fig1(self):
+        rows = _parse_csv(fig1_csv(rank_counts=(8, 16)))
+        assert rows[0][0] == "num_ranks"
+        assert len(rows) == 3
+
+    def test_fig3(self):
+        data = json.loads(fig3_json())
+        assert "dfm-dram" in data
+        assert data["dfm-dram"]["normalized"][0] == 1.0
+        assert len(data["sfm-100"]["years"]) == len(
+            data["sfm-100"]["normalized"]
+        )
+
+    def test_fig8(self):
+        rows = _parse_csv(
+            fig8_csv(corpora=("json-records",), pages_per_corpus=2)
+        )
+        assert rows[0] == [
+            "corpus", "num_dimms", "stored_ratio", "payload_ratio", "savings",
+        ]
+        assert len(rows) == 4  # header + 3 dimm configs
+
+    def test_fig11(self):
+        data = json.loads(fig11_json())
+        modes = data["default-mix"]
+        assert set(modes) == {"baseline-cpu", "host-lockout-nma", "xfm"}
+        assert modes["xfm"]["spec_max_degradation_pct"] == pytest.approx(0.0)
+
+    def test_fig12(self):
+        rows = _parse_csv(
+            fig12_csv(
+                promotion_rates=(0.5,),
+                spm_sizes_mib=(8,),
+                accesses_per_ref=(3,),
+                sim_time_s=0.02,
+            )
+        )
+        assert len(rows) == 2
+        assert float(rows[1][3]) == 0.0  # fallback fraction
+
+    def test_registry(self):
+        assert set(EXPORTERS) == {
+            "fig1.csv", "fig3.json", "fig8.csv", "fig11.json", "fig12.csv",
+        }

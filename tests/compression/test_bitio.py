@@ -1,0 +1,104 @@
+"""Bit-level I/O unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+class TestBitWriter:
+    def test_single_byte_lsb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        writer.write_bits(0b11, 2)
+        # bits so far (LSB first): 1, 1, 1 -> 0b00000111
+        assert writer.getvalue() == bytes([0b00000111])
+
+    def test_multi_byte_value(self):
+        writer = BitWriter()
+        writer.write_bits(0xABCD, 16)
+        assert writer.getvalue() == bytes([0xCD, 0xAB])
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_msb_write_order(self):
+        writer = BitWriter()
+        writer.write_bits_msb(0b10, 2)
+        # MSB-first: 1 then 0 -> LSB packing gives 0b01.
+        assert writer.getvalue() == bytes([0b01])
+
+    def test_align_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.align_to_byte()
+        writer.write_bytes(b"\xff")
+        assert writer.getvalue() == b"\x01\xff"
+
+    def test_write_bytes_requires_alignment(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        with pytest.raises(ValueError):
+            writer.write_bytes(b"x")
+
+    def test_bit_length_tracks_writes(self):
+        writer = BitWriter()
+        writer.write_bits(0, 3)
+        writer.write_bits(0, 7)
+        assert writer.bit_length == 10
+
+
+class TestBitReader:
+    def test_round_trip_fields(self):
+        writer = BitWriter()
+        fields = [(5, 3), (0, 1), (1023, 10), (77, 7), (1, 1)]
+        for value, nbits in fields:
+            writer.write_bits(value, nbits)
+        reader = BitReader(writer.getvalue())
+        for value, nbits in fields:
+            assert reader.read_bits(nbits) == value
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(CorruptStreamError):
+            reader.read_bits(1)
+
+    def test_align_then_read_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.align_to_byte()
+        writer.write_bytes(b"hello")
+        reader = BitReader(writer.getvalue())
+        reader.read_bits(1)
+        reader.align_to_byte()
+        assert reader.read_bytes(5) == b"hello"
+
+    def test_bits_remaining_upper_bound(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read_bits(3)
+        assert reader.bits_remaining == 13
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)),
+                min_size=1, max_size=64))
+def test_bitio_round_trip_property(fields):
+    """Any sequence of (value mod 2^nbits, nbits) writes reads back."""
+    writer = BitWriter()
+    expected = []
+    for value, nbits in fields:
+        value &= (1 << nbits) - 1
+        expected.append((value, nbits))
+        writer.write_bits(value, nbits)
+    reader = BitReader(writer.getvalue())
+    for value, nbits in expected:
+        assert reader.read_bits(nbits) == value

@@ -1,0 +1,37 @@
+"""Hypothesis property tests: every codec round-trips arbitrary bytes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
+
+_CODECS = [DeflateCodec(), LzFastCodec(), ZstdLikeCodec()]
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+@settings(deadline=None, max_examples=30)
+@given(data=st.binary(max_size=4096))
+def test_round_trip_arbitrary_bytes(codec, data):
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+@settings(deadline=None, max_examples=20)
+@given(
+    chunk=st.binary(min_size=1, max_size=32),
+    repeats=st.integers(1, 128),
+    suffix=st.binary(max_size=64),
+)
+def test_round_trip_structured_bytes(codec, chunk, repeats, suffix):
+    """Repetitive prefix + arbitrary tail — the compressed-page shape."""
+    data = chunk * repeats + suffix
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+@settings(deadline=None, max_examples=20)
+@given(data=st.binary(min_size=512, max_size=2048))
+def test_compress_never_explodes(codec, data):
+    """Stored-mode fallback bounds worst-case expansion to the header."""
+    assert len(codec.compress(data)) <= len(data) + 16

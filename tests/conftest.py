@@ -1,0 +1,52 @@
+"""Shared fixtures for the XFM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
+from repro.sfm.page import PAGE_SIZE
+from repro.workloads.corpus import corpus_pages
+
+
+@pytest.fixture(scope="session")
+def json_pages():
+    """Compressible 4 KiB pages (fixed-schema JSON records)."""
+    return corpus_pages("json-records", 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def text_pages():
+    return corpus_pages("text-english", 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def random_pages():
+    """Incompressible pages."""
+    return corpus_pages("random-bytes", 4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def sample_buffers(json_pages, random_pages):
+    """A spectrum of buffers every codec must round-trip."""
+    return [
+        b"",
+        b"a",
+        b"abc",
+        b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+        bytes(range(256)),
+        bytes(PAGE_SIZE),
+        json_pages[0],
+        random_pages[0],
+        (b"0123456789" * 500)[:PAGE_SIZE],
+    ]
+
+
+@pytest.fixture(params=["deflate", "lzfast", "zstd-like"])
+def codec(request):
+    """Each registered codec, parametrized."""
+    return {
+        "deflate": DeflateCodec(),
+        "lzfast": LzFastCodec(),
+        "zstd-like": ZstdLikeCodec(),
+    }[request.param]

@@ -1,0 +1,90 @@
+"""Trace-driven emulator tests (the §7 trace pipeline end-to-end)."""
+
+import pytest
+
+from repro.core.emulator import EmulatorConfig, XfmEmulator
+from repro.errors import ConfigError
+from repro.sfm.backend import SfmBackend
+from repro.sfm.controller import ColdScanController
+from repro.sfm.page import PAGE_SIZE
+from repro.workloads.aifm import FarMemoryRuntime
+from repro.workloads.traces import SWAP_IN, SWAP_OUT, SwapTrace
+from repro.workloads.webfrontend import WebFrontend, WebFrontendConfig
+
+
+def _dense_trace(ops: int, mean_gap_s: float, seed: int = 0) -> SwapTrace:
+    import random
+
+    rng = random.Random(seed)
+    trace = SwapTrace()
+    t = 0.0
+    for i in range(ops):
+        t += rng.expovariate(1.0 / mean_gap_s)
+        kind = SWAP_OUT if rng.random() < 0.6 else SWAP_IN
+        trace.record(t, kind, i * PAGE_SIZE)
+    return trace
+
+
+class TestRunTrace:
+    def test_empty_trace(self):
+        report = XfmEmulator(EmulatorConfig()).run_trace(SwapTrace())
+        assert report.total_ops == 0
+        assert report.fallback_fraction == 0.0
+
+    def test_light_trace_no_fallbacks(self):
+        trace = _dense_trace(ops=500, mean_gap_s=1e-4)
+        report = XfmEmulator(
+            EmulatorConfig(accesses_per_ref=3)
+        ).run_trace(trace)
+        assert report.fallback_fraction == 0.0
+        assert report.completed_ops > 0
+
+    def test_time_scale_compresses_load(self):
+        """Compressing trace time raises arrival intensity -> fallbacks."""
+        trace = _dense_trace(ops=4000, mean_gap_s=1e-4, seed=2)
+        relaxed = XfmEmulator(
+            EmulatorConfig(accesses_per_ref=1, spm_bytes=1 << 20)
+        ).run_trace(trace, time_scale=1.0)
+        squeezed = XfmEmulator(
+            EmulatorConfig(accesses_per_ref=1, spm_bytes=1 << 20)
+        ).run_trace(trace, time_scale=100.0)
+        assert squeezed.fallback_fraction >= relaxed.fallback_fraction
+        assert squeezed.fallback_fraction > 0.2
+
+    def test_offload_fraction_filters_swap_ins(self):
+        trace = SwapTrace()
+        for i in range(200):
+            trace.record(i * 1e-5, SWAP_IN, i * PAGE_SIZE)
+        all_offload = XfmEmulator(
+            EmulatorConfig(decompress_offload_fraction=1.0)
+        ).run_trace(trace)
+        no_offload = XfmEmulator(
+            EmulatorConfig(decompress_offload_fraction=0.0)
+        ).run_trace(trace)
+        assert no_offload.total_ops == 0
+        assert all_offload.total_ops == 200
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            XfmEmulator(EmulatorConfig()).run_trace(SwapTrace(), time_scale=0)
+
+    def test_webfrontend_trace_feeds_emulator(self):
+        """Full §7 pipeline: app -> AIFM trace -> timing emulator."""
+        backend = SfmBackend(capacity_bytes=256 * PAGE_SIZE)
+        runtime = FarMemoryRuntime(
+            backend,
+            local_capacity_pages=32,
+            controller=ColdScanController(
+                cold_threshold_s=3.0, scan_period_s=2.0
+            ),
+        )
+        frontend = WebFrontend(
+            runtime, WebFrontendConfig(num_pages=128, lookups_per_s=30, seed=9)
+        )
+        frontend.run(duration_s=40.0)
+        assert len(runtime.trace) > 0
+        report = XfmEmulator(EmulatorConfig(accesses_per_ref=3)).run_trace(
+            runtime.trace, time_scale=5000.0
+        )
+        assert report.total_ops > 0
+        assert report.conditional_accesses > 0

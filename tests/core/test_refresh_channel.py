@@ -1,0 +1,148 @@
+"""Refresh-window scheduler tests: budgets, conditional matching, randoms."""
+
+import pytest
+
+from repro.core.refresh_channel import AccessKind, WindowScheduler
+from repro.dram.device import DDR5_32GB, timings_for_device
+from repro.dram.refresh import RefreshScheduler
+from repro.errors import ConfigError
+
+
+def _scheduler(accesses_per_ref=3, random_per_ref=1, random_age_refs=0):
+    refresh = RefreshScheduler(DDR5_32GB, timings_for_device(DDR5_32GB))
+    return WindowScheduler(
+        refresh=refresh,
+        accesses_per_ref=accesses_per_ref,
+        random_per_ref=random_per_ref,
+        random_age_refs=random_age_refs,
+    )
+
+
+def _row_for_slot(slot):
+    return slot * DDR5_32GB.rows_refreshed_per_trfc
+
+
+class TestConditionalMatching:
+    def test_row_served_at_its_slot(self):
+        scheduler = _scheduler(random_per_ref=0)
+        scheduler.submit(AccessKind.READ, _row_for_slot(5), current_ref=0)
+        assert scheduler.drain(4) == []
+        executed = scheduler.drain(5)
+        assert len(executed) == 1
+        assert executed[0].conditional
+        assert executed[0].waited_refs == 5
+
+    def test_budget_caps_window(self):
+        scheduler = _scheduler(accesses_per_ref=2, random_per_ref=0)
+        for _ in range(5):
+            scheduler.submit(AccessKind.READ, _row_for_slot(3), current_ref=0)
+        assert len(scheduler.drain(3)) == 2
+        assert scheduler.pending_count == 3
+
+    def test_unserved_wait_for_next_cycle(self):
+        scheduler = _scheduler(accesses_per_ref=1, random_per_ref=0)
+        for _ in range(2):
+            scheduler.submit(AccessKind.READ, _row_for_slot(0), current_ref=0)
+        assert len(scheduler.drain(0)) == 1
+        # Slot 0 recurs one retention cycle (8192 REFs) later.
+        assert scheduler.drain(1) == []
+        assert len(scheduler.drain(8192)) == 1
+
+
+class TestFlexiblePlacement:
+    def test_flexible_served_immediately_and_conditionally(self):
+        scheduler = _scheduler()
+        scheduler.submit(AccessKind.WRITE, None, current_ref=0, nbytes=2048)
+        executed = scheduler.drain(0)
+        assert len(executed) == 1
+        assert executed[0].conditional
+        assert executed[0].request.nbytes == 2048
+
+    def test_flexible_has_priority(self):
+        scheduler = _scheduler(accesses_per_ref=1, random_per_ref=0)
+        scheduler.submit(AccessKind.READ, _row_for_slot(2), current_ref=0)
+        scheduler.submit(AccessKind.WRITE, None, current_ref=0)
+        executed = scheduler.drain(2)
+        assert executed[0].request.row is None
+
+
+class TestRandomAccesses:
+    def test_random_serves_mismatched_row(self):
+        scheduler = _scheduler(accesses_per_ref=3, random_per_ref=1)
+        # Slot 100's row; window 0 does not match, so a random slot fires
+        # (work-conserving default).
+        scheduler.submit(AccessKind.READ, _row_for_slot(100), current_ref=0)
+        executed = scheduler.drain(0)
+        assert len(executed) == 1
+        assert not executed[0].conditional
+
+    def test_random_budget_capped(self):
+        scheduler = _scheduler(accesses_per_ref=3, random_per_ref=1)
+        for slot in (100, 200, 300):
+            scheduler.submit(AccessKind.READ, _row_for_slot(slot), current_ref=0)
+        executed = scheduler.drain(0)
+        assert len(executed) == 1  # only one random per tRFC
+
+    def test_random_disabled(self):
+        scheduler = _scheduler(random_per_ref=0)
+        scheduler.submit(AccessKind.READ, _row_for_slot(100), current_ref=0)
+        assert scheduler.drain(0) == []
+
+    def test_age_gate_defers_randoms(self):
+        scheduler = _scheduler(random_age_refs=50)
+        scheduler.submit(AccessKind.READ, _row_for_slot(100), current_ref=0)
+        assert scheduler.drain(10) == []
+        assert len(scheduler.drain(60)) == 1
+
+    def test_pressure_overrides_age_gate(self):
+        scheduler = _scheduler(random_age_refs=10_000)
+        scheduler.submit(AccessKind.READ, _row_for_slot(100), current_ref=0)
+        assert scheduler.drain(0, pressure=False) == []
+        assert len(scheduler.drain(1, pressure=True)) == 1
+
+    def test_subarray_conflict_defers_random(self):
+        scheduler = _scheduler()
+        # Window 0 refreshes rows 0..15 (subarray 0). A random access to
+        # another row of subarray 0 must wait.
+        scheduler.submit(AccessKind.READ, 100, current_ref=0)
+        assert scheduler.drain(0) == []
+        # Slots 0..31 all refresh subarray-0 rows (512 rows / 16 per REF),
+        # so the random stays deferred until slot 32's window.
+        assert scheduler.drain(31) == []
+        executed = scheduler.drain(32)
+        assert len(executed) == 1
+        assert not executed[0].conditional
+
+    def test_oldest_random_first(self):
+        scheduler = _scheduler()
+        first = scheduler.submit(AccessKind.READ, _row_for_slot(100), 0)
+        scheduler.submit(AccessKind.READ, _row_for_slot(200), 1)
+        executed = scheduler.drain(2)
+        assert executed[0].request.request_id == first.request_id
+
+
+class TestBookkeeping:
+    def test_pending_count(self):
+        scheduler = _scheduler()
+        scheduler.submit(AccessKind.READ, _row_for_slot(1), 0)
+        scheduler.submit(AccessKind.WRITE, None, 0)
+        assert scheduler.pending_count == 2
+        scheduler.drain(1)
+        assert scheduler.pending_count == 0
+
+    def test_oldest_wait(self):
+        scheduler = _scheduler(random_per_ref=0)
+        scheduler.submit(AccessKind.READ, _row_for_slot(500), 10)
+        assert scheduler.oldest_wait_refs(25) == 15
+
+    def test_conditional_pop_cleans_heap(self):
+        scheduler = _scheduler()
+        scheduler.submit(AccessKind.READ, _row_for_slot(5), 0)
+        scheduler.drain(5)
+        assert scheduler.oldest_wait_refs(100) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _scheduler(accesses_per_ref=0)
+        with pytest.raises(ConfigError):
+            _scheduler(accesses_per_ref=1, random_per_ref=2)

@@ -1,0 +1,138 @@
+"""Bank and rank state-machine protocol tests."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.device import DDR5_32GB, timings_for_device
+from repro.dram.rank import Rank
+from repro.errors import DramProtocolError
+
+
+@pytest.fixture
+def timings():
+    return timings_for_device(DDR5_32GB)
+
+
+@pytest.fixture
+def bank(timings):
+    return Bank(device=DDR5_32GB, timings=timings)
+
+
+@pytest.fixture
+def rank(timings):
+    return Rank(device=DDR5_32GB, timings=timings)
+
+
+class TestBankProtocol:
+    def test_activate_then_access(self, bank, timings):
+        bank.activate(100, now_ns=0.0)
+        done = bank.column_access(100, now_ns=timings.trcd_ns)
+        assert done == pytest.approx(
+            timings.trcd_ns + timings.tcl_ns + timings.tburst_ns
+        )
+
+    def test_access_without_activate_rejected(self, bank):
+        with pytest.raises(DramProtocolError):
+            bank.column_access(100, now_ns=0.0)
+
+    def test_access_wrong_row_rejected(self, bank, timings):
+        bank.activate(100, now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            bank.column_access(101, now_ns=timings.trcd_ns)
+
+    def test_trcd_enforced(self, bank):
+        bank.activate(100, now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            bank.column_access(100, now_ns=1.0)
+
+    def test_double_activate_rejected(self, bank):
+        bank.activate(100, now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            bank.activate(101, now_ns=100.0)
+
+    def test_trp_enforced(self, bank, timings):
+        bank.activate(100, now_ns=0.0)
+        bank.precharge(now_ns=50.0)
+        with pytest.raises(DramProtocolError):
+            bank.activate(101, now_ns=50.0 + timings.trp_ns / 2)
+        bank.activate(101, now_ns=50.0 + timings.trp_ns)
+
+    def test_row_range_checked(self, bank):
+        with pytest.raises(DramProtocolError):
+            bank.activate(DDR5_32GB.rows_per_bank, now_ns=0.0)
+
+
+class TestBankRefreshWindow:
+    def test_host_locked_during_refresh(self, bank):
+        bank.begin_refresh(range(0, 16), now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            bank.activate(5000, now_ns=10.0)
+
+    def test_conditional_access_targets_refreshing_rows(self, bank):
+        bank.begin_refresh(range(0, 16), now_ns=0.0)
+        assert bank.nma_access_allowed(5, conditional=True)
+        assert not bank.nma_access_allowed(5000, conditional=True)
+
+    def test_random_access_avoids_busy_subarray(self, bank):
+        bank.begin_refresh(range(0, 16), now_ns=0.0)  # subarray 0 busy
+        assert not bank.nma_access_allowed(100, conditional=False)
+        assert bank.nma_access_allowed(512 * 3, conditional=False)
+
+    def test_no_nma_access_outside_window(self, bank):
+        assert not bank.nma_access_allowed(5, conditional=True)
+
+    def test_end_refresh_precharges(self, bank, timings):
+        bank.begin_refresh(range(0, 16), now_ns=0.0)
+        bank.end_refresh(now_ns=timings.trfc_ns)
+        assert bank.state is BankState.IDLE
+        bank.activate(7, now_ns=timings.trfc_ns + timings.trp_ns)
+
+    def test_refresh_with_open_row_rejected(self, bank):
+        bank.activate(3, now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            bank.begin_refresh(range(0, 16), now_ns=10.0)
+
+    def test_end_refresh_when_idle_rejected(self, bank):
+        with pytest.raises(DramProtocolError):
+            bank.end_refresh(now_ns=0.0)
+
+
+class TestRank:
+    def test_refresh_locks_all_banks(self, rank):
+        window = rank.begin_refresh(now_ns=0.0)
+        assert rank.in_refresh
+        assert not rank.host_accessible()
+        assert all(
+            bank.state is BankState.REFRESHING for bank in rank.banks
+        )
+        assert list(window.rows) == list(range(0, 16))
+
+    def test_nma_access_during_window(self, rank):
+        rank.begin_refresh(now_ns=0.0)
+        assert rank.nma_access_allowed(bank=0, row=3, conditional=True)
+        assert rank.nma_access_allowed(bank=5, row=512 * 4, conditional=False)
+
+    def test_double_refresh_rejected(self, rank):
+        rank.begin_refresh(now_ns=0.0)
+        with pytest.raises(DramProtocolError):
+            rank.begin_refresh(now_ns=100.0)
+
+    def test_end_refresh_restores_host_access(self, rank, timings):
+        rank.begin_refresh(now_ns=0.0)
+        rank.end_refresh(now_ns=timings.trfc_ns)
+        assert rank.host_accessible()
+        assert rank.current_window is None
+
+    def test_sequential_windows_advance_rows(self, rank, timings):
+        w0 = rank.begin_refresh(now_ns=0.0)
+        rank.end_refresh(now_ns=timings.trfc_ns)
+        w1 = rank.begin_refresh(now_ns=timings.trefi_ns)
+        assert w1.rows.start == w0.rows.stop
+
+    def test_capacity(self, rank):
+        assert rank.capacity_bytes == 32 * (1 << 30)
+
+    def test_open_banks_tracking(self, rank, timings):
+        assert rank.open_banks() == []
+        rank.banks[3].activate(9, now_ns=0.0)
+        assert rank.open_banks() == [3]

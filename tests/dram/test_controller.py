@@ -1,0 +1,124 @@
+"""Cycle-approximate controller tests."""
+
+import pytest
+
+from repro.dram.controller import (
+    ChannelController,
+    MemoryRequest,
+    loaded_latency_ns,
+)
+from repro.dram.device import DDR5_32GB, timings_for_device
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def controller():
+    return ChannelController(DDR5_32GB, timings_for_device(DDR5_32GB))
+
+
+def _burst(arrival, rank=0, bank=0, row=0):
+    return MemoryRequest(arrival_ns=arrival, rank=rank, bank=bank, row=row)
+
+
+class TestServiceOrder:
+    def test_empty_stream(self, controller):
+        stats = controller.run([])
+        assert stats.completed == 0
+        assert stats.bandwidth_bps == 0.0
+
+    def test_row_hit_faster_than_miss(self, controller):
+        same_row = [_burst(0.0, row=5), _burst(0.1, row=5)]
+        diff_row = [_burst(0.0, row=5), _burst(0.1, row=9)]
+        hit_stats = controller.run(same_row)
+        miss_stats = controller.run(diff_row)
+        assert hit_stats.row_hits == 1
+        assert miss_stats.row_hits == 0
+        assert hit_stats.total_time_ns < miss_stats.total_time_ns
+
+    def test_bank_parallelism_beats_same_bank(self, controller):
+        same_bank = [_burst(i * 0.1, bank=0, row=i) for i in range(8)]
+        spread = [_burst(i * 0.1, bank=i, row=0) for i in range(8)]
+        assert (
+            controller.run(spread).total_time_ns
+            < controller.run(same_bank).total_time_ns
+        )
+
+    def test_bandwidth_bounded_by_bus(self, controller):
+        requests = [_burst(0.0, bank=i % 16, row=0) for i in range(64)]
+        stats = controller.run(requests)
+        timings = timings_for_device(DDR5_32GB)
+        peak = 128 / timings.tburst_ns * 1e9  # line bytes per burst slot
+        assert stats.bandwidth_bps <= peak * 1.001
+
+    def test_refresh_stalls_requests(self, controller):
+        timings = timings_for_device(DDR5_32GB)
+        # A request arriving inside the t=0 refresh window must wait.
+        stats = controller.run([_burst(timings.trfc_ns / 2)])
+        assert stats.refresh_stall_ns > 0
+        assert stats.avg_latency_ns >= timings.trfc_ns / 2
+
+    def test_latency_accounting(self, controller):
+        timings = timings_for_device(DDR5_32GB)
+        stats = controller.run([_burst(timings.trfc_ns + 10.0, row=3)])
+        expected = timings.trcd_ns + timings.tcl_ns + timings.tburst_ns
+        assert stats.avg_latency_ns == pytest.approx(expected)
+        assert stats.max_latency_ns == pytest.approx(expected)
+
+    def test_num_ranks_validated(self):
+        with pytest.raises(ConfigError):
+            ChannelController(
+                DDR5_32GB, timings_for_device(DDR5_32GB), num_ranks=0
+            )
+
+
+class TestLoadedLatency:
+    def test_flat_below_knee(self):
+        assert loaded_latency_ns(80.0, 0.3) == 80.0
+        assert loaded_latency_ns(80.0, 0.65) == 80.0
+
+    def test_rises_past_knee(self):
+        assert loaded_latency_ns(80.0, 0.8) > 80.0
+        assert loaded_latency_ns(80.0, 0.95) > loaded_latency_ns(80.0, 0.8)
+
+    def test_monotone(self):
+        values = [loaded_latency_ns(80.0, u / 100) for u in range(0, 99)]
+        assert values == sorted(values)
+
+    def test_range_checked(self):
+        with pytest.raises(ConfigError):
+            loaded_latency_ns(80.0, 1.0)
+        with pytest.raises(ConfigError):
+            loaded_latency_ns(80.0, -0.1)
+
+
+class TestEnergyModel:
+    def test_movement_saving_is_69_pct(self):
+        from repro.dram.energy import AccessEnergyModel
+
+        assert AccessEnergyModel().data_movement_saving() == pytest.approx(
+            0.69, abs=0.01
+        )
+
+    def test_conditional_saving_near_10_pct(self):
+        from repro.dram.energy import AccessEnergyModel
+
+        assert AccessEnergyModel().conditional_saving() == pytest.approx(
+            0.101, abs=0.005
+        )
+
+    def test_nma_cheaper_than_cpu(self):
+        from repro.dram.energy import AccessEnergyModel
+
+        model = AccessEnergyModel()
+        assert model.nma_page_access_j(4096, conditional=True) < (
+            model.cpu_page_access_j(4096)
+        )
+
+    def test_link_ordering_enforced(self):
+        from repro.dram.energy import AccessEnergyModel
+        from repro.errors import ConfigError as CE
+
+        with pytest.raises(CE):
+            AccessEnergyModel(
+                ddr_io_pj_per_bit=1.0, on_dimm_io_pj_per_bit=2.0
+            )

@@ -1,0 +1,83 @@
+"""Device geometry (Table 1) tests."""
+
+import pytest
+
+from repro.dram.device import (
+    DDR5_16GB,
+    DDR5_32GB,
+    DDR5_8GB,
+    DEVICE_TRFC_NS,
+    DramDeviceConfig,
+    timings_for_device,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1:
+    """The derived columns of Table 1 must reproduce exactly."""
+
+    def test_rows_refreshed_per_trfc(self):
+        assert DDR5_8GB.rows_refreshed_per_trfc == 8
+        assert DDR5_16GB.rows_refreshed_per_trfc == 8
+        assert DDR5_32GB.rows_refreshed_per_trfc == 16
+
+    def test_subarrays_per_bank(self):
+        assert DDR5_8GB.subarrays_per_bank == 128
+        assert DDR5_16GB.subarrays_per_bank == 128
+        assert DDR5_32GB.subarrays_per_bank == 256
+
+    def test_banks_and_rows(self):
+        assert DDR5_8GB.banks_per_chip == 16
+        assert DDR5_16GB.banks_per_chip == 32
+        assert DDR5_32GB.rows_per_bank == 128 * 1024
+
+    def test_trfc_values(self):
+        assert DEVICE_TRFC_NS == {
+            "DDR5-8Gb": 195.0,
+            "DDR5-16Gb": 295.0,
+            "DDR5-32Gb": 410.0,
+        }
+
+    def test_conditional_accesses_match_section5(self):
+        """Sec. 5: max 4KB conditional accesses are 4/3/2 for 32/16/8 Gb."""
+        expected = {DDR5_32GB: 4, DDR5_16GB: 3, DDR5_8GB: 2}
+        for device, count in expected.items():
+            timings = timings_for_device(device)
+            assert device.conditional_accesses_per_trfc(timings) == count
+
+
+class TestGeometry:
+    def test_capacity_consistency_enforced(self):
+        with pytest.raises(ConfigError):
+            DramDeviceConfig(
+                name="bogus",
+                capacity_gbit=8,
+                rows_per_bank=32 * 1024,
+                banks_per_chip=16,
+            )
+
+    def test_subarray_of_row(self):
+        assert DDR5_32GB.subarray_of_row(0) == 0
+        assert DDR5_32GB.subarray_of_row(511) == 0
+        assert DDR5_32GB.subarray_of_row(512) == 1
+
+    def test_subarray_of_row_range_checked(self):
+        with pytest.raises(ConfigError):
+            DDR5_32GB.subarray_of_row(DDR5_32GB.rows_per_bank)
+
+    def test_rank_capacity(self):
+        assert DDR5_32GB.rank_capacity_bytes == 32 * (1 << 30)
+
+    def test_page_stream_time_matches_fig6(self):
+        """Fig. 6b: 110 ns = tRCD + tCL + 32 x tBURST for a 4 KiB page."""
+        timings = timings_for_device(DDR5_32GB)
+        assert DDR5_32GB.page_stream_time_ns(timings) == pytest.approx(110.0)
+        assert DDR5_32GB.page_stream_time_ns(
+            timings, first=False
+        ) == pytest.approx(80.0)
+
+    def test_nma_bandwidth(self):
+        timings = timings_for_device(DDR5_32GB)
+        bw = DDR5_32GB.nma_bandwidth_bps(timings, accesses_per_trfc=4)
+        # 4 pages per 3.906 us.
+        assert bw == pytest.approx(4 * 4096 / 3.90625e-6, rel=1e-6)

@@ -1,0 +1,103 @@
+"""Refresh scheduler tests: slot mapping, windows, conditional rules."""
+
+import pytest
+
+from repro.dram.device import DDR5_32GB, DDR5_8GB, timings_for_device
+from repro.dram.refresh import RefreshScheduler
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def scheduler():
+    return RefreshScheduler(DDR5_32GB, timings_for_device(DDR5_32GB))
+
+
+class TestRowCoverage:
+    def test_every_row_refreshed_once_per_retention(self, scheduler):
+        seen = set()
+        for ref in range(scheduler.refs_per_retention):
+            rows = scheduler.rows_refreshed(ref)
+            assert len(rows) == 16
+            for row in rows:
+                assert row not in seen
+                seen.add(row)
+        assert len(seen) == DDR5_32GB.rows_per_bank
+
+    def test_slot_round_trip(self, scheduler):
+        for row in (0, 15, 16, 511, 512, 130000):
+            slot = scheduler.ref_slot_for_row(row)
+            assert row in scheduler.rows_refreshed(slot)
+
+    def test_slot_range_checked(self, scheduler):
+        with pytest.raises(ConfigError):
+            scheduler.ref_slot_for_row(DDR5_32GB.rows_per_bank)
+
+    def test_wraps_across_retention_cycles(self, scheduler):
+        last = scheduler.refs_per_retention - 1
+        assert scheduler.rows_refreshed(last + 1) == scheduler.rows_refreshed(0)
+
+
+class TestNextRef:
+    def test_future_slot_same_cycle(self, scheduler):
+        row = 16 * 100  # slot 100
+        assert scheduler.next_ref_for_row(row, 50) == 100
+        assert scheduler.wait_refs_for_row(row, 50) == 50
+
+    def test_past_slot_wraps_to_next_cycle(self, scheduler):
+        row = 16 * 100
+        wait = scheduler.wait_refs_for_row(row, 101)
+        assert wait == scheduler.refs_per_retention - 1
+
+    def test_current_slot_is_zero_wait(self, scheduler):
+        row = 16 * 7
+        assert scheduler.wait_refs_for_row(row, 7) == 0
+
+    def test_is_conditional(self, scheduler):
+        row = 16 * 42 + 3
+        assert scheduler.is_conditional(row, 42)
+        assert not scheduler.is_conditional(row, 43)
+
+
+class TestRandomAccessRule:
+    def test_conflicting_subarray_blocked(self, scheduler):
+        """A random access must avoid subarrays busy refreshing."""
+        window_rows = scheduler.rows_refreshed(0)
+        busy_row = window_rows[0]
+        # Another row in the same subarray conflicts.
+        sibling = busy_row + 1 if busy_row + 1 < 512 else busy_row - 1
+        assert not scheduler.random_access_allowed(sibling, 0)
+
+    def test_distant_subarray_allowed(self, scheduler):
+        # Slot 0 refreshes rows 0..15, all in subarray 0.
+        far_row = 512 * 10
+        assert scheduler.random_access_allowed(far_row, 0)
+
+
+class TestAggregates:
+    def test_locked_fraction(self, scheduler):
+        assert scheduler.locked_fraction() == pytest.approx(410 / 3906.25)
+
+    def test_lock_time_per_retention(self, scheduler):
+        assert scheduler.lock_time_per_retention_ms() == pytest.approx(
+            8192 * 410 / 1e6
+        )
+
+    def test_tick_advances(self, scheduler):
+        w0 = scheduler.tick()
+        w1 = scheduler.tick()
+        assert w1.ref_index == w0.ref_index + 1
+        assert scheduler.refs_issued == 2
+        scheduler.reset()
+        assert scheduler.refs_issued == 0
+
+    def test_windows_between(self, scheduler):
+        windows = scheduler.windows_between(0.0, 5 * scheduler.trefi_ns)
+        assert len(windows) == 5
+
+    def test_negative_random_slots_rejected(self):
+        with pytest.raises(ConfigError):
+            RefreshScheduler(
+                DDR5_8GB,
+                timings_for_device(DDR5_8GB),
+                random_slots_per_ref=-1,
+            )

@@ -1,0 +1,84 @@
+"""DRAM timing preset tests."""
+
+import pytest
+
+from repro.dram.timing import (
+    DDR4_2400,
+    DDR5_3200,
+    REF_COMMANDS_PER_RETENTION,
+    TIMING_PRESETS,
+    DramTimings,
+)
+from repro.errors import ConfigError
+
+
+class TestDerivedQuantities:
+    def test_trefi_matches_paper(self):
+        """32 ms retention / 8192 REFs = ~3.9 us."""
+        assert DDR5_3200.trefi_ns == pytest.approx(3906.25)
+
+    def test_refresh_lock_fraction(self):
+        """tRFC/tREFI with the 32 Gb part's 410 ns is ~10.5%; the paper's
+        §4.3 example with 300 ns gives ~8%."""
+        assert DDR5_3200.refresh_lock_fraction == pytest.approx(0.105, abs=0.001)
+        example = DDR5_3200.with_retention_ms(32.0)
+        from dataclasses import replace
+
+        example = replace(example, trfc_ns=300.0)
+        assert example.refresh_lock_fraction == pytest.approx(0.0768)
+
+    def test_burst_bytes(self):
+        assert DDR5_3200.burst_bytes == 16
+        assert DDR4_2400.burst_bytes == 8
+
+    def test_channel_bandwidth(self):
+        assert DDR5_3200.channel_bandwidth_bps() == pytest.approx(25.6e9)
+
+    def test_trc_sum(self):
+        assert DDR5_3200.trc_ns == pytest.approx(45.0)
+
+    def test_tck(self):
+        assert DDR5_3200.tck_ns == pytest.approx(0.625)
+
+
+class TestValidation:
+    def test_trefi_must_exceed_trfc(self):
+        with pytest.raises(ConfigError):
+            DramTimings(
+                name="bogus",
+                transfer_rate_mts=3200,
+                trcd_ns=15,
+                tcl_ns=15,
+                trp_ns=15,
+                trfc_ns=5000,
+                retention_ms=0.02,
+                burst_length=16,
+                device_width_bits=8,
+            )
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            DramTimings(
+                name="bogus",
+                transfer_rate_mts=3200,
+                trcd_ns=-1,
+                tcl_ns=15,
+                trp_ns=15,
+                trfc_ns=410,
+                retention_ms=32,
+                burst_length=16,
+                device_width_bits=8,
+            )
+
+    def test_retention_scaling(self):
+        hot = DDR5_3200.with_retention_ms(16.0)
+        assert hot.trefi_ns == pytest.approx(DDR5_3200.trefi_ns / 2)
+        assert hot.refresh_lock_fraction == pytest.approx(
+            DDR5_3200.refresh_lock_fraction * 2
+        )
+
+    def test_presets_registered(self):
+        assert set(TIMING_PRESETS) == {
+            "DDR4-2400", "DDR4-3200", "DDR5-3200", "DDR5-4800",
+        }
+        assert REF_COMMANDS_PER_RETENTION == 8192

@@ -1,0 +1,122 @@
+"""Hardware-overhead model tests (Tables 2-3, CACTI study, energy)."""
+
+import pytest
+
+from repro.dram.device import DDR5_16GB, DDR5_32GB, DDR5_8GB
+from repro.errors import ConfigError
+from repro.hwmodel.cacti import BankModModel
+from repro.hwmodel.energy import SwapEnergyModel
+from repro.hwmodel.fpga import (
+    DEVICE_BRAM,
+    DEVICE_FFS,
+    DEVICE_LUTS,
+    FpgaComponent,
+    xfm_fpga_design,
+)
+
+
+class TestTable2:
+    def test_totals_reproduce_table2(self):
+        """Table 2: 435467 LUTs (83.30%), 94135 FFs (9.00%), 51 BRAM (5.18%)."""
+        util = xfm_fpga_design().utilization()
+        assert util["LUTs"]["used"] == 435467
+        assert util["LUTs"]["percent"] == pytest.approx(83.30, abs=0.01)
+        assert util["FFs"]["used"] == 94135
+        assert util["FFs"]["percent"] == pytest.approx(9.00, abs=0.01)
+        assert util["BRAM"]["used"] == 51
+        assert util["BRAM"]["percent"] == pytest.approx(5.18, abs=0.01)
+
+    def test_compression_logic_dominates_luts(self):
+        """§8 attributes the high LUT count to the (de)compression logic."""
+        design = xfm_fpga_design()
+        compression_luts = sum(
+            c.luts for c in design.components if "deflate" in c.name
+        )
+        assert compression_luts / design.total("luts") > 0.8
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ConfigError):
+            FpgaComponent(name="bad", luts=-1, ffs=0, bram=0, dynamic_w=0.0)
+
+
+class TestTable3:
+    def test_power_reproduces_table3(self):
+        """Table 3: 5.718 W dynamic (81%), 1.306 W static (19%), 7.024 W."""
+        power = xfm_fpga_design().power()
+        assert power["dynamic_w"] == pytest.approx(5.718)
+        assert power["static_w"] == pytest.approx(1.306)
+        assert power["total_w"] == pytest.approx(7.024)
+        assert power["dynamic_pct"] == pytest.approx(81.0, abs=0.5)
+
+    def test_breakdown_covers_components(self):
+        names = {row["name"] for row in xfm_fpga_design().breakdown()}
+        assert "deflate-compressor" in names
+        assert "scratchpad-spm" in names
+
+    def test_spm_uram_scales(self):
+        small = next(
+            c for c in xfm_fpga_design(spm_mib=2.0).components
+            if c.name == "scratchpad-spm"
+        )
+        large = next(
+            c for c in xfm_fpga_design(spm_mib=8.0).components
+            if c.name == "scratchpad-spm"
+        )
+        assert large.uram == 4 * small.uram
+
+    def test_device_totals(self):
+        assert (DEVICE_LUTS, DEVICE_FFS, DEVICE_BRAM) == (522720, 1045440, 984)
+
+    def test_uram_feasibility_bounds_spm(self):
+        """The prototype's 2 MiB SPM fits the device URAM; Fig. 12's
+        8 MiB configuration exceeds it (an ASIC argument, not an error)."""
+        assert xfm_fpga_design(spm_mib=2.0).uram_feasible()
+        assert not xfm_fpga_design(spm_mib=8.0).uram_feasible()
+
+
+class TestCactiModel:
+    def test_paper_overheads_for_8gb_device(self):
+        """§8: ~0.15% area, ~0.002% power for the 8 Gb DDR4-class chip."""
+        model = BankModModel(device=DDR5_8GB)
+        assert model.area_overhead() == pytest.approx(0.0015, rel=0.1)
+        assert model.power_overhead() == pytest.approx(0.00002, rel=0.25)
+
+    def test_overhead_stable_across_devices(self):
+        overheads = [
+            BankModModel(device=d).area_overhead()
+            for d in (DDR5_8GB, DDR5_16GB, DDR5_32GB)
+        ]
+        assert max(overheads) < 0.003
+        assert min(overheads) > 0.0005
+
+    def test_area_scales_with_subarrays(self):
+        base = BankModModel(device=DDR5_8GB)
+        assert base.added_area_f2() == pytest.approx(
+            base.device.subarrays_per_bank
+            * (
+                base.row_address_bits * base.latch_area_f2
+                + base.io_groups_per_subarray * base.select_area_f2
+                + base.wiring_area_f2
+            )
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BankModModel(device=DDR5_8GB, periphery_fraction=1.5)
+
+
+class TestSwapEnergy:
+    def test_movement_saving_69pct(self):
+        assert SwapEnergyModel().movement_saving() == pytest.approx(0.69, abs=0.01)
+
+    def test_xfm_swap_cheaper(self):
+        model = SwapEnergyModel()
+        assert model.xfm_swap_out_j() < model.cpu_swap_out_j()
+        assert model.xfm_swap_in_j() < model.cpu_swap_in_j()
+        assert model.total_saving() > 0.9
+
+    def test_conditional_cheaper_than_random(self):
+        model = SwapEnergyModel()
+        assert model.xfm_swap_out_j(conditional=True) < model.xfm_swap_out_j(
+            conditional=False
+        )

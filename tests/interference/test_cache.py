@@ -1,0 +1,105 @@
+"""Cache substrate tests: functional LRU cache + analytic apportioning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.cache import SetAssociativeCache, shared_llc_shares
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 1024, ways=4)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+
+    def test_capacity_and_geometry(self):
+        cache = SetAssociativeCache(
+            capacity_bytes=1024 * 1024, line_bytes=64, ways=16
+        )
+        assert cache.capacity_bytes == 1024 * 1024
+        assert cache.num_sets == 1024
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(capacity_bytes=1000, line_bytes=64, ways=16)
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(
+            capacity_bytes=2 * 64, line_bytes=64, ways=2
+        )  # one set, two ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)        # 0 becomes MRU
+        cache.access(2 * 64)   # evicts 64 (LRU)
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_working_set_fitting_has_high_hit_rate(self):
+        cache = SetAssociativeCache(capacity_bytes=64 * 1024)
+        addresses = [i * 64 for i in range(512)]  # 32 KiB working set
+        for _ in range(4):
+            for addr in addresses:
+                cache.access(addr)
+        assert cache.stats.miss_rate < 0.3
+
+    def test_streaming_evicts_reuser(self):
+        """The O4 mechanism: a streaming owner steals the reuser's lines."""
+        cache = SetAssociativeCache(capacity_bytes=16 * 1024, ways=4)
+        reuse_set = [i * 64 for i in range(128)]  # 8 KiB, fits alone
+        for _ in range(3):
+            for addr in reuse_set:
+                cache.access(addr, owner="app")
+        miss_before = cache.per_owner["app"].miss_rate
+        # Antagonist streams 256 KiB through the cache.
+        for i in range(4096):
+            cache.access((1 << 20) + i * 64, owner="antagonist")
+        for addr in reuse_set:
+            cache.access(addr, owner="app")
+        assert cache.per_owner["app"].misses > len(reuse_set) * miss_before
+        occupancy = cache.occupancy_by_owner()
+        assert occupancy.get("antagonist", 0) > 0
+
+    def test_resident_bytes(self):
+        cache = SetAssociativeCache(capacity_bytes=16 * 1024)
+        cache.access(0, owner="app")
+        assert cache.resident_bytes("app") == 64
+
+
+class TestSharedLlcShares:
+    def test_fits_all_when_capacity_suffices(self):
+        shares = shared_llc_shares(100.0, [10.0, 20.0], [1.0, 1.0])
+        assert shares == [10.0, 20.0]
+
+    def test_proportional_when_oversubscribed(self):
+        shares = shared_llc_shares(30.0, [100.0, 100.0], [1.0, 2.0])
+        assert shares[0] == pytest.approx(10.0)
+        assert shares[1] == pytest.approx(20.0)
+
+    def test_capped_competitor_releases_slack(self):
+        shares = shared_llc_shares(30.0, [5.0, 100.0], [1.0, 1.0])
+        assert shares[0] == 5.0
+        assert shares[1] == pytest.approx(25.0)
+
+    def test_share_never_exceeds_footprint(self):
+        shares = shared_llc_shares(
+            22.0, [24.0, 12.0, 3.0, 22.0], [5.0, 11.0, 0.5, 3.2]
+        )
+        for share, footprint in zip(shares, [24.0, 12.0, 3.0, 22.0]):
+            assert share <= footprint + 1e-9
+
+    def test_total_bounded_by_capacity(self):
+        shares = shared_llc_shares(
+            22.0, [24.0, 12.0, 9.0, 22.0], [5.0, 11.0, 9.0, 3.2]
+        )
+        assert sum(shares) <= 22.0 + 1e-9
+
+    def test_zero_pressure_splits_evenly(self):
+        shares = shared_llc_shares(10.0, [20.0, 20.0], [0.0, 0.0])
+        assert shares == [5.0, 5.0]
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            shared_llc_shares(10.0, [1.0], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            shared_llc_shares(10.0, [1.0], [-1.0])

@@ -1,0 +1,108 @@
+"""Co-run simulator tests: the Fig. 11 relationships."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interference.bandwidth import MemorySystem
+from repro.interference.corun import (
+    AntagonistConfig,
+    CorunConfig,
+    SfmMode,
+    simulate_corun,
+    xfm_improvement_pct,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = CorunConfig()
+    return {mode: simulate_corun(config, mode) for mode in SfmMode}
+
+
+class TestFig11Relationships:
+    def test_xfm_eliminates_spec_interference(self, results):
+        assert results[SfmMode.XFM].spec_max_degradation_pct == pytest.approx(0.0)
+
+    def test_xfm_preserves_sfm_throughput(self, results):
+        assert results[SfmMode.XFM].sfm_throughput_ratio == pytest.approx(1.0)
+
+    def test_baseline_degrades_both_sides(self, results):
+        baseline = results[SfmMode.BASELINE_CPU]
+        assert 0.0 < baseline.spec_max_degradation_pct <= 10.0
+        # §8: SFM throughput degrades 5-20% under co-run.
+        assert 3.0 <= baseline.sfm_degradation_pct <= 22.0
+
+    def test_lockout_hurts_spec_more_than_baseline(self, results):
+        """§8: Host-Lockout-NMA suffers the higher SPEC penalty (~15%)."""
+        lockout = results[SfmMode.HOST_LOCKOUT_NMA]
+        baseline = results[SfmMode.BASELINE_CPU]
+        assert (
+            lockout.spec_max_degradation_pct
+            > baseline.spec_max_degradation_pct
+        )
+        assert 8.0 <= lockout.spec_max_degradation_pct <= 20.0
+
+    def test_lockout_preserves_sfm_throughput(self, results):
+        assert results[SfmMode.HOST_LOCKOUT_NMA].sfm_throughput_ratio == (
+            pytest.approx(1.0)
+        )
+
+    def test_combined_ordering(self, results):
+        combined = {
+            mode: result.combined_throughput()
+            for mode, result in results.items()
+        }
+        assert combined[SfmMode.XFM] > combined[SfmMode.BASELINE_CPU]
+        assert combined[SfmMode.XFM] > combined[SfmMode.HOST_LOCKOUT_NMA]
+
+    def test_improvement_in_paper_range(self):
+        """Abstract: 5-27% combined improvement, depending on mix/baseline."""
+        improvements = [
+            xfm_improvement_pct(CorunConfig(), SfmMode.BASELINE_CPU),
+            xfm_improvement_pct(CorunConfig(), SfmMode.HOST_LOCKOUT_NMA),
+        ]
+        assert all(2.0 <= x <= 30.0 for x in improvements)
+        assert max(improvements) >= 5.0
+
+
+class TestScaling:
+    def test_heavier_antagonist_hurts_more(self):
+        light = CorunConfig(
+            antagonist=AntagonistConfig(promotion_rate=0.05)
+        )
+        heavy = CorunConfig(
+            antagonist=AntagonistConfig(promotion_rate=0.30)
+        )
+        light_result = simulate_corun(light, SfmMode.BASELINE_CPU)
+        heavy_result = simulate_corun(heavy, SfmMode.BASELINE_CPU)
+        assert (
+            heavy_result.spec_mean_degradation_pct
+            > light_result.spec_mean_degradation_pct
+        )
+
+    def test_memory_bound_jobs_hit_hardest_by_lockout(self):
+        config = CorunConfig(workloads=("lbm", "gcc"))
+        result = simulate_corun(config, SfmMode.HOST_LOCKOUT_NMA)
+        by_name = {w.name: w.degradation_pct for w in result.workloads}
+        assert by_name["lbm"] > by_name["gcc"]
+
+    def test_antagonist_swap_rate(self):
+        ant = AntagonistConfig(sfm_capacity_gb=512.0, promotion_rate=0.14)
+        assert ant.swap_gbps == pytest.approx(512 * 0.14 / 60)
+        assert ant.channel_traffic_gbps > 2 * ant.swap_gbps
+
+    def test_memory_system_validation(self):
+        with pytest.raises(ConfigError):
+            MemorySystem(num_channels=0)
+
+    def test_lockout_inflation(self):
+        memory = MemorySystem()
+        assert memory.lockout_inflation(0.0) == 1.0
+        assert memory.lockout_inflation(0.5) == 2.0
+        with pytest.raises(ConfigError):
+            memory.lockout_inflation(1.0)
+
+    def test_loaded_latency_flat_then_rising(self):
+        memory = MemorySystem()
+        assert memory.loaded_latency(10.0) == memory.idle_latency_ns
+        assert memory.loaded_latency(150.0) > memory.idle_latency_ns

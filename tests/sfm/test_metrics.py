@@ -1,0 +1,83 @@
+"""Swap statistics and bandwidth ledger tests."""
+
+import pytest
+
+from repro.sfm.metrics import (
+    BandwidthLedger,
+    SwapStats,
+    gb_swapped_per_min,
+    promotion_rate,
+)
+
+
+class TestSwapStats:
+    def test_mean_ratio(self):
+        stats = SwapStats(
+            bytes_out_uncompressed=8192, bytes_out_compressed=2048
+        )
+        assert stats.mean_compression_ratio == 4.0
+
+    def test_mean_ratio_empty(self):
+        assert SwapStats().mean_compression_ratio == 0.0
+
+    def test_fallback_fraction(self):
+        stats = SwapStats(
+            cpu_fallback_compressions=1, offloaded_compressions=3
+        )
+        assert stats.fallback_fraction == 0.25
+
+    def test_fallback_fraction_empty(self):
+        assert SwapStats().fallback_fraction == 0.0
+
+    def test_total_cycles(self):
+        stats = SwapStats(cpu_compress_cycles=10.0, cpu_decompress_cycles=5.0)
+        assert stats.total_cpu_cycles == 15.0
+
+
+class TestBandwidthLedger:
+    def test_record_and_totals(self):
+        ledger = BandwidthLedger()
+        ledger.record("sfm_cpu", "read", 100)
+        ledger.record("sfm_cpu", "write", 50)
+        ledger.record("nma", "read", 1000)
+        assert ledger.total("sfm_cpu") == 150
+        assert ledger.total("nma") == 1000
+
+    def test_channel_bytes_excludes_nma(self):
+        """The central XFM accounting rule: NMA traffic never crosses the
+        DDR channel."""
+        ledger = BandwidthLedger()
+        ledger.record("app", "read", 10)
+        ledger.record("sfm_cpu", "write", 20)
+        ledger.record("nma", "write", 999)
+        assert ledger.channel_bytes() == 30
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger().record("app", "sideways", 1)
+
+    def test_bandwidth(self):
+        ledger = BandwidthLedger()
+        ledger.record("app", "read", 10_000_000)
+        assert ledger.bandwidth_bps("app", 2.0) == 5_000_000
+
+    def test_bandwidth_zero_window(self):
+        assert BandwidthLedger().bandwidth_bps("app", 0.0) == 0.0
+
+    def test_reset(self):
+        ledger = BandwidthLedger()
+        ledger.record("app", "read", 1)
+        ledger.reset()
+        assert ledger.snapshot() == {}
+
+
+class TestPromotionRate:
+    def test_eq1(self):
+        assert gb_swapped_per_min(512.0, 0.2) == pytest.approx(102.4)
+
+    def test_paper_example(self):
+        """§2.1: 20% promotion on 512 GB = ~102 GB accessed per minute."""
+        assert promotion_rate(102.4e9, 512e9) == pytest.approx(0.2)
+
+    def test_zero_capacity(self):
+        assert promotion_rate(100.0, 0.0) == 0.0

@@ -1,0 +1,97 @@
+"""Offload-policy tests (§3.2's decompression-offload conditions)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sfm.policy import (
+    OffloadPolicy,
+    io_amplification_ratio,
+    writeback_probability,
+)
+
+
+class TestAmplification:
+    def test_floor_is_blob_fraction(self):
+        assert io_amplification_ratio(4.0, 0.0) == pytest.approx(0.25)
+
+    def test_writeback_adds_round_trip(self):
+        assert io_amplification_ratio(4.0, 1.0) == pytest.approx(2.25)
+
+    def test_monotone_in_writeback(self):
+        low = io_amplification_ratio(3.0, 0.1)
+        high = io_amplification_ratio(3.0, 0.9)
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            io_amplification_ratio(0.0, 0.5)
+        with pytest.raises(ConfigError):
+            io_amplification_ratio(3.0, 1.5)
+
+
+class TestWritebackProbability:
+    def test_immediate_use_stays_cached(self):
+        assert writeback_probability(0.0, 0.0) == 0.0
+
+    def test_long_use_distance_evicts(self):
+        assert writeback_probability(1.0, 0.0) > 0.99
+
+    def test_contention_accelerates_eviction(self):
+        quiet = writeback_probability(0.02, 0.0)
+        contended = writeback_probability(0.02, 1.0)
+        assert contended > quiet
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            writeback_probability(-1.0, 0.0)
+        with pytest.raises(ConfigError):
+            writeback_probability(0.1, 2.0)
+
+
+class TestPolicy:
+    def test_demand_fault_uses_cpu_when_nma_slower(self):
+        """§6's default: the fault path avoids XFM's datapath latency."""
+        policy = OffloadPolicy(
+            nma_decompress_latency_s=30e-6, cpu_decompress_latency_s=8e-6
+        )
+        assert not policy.should_offload(
+            compression_ratio=3.0,
+            use_distance_s=1.0,
+            llc_contention=1.0,
+            latency_critical=True,
+        )
+
+    def test_demand_fault_offloads_with_fast_nma(self):
+        policy = OffloadPolicy(
+            nma_decompress_latency_s=2e-6, cpu_decompress_latency_s=8e-6
+        )
+        assert policy.should_offload(3.0, 0.0, 0.0, latency_critical=True)
+
+    def test_prefetch_with_long_use_distance_offloads(self):
+        """Prefetched pages have long use distances by construction: the
+        decompressed page would be written back anyway, so the NMA path
+        saves the whole round trip."""
+        policy = OffloadPolicy()
+        assert policy.should_offload(
+            compression_ratio=3.0,
+            use_distance_s=0.5,
+            llc_contention=0.5,
+            latency_critical=False,
+        )
+
+    def test_immediate_consumer_keeps_cpu_path(self):
+        """If the decompressed bytes are consumed straight from cache,
+        offloading saves nothing (§3.2 condition 2)."""
+        policy = OffloadPolicy()
+        assert not policy.should_offload(
+            compression_ratio=3.0,
+            use_distance_s=0.0,
+            llc_contention=0.0,
+            latency_critical=False,
+        )
+
+    def test_traffic_saved_scales_with_distance(self):
+        policy = OffloadPolicy()
+        near = policy.traffic_saved_bytes(3.0, 0.001, 0.2)
+        far = policy.traffic_saved_bytes(3.0, 0.5, 0.2)
+        assert far > near > 0

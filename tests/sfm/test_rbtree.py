@@ -1,0 +1,129 @@
+"""Red-black tree unit and invariant (hypothesis) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EntryNotFoundError
+from repro.sfm.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert tree.get(5) is None
+        assert tree.min_key() is None
+
+    def test_insert_lookup(self):
+        tree = RedBlackTree()
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        tree.insert(20, "c")
+        assert tree.lookup(10) == "a"
+        assert tree.lookup(5) == "b"
+        assert 20 in tree
+        assert len(tree) == 3
+
+    def test_insert_replaces(self):
+        tree = RedBlackTree()
+        tree.insert(1, "x")
+        tree.insert(1, "y")
+        assert tree.lookup(1) == "y"
+        assert len(tree) == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(EntryNotFoundError):
+            RedBlackTree().lookup(42)
+
+    def test_delete(self):
+        tree = RedBlackTree()
+        for k in range(20):
+            tree.insert(k, k)
+        assert tree.delete(7) == 7
+        assert 7 not in tree
+        assert len(tree) == 19
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(EntryNotFoundError):
+            RedBlackTree().delete(1)
+
+    def test_ordered_iteration(self):
+        tree = RedBlackTree()
+        for k in [5, 3, 8, 1, 9, 2]:
+            tree.insert(k, str(k))
+        assert tree.keys() == [1, 2, 3, 5, 8, 9]
+        assert list(tree.items())[0] == (1, "1")
+
+    def test_floor(self):
+        tree = RedBlackTree()
+        for k in [10, 20, 30]:
+            tree.insert(k, k)
+        assert tree.floor(25) == (20, 20)
+        assert tree.floor(10) == (10, 10)
+        assert tree.floor(5) is None
+
+    def test_min_key(self):
+        tree = RedBlackTree()
+        for k in [7, 3, 9]:
+            tree.insert(k, k)
+        assert tree.min_key() == 3
+
+
+class TestInvariantsDirected:
+    def test_ascending_insert(self):
+        tree = RedBlackTree()
+        for k in range(200):
+            tree.insert(k, k)
+            tree.check_invariants()
+
+    def test_descending_insert(self):
+        tree = RedBlackTree()
+        for k in reversed(range(200)):
+            tree.insert(k, k)
+        tree.check_invariants()
+
+    def test_black_height_logarithmic(self):
+        tree = RedBlackTree()
+        for k in range(1024):
+            tree.insert(k, k)
+        # Black height of a 1024-node RB tree is at most ~log2(n)+1.
+        assert tree.check_invariants() <= 12
+
+    def test_delete_all(self):
+        tree = RedBlackTree()
+        keys = list(range(100))
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys:
+            tree.delete(k)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 200)),
+        max_size=200,
+    )
+)
+def test_rbtree_invariants_property(operations):
+    """Arbitrary insert/delete interleavings preserve RB invariants and
+    mirror a dict+sorted reference model."""
+    tree = RedBlackTree()
+    model = {}
+    for is_insert, key in operations:
+        if is_insert:
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        elif key in model:
+            assert tree.delete(key) == model.pop(key)
+        else:
+            with pytest.raises(EntryNotFoundError):
+                tree.delete(key)
+    tree.check_invariants()
+    assert tree.keys() == sorted(model)
+    for key, value in model.items():
+        assert tree.lookup(key) == value

@@ -1,0 +1,163 @@
+"""zsmalloc-style pool unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, EntryNotFoundError, ZpoolFullError
+from repro.sfm.page import PAGE_SIZE
+from repro.sfm.zpool import Zpool
+
+
+@pytest.fixture
+def pool():
+    return Zpool(capacity_bytes=8 * PAGE_SIZE)
+
+
+class TestStoreLoad:
+    def test_round_trip(self, pool):
+        blob = b"compressed!" * 30
+        handle = pool.store(blob)
+        assert pool.load(handle) == blob
+        assert handle in pool
+
+    def test_packs_multiple_per_slab(self, pool):
+        handles = [pool.store(b"x" * 1000) for _ in range(4)]
+        assert pool.used_slabs() == 1
+        for handle in handles:
+            assert pool.load(handle) == b"x" * 1000
+
+    def test_empty_blob_rejected(self, pool):
+        with pytest.raises(ConfigError):
+            pool.store(b"")
+
+    def test_oversized_blob_rejected(self, pool):
+        with pytest.raises(ConfigError):
+            pool.store(bytes(PAGE_SIZE + 1))
+
+    def test_capacity_enforced(self):
+        pool = Zpool(capacity_bytes=2 * PAGE_SIZE)
+        pool.store(bytes([1]) * PAGE_SIZE)
+        pool.store(bytes([2]) * PAGE_SIZE)
+        with pytest.raises(ZpoolFullError):
+            pool.store(bytes([3]) * PAGE_SIZE)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Zpool(capacity_bytes=100)
+
+
+class TestFree:
+    def test_free_returns_length(self, pool):
+        handle = pool.store(b"y" * 123)
+        assert pool.free(handle) == 123
+        assert handle not in pool
+
+    def test_unknown_handle_raises(self, pool):
+        with pytest.raises(EntryNotFoundError):
+            pool.free(999)
+        with pytest.raises(EntryNotFoundError):
+            pool.load(999)
+
+    def test_empty_slab_released(self, pool):
+        handle = pool.store(b"z" * 2000)
+        assert pool.used_slabs() == 1
+        pool.free(handle)
+        assert pool.used_slabs() == 0
+
+    def test_freed_space_reusable(self):
+        pool = Zpool(capacity_bytes=PAGE_SIZE)
+        h1 = pool.store(bytes([1]) * 2000)
+        h2 = pool.store(bytes([2]) * 2000)
+        pool.free(h1)
+        h3 = pool.store(bytes([3]) * 2000)
+        assert pool.load(h2) == bytes([2]) * 2000
+        assert pool.load(h3) == bytes([3]) * 2000
+
+
+class TestCompaction:
+    def test_compaction_consolidates_holes(self):
+        pool = Zpool(capacity_bytes=PAGE_SIZE)
+        handles = [pool.store(bytes([i]) * 1000) for i in range(1, 5)]
+        pool.free(handles[0])
+        pool.free(handles[2])
+        # 2096 free but fragmented: 1000 + 1000 + tail 96.
+        with_compaction = pool.store(bytes([9]) * 1900)
+        assert pool.load(with_compaction) == bytes([9]) * 1900
+        assert pool.compactions >= 1
+
+    def test_migration_releases_slabs(self):
+        pool = Zpool(capacity_bytes=4 * PAGE_SIZE)
+        handles = [pool.store(bytes([i % 251 + 1]) * 1500) for i in range(8)]
+        # Free most objects, leaving one small object in each slab.
+        for handle in handles[1::2]:
+            pool.free(handle)
+        slabs_before = pool.used_slabs()
+        pool.compact()
+        assert pool.used_slabs() <= slabs_before
+        for index, handle in enumerate(handles[0::2]):
+            assert pool.load(handle) == bytes([(index * 2) % 251 + 1]) * 1500
+
+    def test_compaction_counts_memcpy_bytes(self):
+        pool = Zpool(capacity_bytes=2 * PAGE_SIZE)
+        h1 = pool.store(b"a" * 1000)
+        h2 = pool.store(b"b" * 1000)
+        pool.free(h1)
+        moved = pool.compact()
+        assert moved >= 1000
+        assert pool.compaction_memcpy_bytes == moved
+        assert pool.load(h2) == b"b" * 1000
+
+
+class TestAccounting:
+    def test_stored_bytes(self, pool):
+        pool.store(b"a" * 100)
+        pool.store(b"b" * 200)
+        assert pool.stored_bytes() == 300
+
+    def test_occupancy_and_fragmentation(self, pool):
+        assert pool.occupancy() == 0.0
+        pool.store(b"a" * 2048)
+        assert pool.occupancy() == pytest.approx(0.5)
+        assert pool.fragmentation() == pytest.approx(0.5)
+
+    def test_entry_snapshot(self, pool):
+        handle = pool.store(b"c" * 64)
+        entry = pool.entry(handle)
+        assert entry.length == 64
+        assert entry.handle == handle
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(1, 3000)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_zpool_model_property(operations):
+    """Store/free interleavings match a dict model; contents never corrupt;
+    stored bytes never exceed the slab footprint."""
+    pool = Zpool(capacity_bytes=16 * PAGE_SIZE)
+    model = {}
+    counter = 0
+    live = []
+    for is_store, size in operations:
+        if is_store or not live:
+            counter += 1
+            blob = bytes([counter % 251 + 1]) * size
+            try:
+                handle = pool.store(blob)
+            except ZpoolFullError:
+                continue
+            model[handle] = blob
+            live.append(handle)
+        else:
+            handle = live.pop(size % len(live))
+            pool.free(handle)
+            del model[handle]
+    for handle, blob in model.items():
+        assert pool.load(handle) == blob
+    assert pool.stored_bytes() == sum(len(b) for b in model.values())
+    assert pool.stored_bytes() <= pool.used_slabs() * PAGE_SIZE

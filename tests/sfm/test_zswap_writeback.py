@@ -1,0 +1,102 @@
+"""zswap writeback (shrink) path tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sfm.backend import SfmBackend
+from repro.sfm.page import PAGE_SIZE
+from repro.sfm.zswap import ZswapFrontend
+from repro.workloads.corpus import corpus_pages
+
+
+def _frontend_with_device(max_pool_percent=10, total_pages=40):
+    backend = SfmBackend(capacity_bytes=64 * PAGE_SIZE)
+    swap_device = {}
+
+    def writeback(swap_type, offset, data):
+        swap_device[(swap_type, offset)] = data
+
+    frontend = ZswapFrontend(
+        backend,
+        total_ram_bytes=total_pages * PAGE_SIZE,
+        max_pool_percent=max_pool_percent,
+        writeback=writeback,
+    )
+    return frontend, swap_device
+
+
+class TestWriteback:
+    def test_pressure_evicts_instead_of_rejecting(self):
+        frontend, swap_device = _frontend_with_device()
+        pages = corpus_pages("json-records", 24, seed=81)
+        results = [
+            frontend.store(0, i, page) for i, page in enumerate(pages)
+        ]
+        # With writeback enabled, stores keep succeeding under pressure.
+        assert all(results)
+        assert frontend.stats.reject_pool_limit == 0
+        assert frontend.stats.written_back > 0
+        assert swap_device
+
+    def test_lru_victims_chosen(self):
+        frontend, swap_device = _frontend_with_device()
+        pages = corpus_pages("json-records", 24, seed=82)
+        for i, page in enumerate(pages):
+            frontend.store(0, i, page)
+        # The oldest offsets land on the swap device first.
+        evicted_offsets = sorted(offset for _, offset in swap_device)
+        assert evicted_offsets[0] == 0
+        assert max(evicted_offsets) < 24
+
+    def test_written_back_content_is_exact(self):
+        frontend, swap_device = _frontend_with_device()
+        pages = corpus_pages("server-log", 24, seed=83)
+        for i, page in enumerate(pages):
+            frontend.store(0, i, page)
+        for (swap_type, offset), data in swap_device.items():
+            assert data == pages[offset]
+
+    def test_every_page_recoverable_from_somewhere(self):
+        """The kernel contract: a page is in zswap XOR on the device."""
+        frontend, swap_device = _frontend_with_device()
+        pages = corpus_pages("db-btree", 24, seed=84)
+        for i, page in enumerate(pages):
+            frontend.store(0, i, page)
+        for i, original in enumerate(pages):
+            got = frontend.load(0, i)
+            if got is None:
+                got = swap_device[(0, i)]
+            assert got == original
+
+    def test_pool_stays_under_limit(self):
+        frontend, _ = _frontend_with_device()
+        pages = corpus_pages("xml-config", 30, seed=85)
+        for i, page in enumerate(pages):
+            frontend.store(0, i, page)
+            assert (
+                frontend.pool_usage_bytes()
+                <= frontend.pool_limit_bytes() + PAGE_SIZE
+            )
+
+    def test_shrink_requires_callback(self, json_pages):
+        backend = SfmBackend(capacity_bytes=16 * PAGE_SIZE)
+        frontend = ZswapFrontend(
+            backend, total_ram_bytes=256 * PAGE_SIZE
+        )
+        with pytest.raises(ConfigError):
+            frontend.shrink()
+
+    def test_without_callback_rejects_as_before(self):
+        backend = SfmBackend(capacity_bytes=64 * PAGE_SIZE)
+        frontend = ZswapFrontend(
+            backend,
+            total_ram_bytes=40 * PAGE_SIZE,
+            max_pool_percent=10,
+        )
+        pages = corpus_pages("json-records", 24, seed=86)
+        results = [
+            frontend.store(0, i, page) for i, page in enumerate(pages)
+        ]
+        assert not all(results)
+        assert frontend.stats.reject_pool_limit > 0
+        assert frontend.stats.written_back == 0

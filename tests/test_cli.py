@@ -1,0 +1,44 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_is_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "available experiments" in out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR5-32Gb" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table2", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out and "Dynamic" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_budget(self, capsys):
+        assert main(["budget"]) == 0
+        assert "locked_fraction" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", ["fig1", "fig3", "table1"])
+    def test_fast_experiments_run(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_export_writes_figure_data(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "data")]) == 0
+        written = {p.name for p in (tmp_path / "data").iterdir()}
+        assert written == {
+            "fig1.csv", "fig3.json", "fig8.csv", "fig11.json", "fig12.csv",
+        }

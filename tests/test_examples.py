@@ -1,0 +1,50 @@
+"""Every example script must run clean end to end.
+
+Examples are deliverables, not decoration: each is executed as a real
+subprocess (fresh interpreter, no test fixtures) and must exit 0 with the
+output markers a reader would look for.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+_EXPECTED_MARKERS = {
+    "quickstart.py": ["identical functional behaviour", "DDR channel traffic"],
+    "cost_study.py": ["break-even", "Fleet view"],
+    "corun_study.py": ["per-workload runtime degradation", "XFM gain"],
+    "multichannel_study.py": ["ratio retained", "gather-decompress"],
+    "zswap_frontend.py": ["same_filled_pages", "swapoff"],
+    "far_memory_app.py": ["swap trace written", "XFM kept"],
+    "trace_replay.py": ["time compression", "refresh budget saturate"],
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_all_examples_are_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(_EXPECTED_MARKERS), (
+        "example scripts and the marker table are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(_EXPECTED_MARKERS))
+def test_example_runs_clean(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in _EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script} output missing {marker!r}"
+        )

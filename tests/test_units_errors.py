@@ -1,0 +1,75 @@
+"""Unit-helper and exception-hierarchy tests."""
+
+import pytest
+
+from repro import _units as units
+from repro import errors
+
+
+class TestUnits:
+    def test_binary_sizes(self):
+        assert units.kib(4) == 4096
+        assert units.mib(2) == 2 * 1024 * 1024
+        assert units.gib(1) == 1 << 30
+        assert units.TIB == 1 << 40
+
+    def test_time_conversions(self):
+        assert units.ms_to_ns(32.0) == 32e6
+        assert units.us_to_ns(3.9) == pytest.approx(3900.0)
+        assert units.ns_to_s(1e9) == 1.0
+        assert units.s_to_ns(2.0) == 2e9
+
+    def test_energy_conversions(self):
+        assert units.kwh_to_joules(1.0) == 3.6e6
+        assert units.joules_to_kwh(3.6e6) == 1.0
+
+    def test_bandwidth_identities(self):
+        assert units.bytes_per_ns_to_gbps(8.5) == 8.5
+        assert units.gbps_to_bytes_per_ns(25.6) == 25.6
+
+    def test_calendar(self):
+        assert units.SECONDS_PER_YEAR == 365 * 24 * 3600
+
+    def test_pretty_bytes(self):
+        assert units.pretty_bytes(4096) == "4.0 KiB"
+        assert units.pretty_bytes(512 * (1 << 30)) == "512.0 GiB"
+        assert units.pretty_bytes(3) == "3.0 B"
+        assert units.pretty_bytes(5 * (1 << 40)) == "5.0 TiB"
+
+    def test_pretty_rate(self):
+        assert units.pretty_rate(8.5e9) == "8.5 GBps"
+        assert units.pretty_rate(426.7e6) == "426.7 MBps"
+        assert units.pretty_rate(12.0) == "12.0 Bps"
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.CompressionError,
+            errors.CorruptStreamError,
+            errors.DramProtocolError,
+            errors.AddressMapError,
+            errors.SfmError,
+            errors.ZpoolFullError,
+            errors.EntryNotFoundError,
+            errors.XfmError,
+            errors.SpmFullError,
+            errors.QueueFullError,
+            errors.MmioError,
+            errors.ConfigError,
+        ]
+        for exc in leaves:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specialization_relations(self):
+        assert issubclass(errors.CorruptStreamError, errors.CompressionError)
+        assert issubclass(errors.ZpoolFullError, errors.SfmError)
+        assert issubclass(errors.SpmFullError, errors.XfmError)
+        assert issubclass(errors.QueueFullError, errors.XfmError)
+        assert issubclass(errors.MmioError, errors.XfmError)
+
+    def test_catching_the_base_catches_library_errors(self):
+        from repro.compression import DeflateCodec
+
+        with pytest.raises(errors.ReproError):
+            DeflateCodec().decompress(b"\x00garbage")

@@ -1,0 +1,88 @@
+"""Synthetic corpus generator tests."""
+
+import pytest
+
+from repro.compression import DeflateCodec, compression_ratio
+from repro.errors import ConfigError
+from repro.workloads.corpus import (
+    CORPUS_NAMES,
+    corpus_pages,
+    describe_corpus,
+    generate_corpus,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        for name in CORPUS_NAMES:
+            assert generate_corpus(name, 2048, seed=5) == generate_corpus(
+                name, 2048, seed=5
+            )
+
+    def test_different_seeds_differ(self):
+        for name in CORPUS_NAMES:
+            if name == "zero-pages":
+                continue
+            assert generate_corpus(name, 2048, seed=1) != generate_corpus(
+                name, 2048, seed=2
+            )
+
+    def test_different_corpora_differ(self):
+        a = generate_corpus("text-english", 2048, seed=0)
+        b = generate_corpus("source-code", 2048, seed=0)
+        assert a != b
+
+
+class TestSizes:
+    @pytest.mark.parametrize("size", [0, 1, 100, 4096, 10000])
+    def test_exact_size(self, size):
+        for name in CORPUS_NAMES:
+            assert len(generate_corpus(name, size, seed=0)) == size
+
+    def test_pages_shape(self):
+        pages = corpus_pages("server-log", 5, page_size=2048, seed=0)
+        assert len(pages) == 5
+        assert all(len(p) == 2048 for p in pages)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_corpus("text-english", -1)
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_corpus("silesia", 100)
+        with pytest.raises(ConfigError):
+            describe_corpus("silesia")
+
+
+class TestCompressibilitySpectrum:
+    """The sixteen corpora must span a ratio spectrum like real corpora."""
+
+    def test_sixteen_corpora(self):
+        assert len(CORPUS_NAMES) == 16
+
+    def test_random_is_incompressible(self):
+        codec = DeflateCodec()
+        page = generate_corpus("random-bytes", 4096, seed=0)
+        assert compression_ratio(page, codec) < 1.05
+
+    def test_zero_pages_compress_massively(self):
+        codec = DeflateCodec()
+        page = generate_corpus("zero-pages", 4096, seed=0)
+        assert compression_ratio(page, codec) > 50
+
+    def test_structured_corpora_compress_well(self):
+        codec = DeflateCodec(window_size=4096)
+        for name in ("json-records", "server-log", "xml-config", "html-markup"):
+            page = generate_corpus(name, 4096, seed=3)
+            assert compression_ratio(page, codec) > 2.0, name
+
+    def test_binary_corpora_compress_moderately(self):
+        codec = DeflateCodec(window_size=4096)
+        for name in ("heap-pointers", "binary-structs", "integer-array"):
+            page = generate_corpus(name, 4096, seed=3)
+            assert 1.3 < compression_ratio(page, codec) < 30.0, name
+
+    def test_descriptions_exist(self):
+        for name in CORPUS_NAMES:
+            assert describe_corpus(name)

@@ -1,0 +1,138 @@
+"""Prefetcher tests, including the runtime integration."""
+
+import pytest
+
+from repro.core.backend import XfmBackend
+from repro.errors import ConfigError
+from repro.sfm.controller import ColdScanController
+from repro.sfm.page import PAGE_SIZE
+from repro.workloads.aifm import FarMemoryRuntime
+from repro.workloads.corpus import corpus_pages
+from repro.workloads.prefetch import (
+    SequentialPrefetcher,
+    StridePrefetcher,
+)
+
+
+class TestSequential:
+    def test_predicts_next_pages(self):
+        prefetcher = SequentialPrefetcher(degree=3)
+        assert prefetcher.observe(0) == [PAGE_SIZE, 2 * PAGE_SIZE, 3 * PAGE_SIZE]
+
+    def test_usefulness_tracked(self):
+        prefetcher = SequentialPrefetcher(degree=2)
+        prefetcher.observe(0)
+        prefetcher.observe(PAGE_SIZE)  # predicted -> useful
+        assert prefetcher.stats.useful == 1
+        assert prefetcher.stats.issued >= 2
+
+    def test_accuracy_on_pure_scan(self):
+        prefetcher = SequentialPrefetcher(degree=1)
+        for i in range(100):
+            prefetcher.observe(i * PAGE_SIZE)
+        assert prefetcher.stats.accuracy > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SequentialPrefetcher(degree=0)
+
+
+class TestStride:
+    def test_quiet_until_confident(self):
+        prefetcher = StridePrefetcher(confidence_threshold=2)
+        assert prefetcher.observe(0) == []
+        assert prefetcher.observe(2 * PAGE_SIZE) == []  # first stride seen
+        # Second occurrence of the same stride -> predictions fire.
+        predictions = prefetcher.observe(4 * PAGE_SIZE)
+        assert predictions
+        assert predictions[0] == 6 * PAGE_SIZE
+
+    def test_detects_non_unit_stride(self):
+        prefetcher = StridePrefetcher(degree=2, confidence_threshold=2)
+        for i in range(4):
+            out = prefetcher.observe(i * 3 * PAGE_SIZE)
+        assert prefetcher.current_stride == 3 * PAGE_SIZE
+        # Last access was 9P; predictions extend the stride from there.
+        assert out == [12 * PAGE_SIZE, 15 * PAGE_SIZE]
+
+    def test_random_pattern_stays_quiet(self):
+        import random
+
+        random.seed(3)
+        prefetcher = StridePrefetcher(confidence_threshold=3)
+        issued = 0
+        for _ in range(200):
+            issued += len(
+                prefetcher.observe(random.randrange(1000) * PAGE_SIZE)
+            )
+        # Random strides almost never repeat 3x consecutively.
+        assert issued < 40
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = StridePrefetcher(confidence_threshold=2)
+        prefetcher.observe(0)
+        prefetcher.observe(PAGE_SIZE)
+        prefetcher.observe(2 * PAGE_SIZE)      # stride P confident
+        assert prefetcher.observe(10 * PAGE_SIZE) == []  # break
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StridePrefetcher(degree=0)
+
+
+class TestRuntimeIntegration:
+    def test_prefetching_reduces_demand_faults_on_scans(self):
+        """The §3.2 payoff: predictable patterns + offload prefetch."""
+        data = corpus_pages("json-records", 64, seed=41)
+
+        def build(prefetcher):
+            backend = XfmBackend(capacity_bytes=256 * PAGE_SIZE)
+            runtime = FarMemoryRuntime(
+                backend,
+                local_capacity_pages=16,
+                controller=ColdScanController(
+                    cold_threshold_s=1.0, scan_period_s=1.0
+                ),
+                prefetcher=prefetcher,
+            )
+            vaddrs = runtime.allocate(data, now_s=0.0)
+            return runtime, vaddrs
+
+        def scan_workload(runtime, vaddrs):
+            now = 0.0
+            for sweep in range(4):
+                for vaddr in vaddrs:
+                    runtime.read(vaddr, now)
+                    now += 0.05
+                runtime.maintain(now)
+                now += 30.0  # everything goes cold between sweeps
+                runtime.maintain(now)
+            return runtime.stats.demand_faults
+
+        baseline_faults = scan_workload(*build(None))
+        prefetch_faults = scan_workload(
+            *build(SequentialPrefetcher(degree=8))
+        )
+        assert prefetch_faults < baseline_faults
+
+    def test_prefetch_promotions_use_offload_path(self):
+        data = corpus_pages("json-records", 32, seed=42)
+        backend = XfmBackend(capacity_bytes=256 * PAGE_SIZE)
+        runtime = FarMemoryRuntime(
+            backend,
+            local_capacity_pages=8,
+            controller=ColdScanController(
+                cold_threshold_s=1.0, scan_period_s=1.0
+            ),
+            prefetcher=SequentialPrefetcher(degree=4),
+        )
+        vaddrs = runtime.allocate(data, now_s=0.0)
+        now = 0.0
+        for sweep in range(3):
+            for vaddr in vaddrs:
+                runtime.read(vaddr, now)
+                now += 0.1
+            now += 30.0
+            runtime.maintain(now)
+        assert backend.stats.offloaded_decompressions > 0
+        assert runtime.stats.prefetch_promotions > 0

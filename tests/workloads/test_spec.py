@@ -1,0 +1,68 @@
+"""SPEC-like workload profile tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.spec import (
+    DEFAULT_JOB_MIX,
+    SPEC_PROFILES,
+    SpecProfile,
+    get_profile,
+    job_mix,
+)
+
+
+class TestProfiles:
+    def test_default_mix_has_eight_jobs(self):
+        """§8 co-runs 8 SPEC workloads."""
+        assert len(DEFAULT_JOB_MIX) == 8
+        assert all(name in SPEC_PROFILES for name in DEFAULT_JOB_MIX)
+
+    def test_known_stressors_present(self):
+        assert "mcf" in SPEC_PROFILES
+        assert "lbm" in SPEC_PROFILES
+
+    def test_lbm_is_bandwidth_heavy(self):
+        lbm = get_profile("lbm")
+        gcc = get_profile("gcc")
+        assert lbm.bandwidth_gbps > 3 * gcc.bandwidth_gbps
+        assert lbm.base_mpki > gcc.base_mpki
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            get_profile("povray")
+
+    def test_job_mix_resolution(self):
+        mix = job_mix(["mcf", "lbm"])
+        assert [p.name for p in mix] == ["mcf", "lbm"]
+
+
+class TestMissRatioCurve:
+    def test_full_share_gives_base_mpki(self):
+        mcf = get_profile("mcf")
+        assert mcf.mpki_at_share(mcf.llc_footprint_mib) == mcf.base_mpki
+        assert mcf.mpki_at_share(mcf.llc_footprint_mib * 2) == mcf.base_mpki
+
+    def test_shrinking_share_raises_mpki(self):
+        mcf = get_profile("mcf")
+        assert mcf.mpki_at_share(6.0) > mcf.mpki_at_share(12.0) > mcf.base_mpki
+
+    def test_degenerate_share_clamped(self):
+        mcf = get_profile("mcf")
+        assert mcf.mpki_at_share(0.0) > 0
+
+    def test_cpi_increases_with_latency(self):
+        mcf = get_profile("mcf")
+        fast = mcf.cpi(mcf.base_mpki, memory_latency_cycles=200)
+        slow = mcf.cpi(mcf.base_mpki, memory_latency_cycles=400)
+        assert slow > fast > mcf.base_cpi
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpecProfile(
+                name="bogus",
+                base_cpi=0.0,
+                base_mpki=1.0,
+                llc_footprint_mib=1.0,
+                bandwidth_gbps=1.0,
+            )

@@ -1,0 +1,39 @@
+"""Tunable-compressibility page generator tests."""
+
+import pytest
+
+from repro.compression import DeflateCodec, compression_ratio
+from repro.errors import ConfigError
+from repro.workloads.corpus import tunable_page
+
+
+class TestTunablePage:
+    def test_exact_size(self):
+        assert len(tunable_page(3.0)) == 4096
+        assert len(tunable_page(3.0, page_size=2048)) == 2048
+
+    def test_deterministic(self):
+        assert tunable_page(3.0, seed=5) == tunable_page(3.0, seed=5)
+        assert tunable_page(3.0, seed=5) != tunable_page(3.0, seed=6)
+
+    def test_ratio_one_is_incompressible(self):
+        page = tunable_page(1.0, seed=2)
+        assert compression_ratio(page, DeflateCodec()) < 1.05
+
+    @pytest.mark.parametrize("target", [1.5, 2.0, 3.0, 5.0, 10.0])
+    def test_tracks_target_within_band(self, target):
+        page = tunable_page(target, seed=3)
+        achieved = compression_ratio(page, DeflateCodec(window_size=4096))
+        assert achieved == pytest.approx(target, rel=0.30)
+
+    def test_monotone_in_target(self):
+        codec = DeflateCodec(window_size=4096)
+        ratios = [
+            compression_ratio(tunable_page(t, seed=4), codec)
+            for t in (1.5, 3.0, 6.0)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            tunable_page(0.5)
