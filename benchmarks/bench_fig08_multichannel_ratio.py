@@ -5,28 +5,23 @@ Paper claims (§6, §8): interleaved multi-DIMM compression retains ~86.2%
 of the in-order compression ratio on average at 4 DIMMs; memory savings
 drop ~5% at 2 channels and ~14% at 4 channels (window shrink + same-offset
 placement fragmentation).
+
+The table body is rendered by :func:`repro.analysis.goldens.fig8_table`,
+shared with the golden-snapshot regression test in
+``tests/validation/test_golden_figures.py``.
 """
 
 from repro.analysis.figures import fig8_ratios
-from repro.analysis.report import format_table
+from repro.analysis.goldens import FIG8_GOLDEN_KWARGS, fig8_table
 from repro.workloads.corpus import CORPUS_NAMES
 
 
 def test_fig8_multichannel_ratio(once, emit):
-    reports = once(fig8_ratios, corpora=tuple(CORPUS_NAMES), pages_per_corpus=6)
-    rows = []
-    for report in reports:
-        rows.append(
-            [
-                report.corpus,
-                round(report.stored_ratio[1], 2),
-                round(report.stored_ratio[2], 2),
-                round(report.stored_ratio[4], 2),
-                round(100 * report.ratio_retention(4), 1),
-                round(100 * report.savings_reduction_vs_inorder(2), 1),
-                round(100 * report.savings_reduction_vs_inorder(4), 1),
-            ]
-        )
+    reports = once(
+        fig8_ratios, corpora=tuple(CORPUS_NAMES), **FIG8_GOLDEN_KWARGS
+    )
+    emit("fig08_multichannel", fig8_table(reports))
+
     compressible = [r for r in reports if r.stored_ratio[1] > 1.3]
     mean_retention = sum(
         r.ratio_retention(4) for r in compressible
@@ -37,26 +32,6 @@ def test_fig8_multichannel_ratio(once, emit):
     mean_red4 = sum(
         r.savings_reduction_vs_inorder(4) for r in compressible
     ) / len(compressible)
-    table = format_table(
-        [
-            "corpus",
-            "ratio 1-DIMM",
-            "ratio 2-DIMM",
-            "ratio 4-DIMM",
-            "retained@4 %",
-            "savings loss@2 %",
-            "savings loss@4 %",
-        ],
-        rows,
-        title="Fig. 8 — multi-channel compression ratios (deflate)",
-    )
-    table += (
-        f"\nmean ratio retained @4 DIMMs (compressible corpora):"
-        f" {100 * mean_retention:.1f}% (paper: 86.2%)"
-        f"\nmean savings reduction @2: {100 * mean_red2:.1f}% (paper: ~5%)"
-        f"\nmean savings reduction @4: {100 * mean_red4:.1f}% (paper: ~14%)"
-    )
-    emit("fig08_multichannel", table)
 
     # Shape: monotone degradation, in the paper's ballpark.
     for report in reports:

@@ -4,52 +4,19 @@ Paper claims (§8): with 3 NMA accesses per REF, an 8 MB SPM eliminates all
 CPU fallbacks regardless of the promotion rate; the random-access rate
 scales with the promotion rate but conditional accesses dominate; the
 conditional accesses cut NMA access energy by ~10%.
+
+The table body is rendered by :func:`repro.analysis.goldens.fig12_table`,
+shared with the golden-snapshot regression test in
+``tests/validation/test_golden_figures.py``.
 """
 
 from repro.analysis.figures import fig12_fallbacks
-from repro.analysis.report import format_table
+from repro.analysis.goldens import FIG12_GOLDEN_KWARGS, fig12_table
 
 
 def test_fig12_fallbacks(once, emit):
-    grid = once(
-        fig12_fallbacks,
-        promotion_rates=(0.5, 1.0),
-        spm_sizes_mib=(1, 2, 4, 8),
-        accesses_per_ref=(1, 2, 3),
-        sim_time_s=0.08,
-    )
-    rows = []
-    for promo, reports in grid.items():
-        for report in reports:
-            cfg = report.config
-            p95 = report.latency_percentiles_ms.get(95, 0.0)
-            rows.append(
-                [
-                    f"{int(promo * 100)}%",
-                    cfg.spm_bytes >> 20,
-                    cfg.accesses_per_ref,
-                    round(100 * report.fallback_fraction, 2),
-                    round(100 * report.random_fraction, 1),
-                    round(report.nma_bandwidth_bps / 1e9, 3),
-                    round(100 * report.conditional_energy_saving, 2),
-                    round(p95 * 1000, 1),
-                ]
-            )
-    table = format_table(
-        [
-            "promotion",
-            "SPM MiB",
-            "acc/REF",
-            "fallback %",
-            "random %",
-            "NMA GBps",
-            "energy saved %",
-            "p95 latency us",
-        ],
-        rows,
-        title="Fig. 12 — CPU fallbacks (512 GB SFM, per-rank emulation)",
-    )
-    emit("fig12_fallbacks", table)
+    grid = once(fig12_fallbacks, **FIG12_GOLDEN_KWARGS)
+    emit("fig12_fallbacks", fig12_table(grid))
 
     by_key = {
         (promo, r.config.spm_bytes >> 20, r.config.accesses_per_ref): r

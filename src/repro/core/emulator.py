@@ -43,6 +43,7 @@ from repro.dram.energy import AccessEnergyModel
 from repro.dram.refresh import RefreshScheduler
 from repro.dram.timing import DramTimings
 from repro.errors import ConfigError
+from repro.validation.hooks import validation_enabled
 
 
 @dataclass(frozen=True)
@@ -170,17 +171,33 @@ class XfmEmulator:
         )
         self.energy_model = AccessEnergyModel()
 
+    def _spawn_rngs(self) -> tuple:
+        """Independent child streams derived from ``cfg.seed`` via
+        ``SeedSequence.spawn`` — one per consumer (arrival sampling,
+        trace offload sampling, in-simulation row draws). Reseeding
+        ``default_rng(cfg.seed)`` at each site would correlate the
+        streams: arrival counts and target rows would be drawn from the
+        *same* sequence, coupling load to placement."""
+        arrival_seq, trace_seq, sim_seq = np.random.SeedSequence(
+            self.config.seed
+        ).spawn(3)
+        return (
+            np.random.default_rng(arrival_seq),
+            np.random.default_rng(trace_seq),
+            np.random.default_rng(sim_seq),
+        )
+
     def run(self) -> EmulatorReport:
         """Synthetic mode: Poisson arrivals at the promotion-rate-implied
         per-rank operation rates (the Fig. 12 methodology)."""
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        arrival_rng, _, sim_rng = self._spawn_rngs()
         trefi_s = self.timings.trefi_ns / 1e9
         num_refs = int(cfg.sim_time_s / trefi_s)
         comp_rate, decomp_rate = cfg.ops_per_second_per_rank()
-        comp_arrivals = rng.poisson(comp_rate * trefi_s, num_refs)
-        decomp_arrivals = rng.poisson(decomp_rate * trefi_s, num_refs)
-        return self._simulate(comp_arrivals, decomp_arrivals)
+        comp_arrivals = arrival_rng.poisson(comp_rate * trefi_s, num_refs)
+        decomp_arrivals = arrival_rng.poisson(decomp_rate * trefi_s, num_refs)
+        return self._simulate(comp_arrivals, decomp_arrivals, rng=sim_rng)
 
     def run_trace(self, trace, time_scale: float = 1.0) -> EmulatorReport:
         """Trace-driven mode: replay a :class:`~repro.workloads.traces.
@@ -198,15 +215,17 @@ class XfmEmulator:
         cfg = self.config
         if time_scale <= 0:
             raise ConfigError("time_scale must be positive")
+        _, trace_rng, sim_rng = self._spawn_rngs()
         trefi_s = self.timings.trefi_ns / 1e9
         if not len(trace):
-            return self._simulate(np.zeros(1, int), np.zeros(1, int))
+            return self._simulate(
+                np.zeros(1, int), np.zeros(1, int), rng=sim_rng
+            )
         start = trace.events[0].time_s
         duration = max(trace.duration_s, trefi_s * time_scale)
         num_refs = int(duration / time_scale / trefi_s) + 1
         comp_arrivals = np.zeros(num_refs, dtype=int)
         decomp_arrivals = np.zeros(num_refs, dtype=int)
-        rng = np.random.default_rng(cfg.seed)
         for event in trace:
             ref = min(
                 num_refs - 1,
@@ -215,14 +234,17 @@ class XfmEmulator:
             if event.kind == SWAP_OUT:
                 comp_arrivals[ref] += 1
             elif event.kind == SWAP_IN and (
-                rng.random() < cfg.decompress_offload_fraction
+                trace_rng.random() < cfg.decompress_offload_fraction
             ):
                 decomp_arrivals[ref] += 1
-        return self._simulate(comp_arrivals, decomp_arrivals)
+        return self._simulate(comp_arrivals, decomp_arrivals, rng=sim_rng)
 
-    def _simulate(self, comp_arrivals, decomp_arrivals) -> EmulatorReport:
+    def _simulate(
+        self, comp_arrivals, decomp_arrivals, rng=None
+    ) -> EmulatorReport:
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        if rng is None:
+            rng = self._spawn_rngs()[2]
         num_refs = len(comp_arrivals)
         rows = self.device.rows_per_bank
 
@@ -357,6 +379,16 @@ class XfmEmulator:
                 )
                 write_of[wreq.request_id] = group
 
+            if validation_enabled():
+                self._check_window_state(
+                    spm_used=spm_used,
+                    crq_used=crq_used,
+                    flex_buffer=flex_buffer,
+                    flex_buffer_bytes=flex_buffer_bytes,
+                    ops=ops,
+                    ref=ref,
+                )
+
         # Flush: remaining in-flight ops are neither fallbacks nor
         # completions; exclude them from latency statistics.
         mean_latency_ms = (
@@ -387,6 +419,46 @@ class XfmEmulator:
             mean_latency_ms=mean_latency_ms,
             latency_percentiles_ms=percentiles,
         )
+
+    def _check_window_state(
+        self,
+        spm_used: int,
+        crq_used: int,
+        flex_buffer,
+        flex_buffer_bytes: int,
+        ops,
+        ref: int,
+    ) -> None:
+        """Per-window resource-accounting invariants (validation mode).
+
+        The SPM/CRQ counters are the emulator's whole resource model —
+        a drift here silently shifts every fallback curve in Fig. 12.
+        """
+        from repro.validation.invariants import InvariantViolation
+
+        cfg = self.config
+        if not 0 <= spm_used <= cfg.spm_bytes:
+            raise InvariantViolation(
+                f"emulator: SPM occupancy {spm_used} outside "
+                f"[0, {cfg.spm_bytes}] at REF {ref}"
+            )
+        if not 0 <= crq_used <= cfg.crq_depth:
+            raise InvariantViolation(
+                f"emulator: CRQ occupancy {crq_used} outside "
+                f"[0, {cfg.crq_depth}] at REF {ref}"
+            )
+        if flex_buffer_bytes != len(flex_buffer) * cfg.blob_bytes:
+            raise InvariantViolation(
+                f"emulator: flex buffer accounts {flex_buffer_bytes} bytes "
+                f"for {len(flex_buffer)} blobs of {cfg.blob_bytes} at "
+                f"REF {ref}"
+            )
+        reserved = sum(op.spm_reserved for op in ops.values())
+        if reserved != spm_used:
+            raise InvariantViolation(
+                f"emulator: in-flight ops reserve {reserved} bytes but "
+                f"SPM counter says {spm_used} at REF {ref}"
+            )
 
 
 def fallback_sweep(

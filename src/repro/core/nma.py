@@ -27,6 +27,7 @@ from repro.compression.deflate import DeflateCodec
 from repro.core.registers import RegisterFile, Registers
 from repro.core.spm import ScratchpadMemory, SpmEntry, SpmTag
 from repro.errors import ConfigError, QueueFullError
+from repro.validation.hooks import checkpoint
 
 FPGA_PROTOTYPE_COMPRESS_GBPS = 1.4
 FPGA_PROTOTYPE_DECOMPRESS_GBPS = 1.7
@@ -208,3 +209,4 @@ class NearMemoryAccelerator:
         if self.spm.entries(SpmTag.COMPLETED):
             status |= 0x2
         self.registers.device_set(Registers.STATUS, status)
+        checkpoint(self)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.errors import MmioError
+from repro.validation.hooks import checkpoint
 
 
 class Registers(enum.IntEnum):
@@ -73,6 +74,7 @@ class RegisterFile:
         if value < 0:
             raise MmioError("register values are unsigned")
         self._values[offset] = value
+        checkpoint(self)
 
     def device_set(self, register: Registers, value: int) -> None:
         """Device-side update (bypasses read-only protection)."""

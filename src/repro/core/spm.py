@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError, SpmFullError
+from repro.validation.hooks import checkpoint
 
 
 class SpmTag(enum.Enum):
@@ -100,6 +101,7 @@ class ScratchpadMemory:
         self._used += nbytes
         self.peak_used = max(self.peak_used, self._used)
         self.admissions += 1
+        checkpoint(self)
         return entry
 
     def complete(
@@ -122,6 +124,7 @@ class ScratchpadMemory:
         if payload is not None:
             entry.payload = payload
         entry.tag = SpmTag.COMPLETED
+        checkpoint(self)
         return entry
 
     def release(self, entry_id: int) -> SpmEntry:
@@ -129,6 +132,7 @@ class ScratchpadMemory:
         entry = self._get(entry_id)
         del self._entries[entry_id]
         self._used -= entry.nbytes
+        checkpoint(self)
         return entry
 
     def _get(self, entry_id: int) -> SpmEntry:

@@ -29,6 +29,7 @@ from repro.dram.device import DDR5_32GB, DramDeviceConfig, timings_for_device
 from repro.dram.rank import Rank
 from repro.dram.timing import DramTimings
 from repro.errors import DramProtocolError
+from repro.validation.hooks import checkpoint
 
 
 @dataclass
@@ -134,6 +135,7 @@ class XfmModule:
             )
         self.rank.end_refresh(start + self.timings.trfc_ns)
         self._ref_index += 1
+        checkpoint(self)
         return executed
 
     def run(self, num_refs: int, pressure: bool = False) -> List[ExecutedAccess]:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import EntryNotFoundError
+from repro.validation.hooks import checkpoint
 
 RED = True
 BLACK = False
@@ -104,6 +105,7 @@ class RedBlackTree:
             parent.right = fresh
         self._size += 1
         self._insert_fixup(fresh)
+        checkpoint(self)
 
     def _insert_fixup(self, z: _Node) -> None:
         while z.parent.color is RED:
@@ -214,6 +216,7 @@ class RedBlackTree:
         self._size -= 1
         if y_color is BLACK:
             self._delete_fixup(x)
+        checkpoint(self)
         return value
 
     def _transplant(self, u: _Node, v: _Node) -> None:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, EntryNotFoundError, ZpoolFullError
 from repro.sfm.page import PAGE_SIZE
+from repro.validation.hooks import checkpoint
 
 
 @dataclass(frozen=True)
@@ -162,6 +163,7 @@ class Zpool:
         slab.entries[handle] = (offset, len(blob))
         self._locator[handle] = (slab_index, offset, len(blob))
         self.stores += 1
+        checkpoint(self)
         return handle
 
     def _place(self, length: int) -> Optional[Tuple[int, int]]:
@@ -199,6 +201,7 @@ class Zpool:
         del self._locator[handle]
         if not slab.entries:
             self._slabs[slab_index] = None
+        checkpoint(self)
         return length
 
     def entry(self, handle: int) -> ZpoolEntry:
@@ -257,6 +260,7 @@ class Zpool:
             if not source.entries:
                 self._slabs[source_index] = None
         self.compaction_memcpy_bytes += moved
+        checkpoint(self)
         return moved
 
     def _find_migration_target(

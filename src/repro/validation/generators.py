@@ -1,0 +1,235 @@
+"""Seeded case generators for the fuzz framework.
+
+Every generator is a pure function of the ``random.Random`` it is given,
+so a case regenerates exactly from the single case seed the framework
+prints on failure. Generators cover the surfaces the validation suite
+fuzzes: raw pages and corpus mixes (codec round-trips), red-black tree
+and zpool operation scripts (invariant churn), swap traces (emulator
+input), MMIO register programs (driver protocol), and offload batches
+(the emulator-vs-module differential oracle).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.workloads.corpus import CORPUS_NAMES, PAGE_SIZE, generate_corpus
+
+#: Byte-level adversarial shapes every codec must survive (satellite
+#: list from the validation issue plus historical codec trouble spots).
+ADVERSARIAL_BUFFERS: Tuple[bytes, ...] = (
+    b"",
+    b"\x00",
+    b"a",
+    bytes(PAGE_SIZE),  # all-zero page
+    b"\xff" * PAGE_SIZE,
+    b"abc" * (PAGE_SIZE // 3 + 1),  # repeated 3-byte period
+    bytes(range(256)) * (PAGE_SIZE // 256),
+    b"ab" * (PAGE_SIZE // 2),
+    bytes([0, 255] * (PAGE_SIZE // 2)),
+)
+
+
+def gen_page(rng: random.Random, page_size: int = PAGE_SIZE) -> bytes:
+    """One page drawn from a spectrum of redundancy structures."""
+    style = rng.randrange(7)
+    if style == 0:
+        return bytes(page_size)
+    if style == 1:
+        return bytes(rng.getrandbits(8) for _ in range(page_size))
+    if style == 2:  # short repeated period (1-9 bytes)
+        period = bytes(
+            rng.getrandbits(8) for _ in range(rng.randint(1, 9))
+        )
+        return (period * (page_size // len(period) + 1))[:page_size]
+    if style == 3:  # sparse: zeros with initialized islands
+        page = bytearray(page_size)
+        for _ in range(rng.randint(1, 8)):
+            start = rng.randrange(page_size)
+            run = rng.randint(1, 256)
+            for i in range(start, min(page_size, start + run)):
+                page[i] = rng.getrandbits(8)
+        return bytes(page)
+    if style == 4:  # truncated page (partial tail write)
+        return gen_page(rng, rng.randint(0, page_size - 1) or 1)
+    if style == 5:  # dictionary blocks at realistic match distances
+        dictionary = [
+            bytes(rng.getrandbits(8) for _ in range(rng.randint(4, 64)))
+            for _ in range(rng.randint(1, 6))
+        ]
+        out = bytearray()
+        while len(out) < page_size:
+            out += rng.choice(dictionary)
+        return bytes(out[:page_size])
+    # corpus-class page
+    name = rng.choice(CORPUS_NAMES)
+    return generate_corpus(name, page_size, seed=rng.getrandbits(31))
+
+
+def gen_corpus_mix(
+    rng: random.Random, pages: int = 4, page_size: int = PAGE_SIZE
+) -> List[bytes]:
+    """A mixed batch: corpus pages interleaved with adversarial shapes."""
+    out: List[bytes] = []
+    for _ in range(pages):
+        if rng.random() < 0.25:
+            out.append(rng.choice(ADVERSARIAL_BUFFERS))
+        else:
+            out.append(gen_page(rng, page_size))
+    return out
+
+
+# -- data-structure operation scripts ---------------------------------------
+
+
+def gen_rbtree_ops(
+    rng: random.Random, n: int = 200, key_space: int = 256
+) -> List[Tuple]:
+    """Insert/delete/lookup script over a bounded key space (bounded so
+    per-mutation full-tree checks stay affordable at 10k ops)."""
+    ops: List[Tuple] = []
+    for i in range(n):
+        key = rng.randrange(key_space)
+        roll = rng.random()
+        if roll < 0.5:
+            ops.append(("insert", key, i))
+        elif roll < 0.85:
+            ops.append(("delete", key))
+        else:
+            ops.append(("lookup", key))
+    return ops
+
+
+def gen_zpool_ops(rng: random.Random, n: int = 120) -> List[Tuple]:
+    """Store/free/compact/load churn; indices are resolved against the
+    live handle list at execution time, so scripts stay replayable."""
+    ops: List[Tuple] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.45:
+            length = rng.choice(
+                (1, 16, rng.randint(17, 512), rng.randint(513, 2048), 4096)
+            )
+            fill = rng.getrandbits(8)
+            ops.append(("store", length, fill))
+        elif roll < 0.75:
+            ops.append(("free", rng.getrandbits(16)))
+        elif roll < 0.9:
+            ops.append(("load", rng.getrandbits(16)))
+        else:
+            ops.append(("compact",))
+    return ops
+
+
+# -- swap traces -------------------------------------------------------------
+
+
+def gen_swap_trace(
+    rng: random.Random,
+    events: int = 200,
+    mean_gap_s: float = 1e-4,
+    out_fraction: float = 0.6,
+):
+    """A time-ordered swap-in/out trace with Poisson-ish gaps."""
+    from repro.workloads.traces import SWAP_IN, SWAP_OUT, SwapTrace
+
+    trace = SwapTrace()
+    t = 0.0
+    for i in range(events):
+        t += rng.expovariate(1.0 / mean_gap_s)
+        kind = SWAP_OUT if rng.random() < out_fraction else SWAP_IN
+        trace.record(t, kind, i * PAGE_SIZE)
+    return trace
+
+
+# -- MMIO register programs --------------------------------------------------
+
+
+def gen_register_program(rng: random.Random, n: int = 60) -> List[Tuple]:
+    """A host/device MMIO op sequence, including illegal accesses the
+    register file must reject (read-only writes, unknown offsets,
+    negative values)."""
+    from repro.core.registers import Registers
+
+    offsets = [int(register) for register in Registers]
+    ops: List[Tuple] = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.1:  # unknown offset
+            offset = rng.choice((0x4, 0x100, 0x7F, 0xFF8))
+        else:
+            offset = rng.choice(offsets)
+        kind = rng.choice(("read", "write", "device_set"))
+        if kind == "read":
+            ops.append(("read", offset))
+        elif kind == "write":
+            value = rng.randint(-4, 1 << 32) if rng.random() < 0.2 else (
+                rng.getrandbits(20)
+            )
+            ops.append(("write", offset, value))
+        else:
+            ops.append(("device_set", rng.choice(offsets), rng.getrandbits(20)))
+    return ops
+
+
+# -- offload batches (differential oracle input) -----------------------------
+
+
+@dataclass(frozen=True)
+class OffloadOp:
+    """One NMA access submission in a replayable offload batch."""
+
+    ref: int  # REF index at which the request is submitted
+    is_write: bool
+    row: Optional[int]  # None = placement-flexible
+    nbytes: int
+
+
+def gen_offload_batch(
+    rng: random.Random,
+    num_refs: int = 64,
+    rows: int = 128 * 1024,
+    max_ops_per_ref: int = 3,
+    page_bytes: int = PAGE_SIZE,
+) -> List[OffloadOp]:
+    """A seeded batch mixing compression reads (placement-flexible
+    writebacks), fixed-row prefetch reads, and blob-sized transfers —
+    the same shapes the emulator submits per window."""
+    batch: List[OffloadOp] = []
+    blob = max(64, page_bytes // 3)
+    for ref in range(num_refs):
+        for _ in range(rng.randint(0, max_ops_per_ref)):
+            roll = rng.random()
+            if roll < 0.3:
+                # Compressed-blob writeback: placement-flexible.
+                batch.append(
+                    OffloadOp(ref=ref, is_write=True, row=None, nbytes=blob)
+                )
+            elif roll < 0.55:
+                # Compression input read: cold candidates are abundant,
+                # the controller picks one in the refreshing rows.
+                batch.append(
+                    OffloadOp(
+                        ref=ref, is_write=False, row=None, nbytes=page_bytes
+                    )
+                )
+            elif roll < 0.8:
+                # Prefetch read of a fixed-row blob.
+                batch.append(
+                    OffloadOp(
+                        ref=ref,
+                        is_write=False,
+                        row=rng.randrange(rows),
+                        nbytes=blob,
+                    )
+                )
+            else:
+                # Decompressed-page writeback to a fresh frame.
+                batch.append(
+                    OffloadOp(
+                        ref=ref, is_write=True, row=None, nbytes=page_bytes
+                    )
+                )
+    return batch

@@ -1,0 +1,260 @@
+"""Pluggable structural invariant checkers.
+
+Each checker takes one live object and raises :class:`InvariantViolation`
+(with a precise message) if a structural property does not hold:
+
+* :func:`check_rbtree` — BST ordering, root-black, no red-red edge,
+  equal black heights, size consistency;
+* :func:`check_zpool` — no overlapping allocations inside a slab, the
+  locator and slab entry tables agree exactly, payload + gaps account
+  for every slab byte, capacity bounds;
+* :func:`check_spm` — byte accounting sums over the live entries,
+  occupancy within [0, capacity], peak monotonicity;
+* :func:`check_nma` — the device register mirror
+  (``SP_Capacity_Register``, ``CRQ_FREE``) agrees with the actual SPM
+  occupancy and queue depth;
+* :func:`check_register_file` — register values are unsigned and every
+  architected offset is present;
+* :func:`check_window_scheduler` — the pending counter matches the
+  queued requests, budgets within configured bounds;
+* :func:`check_xfm_module` — after each window the rank must look
+  untouched to the host and the command trace must be time-ordered.
+
+All checkers are registered with :mod:`repro.validation.hooks` at import
+time, which is what makes ``hooks.checkpoint(obj)`` dispatch to them.
+They are also directly callable from tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.nma import NearMemoryAccelerator
+from repro.core.refresh_channel import WindowScheduler
+from repro.core.registers import RegisterFile, Registers
+from repro.core.spm import ScratchpadMemory, SpmTag
+from repro.core.xfm_module import XfmModule
+from repro.errors import ReproError
+from repro.sfm.rbtree import RedBlackTree
+from repro.sfm.zpool import Zpool
+from repro.validation import hooks
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A structural invariant of a model object does not hold.
+
+    Derives from ``AssertionError`` as well so legacy ``pytest.raises``
+    guards written against assert-style checkers keep working.
+    """
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+# -- red-black tree ----------------------------------------------------------
+
+
+def check_rbtree(tree: RedBlackTree) -> None:
+    """BST + red-black properties plus size consistency."""
+    try:
+        tree.check_invariants()
+    except AssertionError as exc:
+        raise InvariantViolation(f"rbtree: {exc}") from exc
+    keys = tree.keys()
+    _require(
+        len(keys) == len(tree),
+        f"rbtree: size {len(tree)} but iteration yields {len(keys)} keys",
+    )
+    _require(
+        keys == sorted(set(keys)),
+        "rbtree: in-order iteration is not strictly increasing",
+    )
+
+
+# -- zpool -------------------------------------------------------------------
+
+
+def check_zpool(pool: Zpool) -> None:
+    """Allocation-map consistency of the compressed pool."""
+    _require(
+        len(pool._slabs) <= pool.max_slabs,
+        f"zpool: {len(pool._slabs)} slab slots exceed max {pool.max_slabs}",
+    )
+    seen_handles = set()
+    for index, slab in enumerate(pool._slabs):
+        if slab is None:
+            continue
+        _require(
+            bool(slab.entries),
+            f"zpool: slab {index} is empty but not released",
+        )
+        spans: List[Tuple[int, int]] = sorted(slab.entries.values())
+        cursor = 0
+        payload = 0
+        for offset, length in spans:
+            _require(
+                length > 0,
+                f"zpool: slab {index} holds a zero-length entry",
+            )
+            _require(
+                offset >= cursor,
+                f"zpool: slab {index} entries overlap at offset {offset}",
+            )
+            _require(
+                offset + length <= pool.slab_size,
+                f"zpool: slab {index} entry [{offset}, {offset + length}) "
+                f"exceeds slab size {pool.slab_size}",
+            )
+            cursor = offset + length
+            payload += length
+        gap_bytes = sum(length for _, length in slab.gaps(pool.slab_size))
+        _require(
+            payload + gap_bytes == pool.slab_size,
+            f"zpool: slab {index} payload {payload} + gaps {gap_bytes} "
+            f"!= slab size {pool.slab_size}",
+        )
+        for handle, (offset, length) in slab.entries.items():
+            _require(
+                handle not in seen_handles,
+                f"zpool: handle {handle} appears in more than one slab",
+            )
+            seen_handles.add(handle)
+            _require(
+                pool._locator.get(handle) == (index, offset, length),
+                f"zpool: locator for handle {handle} disagrees with "
+                f"slab {index} entry ({offset}, {length})",
+            )
+    _require(
+        seen_handles == set(pool._locator),
+        "zpool: locator handles and slab handles differ: "
+        f"{sorted(seen_handles.symmetric_difference(pool._locator))[:8]}",
+    )
+    _require(
+        pool.stored_bytes() <= pool.capacity_bytes,
+        f"zpool: stored {pool.stored_bytes()} exceeds capacity "
+        f"{pool.capacity_bytes}",
+    )
+
+
+# -- scratchpad memory -------------------------------------------------------
+
+
+def check_spm(spm: ScratchpadMemory) -> None:
+    """Byte accounting of the staging buffer."""
+    total = sum(entry.nbytes for entry in spm._entries.values())
+    _require(
+        total == spm.used_bytes,
+        f"spm: used_bytes {spm.used_bytes} but entries sum to {total}",
+    )
+    _require(
+        0 <= spm.used_bytes <= spm.capacity_bytes,
+        f"spm: used {spm.used_bytes} outside [0, {spm.capacity_bytes}]",
+    )
+    _require(
+        spm.peak_used >= spm.used_bytes,
+        f"spm: peak {spm.peak_used} below current use {spm.used_bytes}",
+    )
+    for entry in spm._entries.values():
+        _require(
+            entry.nbytes > 0,
+            f"spm: entry {entry.entry_id} has non-positive size",
+        )
+        _require(
+            entry.tag in (SpmTag.PENDING, SpmTag.COMPLETED),
+            f"spm: entry {entry.entry_id} has invalid tag {entry.tag!r}",
+        )
+
+
+# -- NMA register mirror -----------------------------------------------------
+
+
+def check_nma(nma: NearMemoryAccelerator) -> None:
+    """The MMIO mirror must agree with the device state it advertises."""
+    check_spm(nma.spm)
+    _require(
+        nma.registers[Registers.SP_CAPACITY] == nma.spm.free_bytes,
+        f"nma: SP_Capacity_Register {nma.registers[Registers.SP_CAPACITY]} "
+        f"!= SPM free bytes {nma.spm.free_bytes}",
+    )
+    _require(
+        nma.registers[Registers.CRQ_FREE] == nma.queue_free_slots(),
+        f"nma: CRQ_FREE {nma.registers[Registers.CRQ_FREE]} != free slots "
+        f"{nma.queue_free_slots()}",
+    )
+    _require(
+        0 <= nma.queue_depth <= nma.config.crq_depth,
+        f"nma: queue depth {nma.queue_depth} outside "
+        f"[0, {nma.config.crq_depth}]",
+    )
+    check_register_file(nma.registers)
+
+
+def check_register_file(registers: RegisterFile) -> None:
+    """All architected registers present, all values unsigned."""
+    for register in Registers:
+        _require(
+            int(register) in registers._values,
+            f"registers: architected offset {register.name} missing",
+        )
+    for offset, value in registers._values.items():
+        _require(
+            value >= 0,
+            f"registers: offset 0x{offset:x} holds negative value {value}",
+        )
+
+
+# -- refresh-window scheduler ------------------------------------------------
+
+
+def check_window_scheduler(scheduler: WindowScheduler) -> None:
+    """The pending counter must match the queued request population."""
+    queued = len(scheduler._flexible) + sum(
+        1
+        for bucket in scheduler._slot_buckets.values()
+        for request in bucket
+        if request.request_id not in scheduler._done
+    )
+    _require(
+        scheduler.pending_count == queued,
+        f"scheduler: pending_count {scheduler.pending_count} but "
+        f"{queued} requests queued",
+    )
+    _require(
+        scheduler.accesses_per_ref >= 1,
+        "scheduler: accesses_per_ref must stay >= 1",
+    )
+    _require(
+        0 <= scheduler.random_per_ref <= scheduler.accesses_per_ref,
+        "scheduler: random_per_ref outside [0, accesses_per_ref]",
+    )
+
+
+# -- protocol-checked module -------------------------------------------------
+
+
+def check_xfm_module(module: XfmModule) -> None:
+    """Host transparency (§5) plus trace ordering after each window."""
+    _require(
+        module.host_window_clean(),
+        "xfm_module: rank not host-clean between refresh windows "
+        "(refresh in progress or rows left open)",
+    )
+    check_window_scheduler(module.scheduler)
+    times = [command.time_ns for command in module.commands]
+    _require(
+        all(a <= b for a, b in zip(times, times[1:])),
+        "xfm_module: command trace is not time-ordered",
+    )
+
+
+# -- registration ------------------------------------------------------------
+
+hooks.register_checker(RedBlackTree, check_rbtree)
+hooks.register_checker(Zpool, check_zpool)
+hooks.register_checker(ScratchpadMemory, check_spm)
+hooks.register_checker(NearMemoryAccelerator, check_nma)
+hooks.register_checker(RegisterFile, check_register_file)
+hooks.register_checker(WindowScheduler, check_window_scheduler)
+hooks.register_checker(XfmModule, check_xfm_module)

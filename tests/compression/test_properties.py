@@ -1,10 +1,20 @@
-"""Hypothesis property tests: every codec round-trips arbitrary bytes."""
+"""Property tests: every codec round-trips arbitrary bytes.
+
+Three layers of input: hypothesis-generated binary, every corpus class
+in :mod:`repro.workloads.corpus`, and the fixed adversarial shapes from
+:data:`repro.validation.generators.ADVERSARIAL_BUFFERS` — plus a seeded
+sweep through the :mod:`repro.validation.fuzz` page generator.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
+from repro.validation.fuzz import Fuzzer
+from repro.validation.generators import ADVERSARIAL_BUFFERS, gen_page
+from repro.validation.oracles import check_roundtrip
+from repro.workloads.corpus import CORPUS_NAMES, corpus_pages
 
 _CODECS = [DeflateCodec(), LzFastCodec(), ZstdLikeCodec()]
 
@@ -35,3 +45,34 @@ def test_round_trip_structured_bytes(codec, chunk, repeats, suffix):
 def test_compress_never_explodes(codec, data):
     """Stored-mode fallback bounds worst-case expansion to the header."""
     assert len(codec.compress(data)) <= len(data) + 16
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+@pytest.mark.parametrize("corpus", CORPUS_NAMES)
+def test_round_trip_every_corpus_class(codec, corpus):
+    """All three codecs over every corpus class the workload layer
+    generates (the exact page population Fig. 8 measures)."""
+    for page in corpus_pages(corpus, 2, seed=77):
+        check_roundtrip(codec, page)
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+@pytest.mark.parametrize(
+    "data",
+    ADVERSARIAL_BUFFERS,
+    ids=lambda data: f"{len(data)}B-{data[:2].hex() or 'empty'}",
+)
+def test_round_trip_adversarial_buffers(codec, data):
+    """Empty page, 1-byte inputs, all-zero/all-ones pages, repeated
+    short periods, and worst-case alternations."""
+    check_roundtrip(codec, data)
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_round_trip_fuzzed_pages(codec):
+    """A seeded sweep through the structured page generator; failures
+    print a single case_seed that reproduces the page."""
+    report = Fuzzer(seed=424242, runs=15).run(
+        gen_page, lambda page: check_roundtrip(codec, page)
+    )
+    assert report.cases_run == 15

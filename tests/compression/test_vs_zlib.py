@@ -11,7 +11,9 @@ import zlib
 
 import pytest
 
-from repro.compression import DeflateCodec
+from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
+from repro.validation.generators import ADVERSARIAL_BUFFERS
+from repro.validation.oracles import OracleMismatch, crosscheck_vs_zlib
 from repro.workloads.corpus import corpus_pages
 
 _CORPORA = (
@@ -72,3 +74,38 @@ class TestAgainstZlib:
         blob = DeflateCodec().compress(json_pages[0])
         with pytest.raises(zlib.error):
             zlib.decompress(blob)
+
+
+class TestDifferentialOracle:
+    """The :func:`crosscheck_vs_zlib` oracle from ``repro.validation``:
+    both stacks must restore the same plaintext; for the Deflate family
+    the compressed size must additionally land in a band around zlib's."""
+
+    @pytest.mark.parametrize("corpus", _CORPORA)
+    def test_deflate_in_band_on_corpora(self, corpus):
+        for page in corpus_pages(corpus, 2, seed=55):
+            ours, reference = crosscheck_vs_zlib(
+                DeflateCodec(window_size=4096), page, size_band=(0.7, 1.4)
+            )
+            assert ours > 0 and reference > 0
+
+    @pytest.mark.parametrize(
+        "codec",
+        [DeflateCodec(), LzFastCodec(), ZstdLikeCodec()],
+        ids=lambda codec: codec.name,
+    )
+    @pytest.mark.parametrize(
+        "data",
+        ADVERSARIAL_BUFFERS,
+        ids=lambda data: f"{len(data)}B",
+    )
+    def test_semantic_agreement_on_adversarial_buffers(self, codec, data):
+        """No size band (the ratio-oriented codecs are not Deflate), but
+        both stacks must round-trip every adversarial shape."""
+        crosscheck_vs_zlib(codec, data)
+
+    def test_oracle_reports_out_of_band_sizes(self, json_pages):
+        with pytest.raises(OracleMismatch, match="outside"):
+            crosscheck_vs_zlib(
+                DeflateCodec(), json_pages[0], size_band=(0.999, 1.001)
+            )

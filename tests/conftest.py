@@ -1,4 +1,17 @@
-"""Shared fixtures for the XFM reproduction test suite."""
+"""Shared fixtures and suite-wide options for the XFM reproduction tests.
+
+Options (also see the marker scheme in ``pyproject.toml``):
+
+``--validation``
+    Turn on the invariant checkpoints in :mod:`repro.validation.hooks`
+    for the whole run, so every mutating operation on the instrumented
+    data structures (rbtree, zpool, SPM, NMA, register file, xfm_module)
+    validates its structural invariants. Equivalent to setting
+    ``REPRO_VALIDATION=1`` in the environment.
+
+``--runslow``
+    Also run tests marked ``slow`` (skipped by default).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +19,39 @@ import pytest
 
 from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
 from repro.sfm.page import PAGE_SIZE
+from repro.validation.hooks import set_validation
 from repro.workloads.corpus import corpus_pages
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--validation",
+        action="store_true",
+        default=False,
+        help="enable repro.validation invariant checkpoints for the run",
+    )
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--validation"):
+        set_validation(True)
+
+
+def pytest_collection_modifyitems(config, items):
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            if not config.getoption("--runslow"):
+                item.add_marker(skip_slow)
+        elif "fuzz" not in item.keywords:
+            # Everything that is neither slow nor fuzz is the tier-1 gate.
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture(scope="session")

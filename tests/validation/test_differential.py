@@ -1,0 +1,76 @@
+"""Emulator-vs-xfm_module differential oracle.
+
+The acceptance bar from the validation issue: the harness replays >= 3
+seeded offload batches through both the optimistic window engine and the
+FSM-protocol-checked :class:`~repro.core.xfm_module.XfmModule`, asserting
+identical serviced-request counts and zero
+:class:`~repro.errors.DramProtocolError` — any protocol violation in the
+module path propagates out of :func:`differential_offload_check` and
+fails the test.
+"""
+
+import random
+
+import pytest
+
+from repro.validation.generators import OffloadOp, gen_offload_batch
+from repro.validation.oracles import (
+    check_command_trace,
+    differential_offload_check,
+    replay_batch_module,
+    replay_batch_optimistic,
+)
+
+DIFFERENTIAL_SEEDS = (101, 202, 303, 404)
+
+
+@pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+def test_seeded_batches_agree(seed):
+    batch = gen_offload_batch(random.Random(seed))
+    optimistic, checked = differential_offload_check(batch)
+    assert optimistic.serviced > 0
+    assert optimistic.serviced == checked.serviced
+    assert optimistic.conditional == checked.conditional
+    assert optimistic.random == checked.random
+    assert optimistic.order == checked.order
+    assert optimistic.per_window == checked.per_window
+    assert optimistic.bytes_moved == checked.bytes_moved
+    # Default budget is 3 accesses/REF with at most 1 random: the
+    # conditional kind must dominate, as in the paper's Fig. 12.
+    assert checked.conditional >= checked.random
+
+
+def test_agreement_under_queue_pressure():
+    batch = gen_offload_batch(random.Random(7), max_ops_per_ref=5)
+    optimistic, checked = differential_offload_check(batch, pressure=True)
+    assert optimistic.serviced > 0
+    assert optimistic.serviced == checked.serviced
+    assert optimistic.order == checked.order
+
+
+def test_module_trace_revalidates_independently():
+    batch = gen_offload_batch(random.Random(11), num_refs=48)
+    checked, module = replay_batch_module(batch)
+    assert module.host_window_clean()
+    stats = check_command_trace(module)
+    assert stats.nma_accesses == checked.serviced
+    # One REF command per advanced window.
+    assert stats.refresh_windows == module._ref_index
+
+
+def test_empty_batch_services_nothing():
+    optimistic, checked = differential_offload_check([], num_refs=16)
+    assert optimistic.serviced == checked.serviced == 0
+    assert optimistic.per_window == {}
+
+
+def test_flexible_only_batch_is_all_conditional():
+    batch = [
+        OffloadOp(ref=r, is_write=bool(r % 2), row=None, nbytes=4096)
+        for r in range(12)
+    ]
+    optimistic = replay_batch_optimistic(batch)
+    assert optimistic.serviced == len(batch)
+    assert optimistic.random == 0
+    _, checked = differential_offload_check(batch)
+    assert checked.random == 0

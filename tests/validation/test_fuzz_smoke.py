@@ -1,0 +1,189 @@
+"""Fuzz smoke: seeded generators driven against the real implementations.
+
+Marked ``fuzz`` so CI can select it separately (``-m fuzz``) and cap it
+with ``FUZZ_TIME_BUDGET_S`` (total seconds, split evenly across the
+targets here). Any failure prints a single ``case_seed=`` integer that
+reproduces the exact case via
+``fuzz_reproduce(generate, check, case_seed=...)``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.compression.deflate import DeflateCodec
+from repro.compression.lzfast import LzFastCodec
+from repro.compression.zstd_like import ZstdLikeCodec
+from repro.core.registers import RegisterFile, Registers
+from repro.errors import EntryNotFoundError, MmioError, ZpoolFullError
+from repro.sfm.rbtree import RedBlackTree
+from repro.sfm.zpool import Zpool
+from repro.validation.fuzz import Fuzzer, case_seed
+from repro.validation.generators import (
+    gen_offload_batch,
+    gen_page,
+    gen_rbtree_ops,
+    gen_register_program,
+    gen_zpool_ops,
+)
+from repro.validation.hooks import validation
+from repro.validation.oracles import check_roundtrip, differential_offload_check
+
+ROOT_SEED = 20260806
+_NUM_TARGETS = 6
+_TOTAL_BUDGET_S = float(os.environ.get("FUZZ_TIME_BUDGET_S", "6"))
+
+
+def _fuzzer(offset: int, runs: int = 200) -> Fuzzer:
+    return Fuzzer(
+        seed=ROOT_SEED + offset,
+        runs=runs,
+        time_budget_s=_TOTAL_BUDGET_S / _NUM_TARGETS,
+    )
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize(
+    "codec",
+    [DeflateCodec(), LzFastCodec(), ZstdLikeCodec()],
+    ids=lambda codec: codec.name,
+)
+def test_fuzz_codec_roundtrips(codec):
+    report = _fuzzer(hash(codec.name) % 1000).run(
+        gen_page, lambda page: check_roundtrip(codec, page)
+    )
+    assert report.cases_run > 0
+
+
+@pytest.mark.fuzz
+def test_fuzz_rbtree_vs_shadow_dict():
+    def check(ops):
+        tree = RedBlackTree()
+        shadow = {}
+        with validation():
+            for op in ops:
+                if op[0] == "insert":
+                    _, key, value = op
+                    tree.insert(key, value)
+                    shadow[key] = value
+                elif op[0] == "delete":
+                    _, key = op
+                    if key in shadow:
+                        assert tree.delete(key) == shadow.pop(key)
+                    else:
+                        try:
+                            tree.delete(key)
+                        except EntryNotFoundError:
+                            pass
+                        else:
+                            raise AssertionError(
+                                f"delete({key}) should have raised"
+                            )
+                else:
+                    _, key = op
+                    assert tree.get(key) == shadow.get(key)
+        assert tree.keys() == sorted(shadow)
+
+    report = _fuzzer(1).run(lambda rng: gen_rbtree_ops(rng, n=150), check)
+    assert report.cases_run > 0
+
+
+@pytest.mark.fuzz
+def test_fuzz_zpool_vs_shadow_map():
+    def check(ops):
+        pool = Zpool(capacity_bytes=32 * 1024)
+        shadow = {}
+        with validation():
+            for op in ops:
+                if op[0] == "store":
+                    _, length, fill = op
+                    try:
+                        shadow[pool.store(bytes([fill]) * length)] = (
+                            bytes([fill]) * length
+                        )
+                    except ZpoolFullError:
+                        pass
+                elif op[0] == "free" and shadow:
+                    handle = sorted(shadow)[op[1] % len(shadow)]
+                    pool.free(handle)
+                    del shadow[handle]
+                elif op[0] == "load" and shadow:
+                    handle = sorted(shadow)[op[1] % len(shadow)]
+                    assert pool.load(handle) == shadow[handle]
+                elif op[0] == "compact":
+                    pool.compact()
+            for handle, blob in shadow.items():
+                assert pool.load(handle) == blob
+
+    report = _fuzzer(2).run(lambda rng: gen_zpool_ops(rng, n=80), check)
+    assert report.cases_run > 0
+
+
+@pytest.mark.fuzz
+def test_fuzz_register_file_protocol():
+    known = {int(register) for register in Registers}
+    read_only = {
+        int(Registers.SP_CAPACITY),
+        int(Registers.CRQ_HEAD),
+        int(Registers.CRQ_FREE),
+        int(Registers.STATUS),
+    }
+
+    def check(ops):
+        regs = RegisterFile()
+        for op in ops:
+            if op[0] == "read":
+                _, offset = op
+                if offset in known:
+                    assert regs.mmio_read(offset) >= 0
+                else:
+                    try:
+                        regs.mmio_read(offset)
+                    except MmioError:
+                        pass
+                    else:
+                        raise AssertionError(f"read 0x{offset:x} must raise")
+            elif op[0] == "write":
+                _, offset, value = op
+                legal = offset in known - read_only and value >= 0
+                try:
+                    regs.mmio_write(offset, value)
+                except MmioError:
+                    assert not legal
+                else:
+                    assert legal
+                    assert regs.mmio_read(offset) == value
+            else:
+                _, offset, value = op
+                regs.device_set(Registers(offset), value)
+                assert regs[Registers(offset)] == value
+
+    report = _fuzzer(3).run(gen_register_program, check)
+    assert report.cases_run > 0
+
+
+@pytest.mark.fuzz
+def test_fuzz_differential_offload_batches():
+    def check(batch):
+        optimistic, checked = differential_offload_check(batch, num_refs=48)
+        assert optimistic.serviced == checked.serviced
+
+    report = _fuzzer(4, runs=40).run(
+        lambda rng: gen_offload_batch(rng, num_refs=24), check
+    )
+    assert report.cases_run > 0
+
+
+@pytest.mark.fuzz
+def test_fuzz_case_stream_is_deterministic():
+    fuzzer = _fuzzer(5)
+    first = [
+        gen_page(random.Random(case_seed(fuzzer.seed, index)))
+        for index in range(5)
+    ]
+    second = [
+        gen_page(random.Random(case_seed(fuzzer.seed, index)))
+        for index in range(5)
+    ]
+    assert first == second

@@ -1,0 +1,50 @@
+"""Golden-snapshot regression tests for the analysis layer.
+
+The fig. 8 and fig. 12 generators must render byte-identically to the
+committed ``benchmarks/results/*.txt`` artifacts (which the benches
+write via the same :mod:`repro.analysis.goldens` renderers). A diff here
+means the paper-reproduction numbers moved — regenerate the goldens by
+rerunning the benches only after confirming the shift is intentional.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import fig8_ratios, fig12_fallbacks
+from repro.analysis.goldens import (
+    FIG8_GOLDEN_KWARGS,
+    FIG12_GOLDEN_KWARGS,
+    fig8_table,
+    fig12_table,
+)
+from repro.workloads.corpus import CORPUS_NAMES
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+def _golden(name: str) -> str:
+    path = RESULTS / name
+    if not path.exists():
+        pytest.skip(f"golden file {path} not committed")
+    return path.read_text()
+
+
+def test_fig08_matches_golden():
+    reports = fig8_ratios(corpora=tuple(CORPUS_NAMES), **FIG8_GOLDEN_KWARGS)
+    rendered = fig8_table(reports) + "\n"
+    golden = _golden("fig08_multichannel.txt")
+    assert rendered == golden, (
+        "fig. 8 output drifted from benchmarks/results/fig08_multichannel.txt"
+        " — rerun the bench to regenerate if the change is intentional"
+    )
+
+
+def test_fig12_matches_golden():
+    grid = fig12_fallbacks(**FIG12_GOLDEN_KWARGS)
+    rendered = fig12_table(grid) + "\n"
+    golden = _golden("fig12_fallbacks.txt")
+    assert rendered == golden, (
+        "fig. 12 output drifted from benchmarks/results/fig12_fallbacks.txt"
+        " — rerun the bench to regenerate if the change is intentional"
+    )
