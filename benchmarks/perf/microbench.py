@@ -1,0 +1,203 @@
+"""Codec hot-path microbenchmark kernels.
+
+Each kernel times one stage of the compression hot path the SFM store /
+load paths exercise millions of times per experiment: full codec
+round-trips on 4 KiB pages, the LZ77 tokenizer stage, the Huffman
+entropy stage, and one end-to-end emulator window. Kernels measure
+*what the codecs actually use* — when the packed-token fast path exists
+it is timed, because that is the code the store path runs.
+
+The harness is deliberately version-agnostic: it runs unmodified against
+the pre-overhaul kernels (bit-serial Huffman, per-token objects), which
+is how the pinned ``reference`` section of ``BENCH_perf.json`` was
+produced, and against the current tree, which produces the ``baseline``
+section CI compares against.
+
+Timing protocol: every kernel is measured as ``repeats`` timed batches
+of ``inner`` operations each; the *best* batch (minimum wall-clock per
+op) is reported, which is the standard way to strip scheduler noise from
+a CPU-bound microbenchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.deflate import DeflateCodec
+from repro.compression.huffman import HuffmanTable
+from repro.compression.lz77 import Lz77Matcher, detokenize
+from repro.compression.lzfast import LzFastCodec
+from repro.compression.zstd_like import ZstdLikeCodec
+from repro.workloads.corpus import corpus_pages
+
+PAGE = 4096
+
+#: Page mix used by the codec kernels: compressible structured data,
+#: text, and binary records — the shapes the Fig. 8 sweeps compress.
+_BENCH_CORPORA = ("json-records", "text-english", "binary-structs")
+
+
+def _bench_pages() -> List[bytes]:
+    pages: List[bytes] = []
+    for name in _BENCH_CORPORA:
+        pages.extend(corpus_pages(name, 2, seed=11))
+    return pages
+
+
+def _codec_roundtrip(codec) -> Callable[[], None]:
+    pages = _bench_pages()
+    blobs = [codec.compress(page) for page in pages]
+
+    def op() -> None:
+        for page, blob in zip(pages, blobs):
+            if codec.decompress(codec.compress(page)) != page:
+                raise AssertionError("round-trip mismatch")
+            codec.decompress(blob)
+
+    return op
+
+
+def _kernel_deflate_roundtrip() -> Callable[[], None]:
+    return _codec_roundtrip(DeflateCodec(window_size=4096))
+
+
+def _kernel_zstd_like_roundtrip() -> Callable[[], None]:
+    return _codec_roundtrip(ZstdLikeCodec())
+
+
+def _kernel_lzfast_roundtrip() -> Callable[[], None]:
+    return _codec_roundtrip(LzFastCodec())
+
+
+def _kernel_lz77_tokenize() -> Callable[[], None]:
+    matcher = Lz77Matcher(window_size=4096)
+    pages = _bench_pages()
+    # Time the entry point the codecs drive: the packed fast path when
+    # present, the seed token-object path otherwise.
+    tokenize = getattr(matcher, "tokenize_packed", matcher.tokenize)
+
+    def op() -> None:
+        for page in pages:
+            tokenize(page)
+
+    return op
+
+
+def _kernel_lz77_detokenize() -> Callable[[], None]:
+    import repro.compression.lz77 as lz77mod
+
+    matcher = Lz77Matcher(window_size=4096)
+    pages = _bench_pages()
+    packed_fn = getattr(lz77mod, "detokenize_packed", None)
+    if packed_fn is not None:
+        streams = [matcher.tokenize_packed(page) for page in pages]
+        rebuild = packed_fn
+    else:
+        streams = [matcher.tokenize(page) for page in pages]
+        rebuild = detokenize
+
+    def op() -> None:
+        for page, stream in zip(pages, streams):
+            if rebuild(stream) != page:
+                raise AssertionError("detokenize mismatch")
+
+    return op
+
+
+def _huffman_fixture() -> Tuple[HuffmanTable, List[bytes]]:
+    pages = _bench_pages()
+    freq = [0] * 256
+    for page in pages:
+        for byte in page:
+            freq[byte] += 1
+    return HuffmanTable.from_frequencies(freq), pages
+
+
+def _kernel_huffman_encode() -> Callable[[], None]:
+    table, pages = _huffman_fixture()
+
+    def op() -> None:
+        for page in pages:
+            writer = BitWriter()
+            encode = table.encode
+            for byte in page:
+                encode(writer, byte)
+            writer.getvalue()
+
+    return op
+
+
+def _kernel_huffman_decode() -> Callable[[], None]:
+    table, pages = _huffman_fixture()
+    encoded = []
+    for page in pages:
+        writer = BitWriter()
+        for byte in page:
+            table.encode(writer, byte)
+        encoded.append(writer.getvalue())
+
+    def op() -> None:
+        # build_decoder() is *inside* the op on purpose: the per-page
+        # decode paths historically rebuilt the decoder every page, and
+        # the decoder cache is one of the kernels under test.
+        for blob in encoded:
+            decoder = table.build_decoder()
+            reader = BitReader(blob)
+            decode = decoder.decode
+            for _ in range(PAGE):
+                decode(reader)
+
+    return op
+
+
+def _kernel_emulator_window() -> Callable[[], None]:
+    from repro.core.emulator import EmulatorConfig, XfmEmulator
+
+    config = EmulatorConfig(sim_time_s=0.01, seed=7)
+
+    def op() -> None:
+        XfmEmulator(config).run()
+
+    return op
+
+
+#: name -> (setup, default inner iterations per timed batch).
+KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
+    "deflate_roundtrip_4k": (_kernel_deflate_roundtrip, 1),
+    "zstd_like_roundtrip_4k": (_kernel_zstd_like_roundtrip, 1),
+    "lzfast_roundtrip_4k": (_kernel_lzfast_roundtrip, 2),
+    "lz77_tokenize_4k": (_kernel_lz77_tokenize, 2),
+    "lz77_detokenize_4k": (_kernel_lz77_detokenize, 5),
+    "huffman_encode_4k": (_kernel_huffman_encode, 2),
+    "huffman_decode_4k": (_kernel_huffman_decode, 1),
+    "emulator_window": (_kernel_emulator_window, 1),
+}
+
+
+def run_kernel(
+    name: str, inner_scale: float = 1.0, repeats: int = 3
+) -> Dict[str, float]:
+    """Measure one kernel; returns its result record."""
+    setup, inner = KERNELS[name]
+    inner = max(1, int(round(inner * inner_scale)))
+    op = setup()
+    op()  # warm up: JIT-free but primes caches and lazy imports
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            op()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / inner)
+    return {"seconds_per_op": best, "inner": inner, "repeats": repeats}
+
+
+def run_all(
+    inner_scale: float = 1.0, repeats: int = 3, names=None
+) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names or KERNELS:
+        results[name] = run_kernel(name, inner_scale, repeats)
+    return results

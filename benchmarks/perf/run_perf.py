@@ -1,0 +1,131 @@
+"""CLI for the codec hot-path perf harness.
+
+Modes:
+
+``run``
+    Measure every kernel and print the results as JSON. With
+    ``--update-baseline`` the committed ``BENCH_perf.json`` is rewritten:
+    the fresh numbers become the ``baseline`` section while the pinned
+    pre-overhaul ``reference`` section is preserved verbatim (it is a
+    historical measurement and must never be re-run on new code).
+
+``check``
+    Re-measure with reduced iterations (CI smoke mode) and compare each
+    kernel against the committed baseline. Exits non-zero when any
+    kernel is more than ``--max-slowdown`` times slower than its
+    committed number. The threshold is deliberately loose (2.5x) because
+    CI machines differ from the baseline machine; the gate catches
+    algorithmic regressions (accidentally reverting to a bit-serial
+    loop), not percent-level noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py run
+    PYTHONPATH=src python benchmarks/perf/run_perf.py run --update-baseline
+    PYTHONPATH=src python benchmarks/perf/run_perf.py check --inner-scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import microbench  # noqa: E402  (sibling module, path-injected above)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
+
+
+def _load(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    results = microbench.run_all(args.inner_scale, args.repeats)
+    payload = {"schema": 1, "kernels": results}
+    if args.update_baseline:
+        baseline_path = Path(args.baseline)
+        doc = _load(baseline_path) if baseline_path.exists() else {}
+        doc["schema"] = 1
+        doc["baseline"] = {"kernels": results}
+        reference = doc.get("reference", {}).get("kernels", {})
+        if reference:
+            doc["speedup_vs_reference"] = {
+                name: round(
+                    reference[name]["seconds_per_op"]
+                    / results[name]["seconds_per_op"],
+                    2,
+                )
+                for name in results
+                if name in reference
+            }
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {baseline_path}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    doc = _load(Path(args.baseline))
+    committed = doc["baseline"]["kernels"]
+    fresh = microbench.run_all(args.inner_scale, args.repeats)
+    failures = []
+    width = max(len(name) for name in fresh)
+    print(f"{'kernel'.ljust(width)}  committed(s/op)  fresh(s/op)  ratio")
+    for name, record in sorted(fresh.items()):
+        base = committed.get(name)
+        if base is None:
+            print(f"{name.ljust(width)}  (no committed baseline — skipped)")
+            continue
+        ratio = record["seconds_per_op"] / base["seconds_per_op"]
+        flag = "  FAIL" if ratio > args.max_slowdown else ""
+        print(
+            f"{name.ljust(width)}  {base['seconds_per_op']:.6f}"
+            f"         {record['seconds_per_op']:.6f}     {ratio:5.2f}x{flag}"
+        )
+        if ratio > args.max_slowdown:
+            failures.append((name, ratio))
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} kernel(s) exceeded the "
+            f"{args.max_slowdown}x slowdown gate:"
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x slower than committed baseline")
+        return 1
+    print(f"\nall kernels within the {args.max_slowdown}x gate")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    run = sub.add_parser("run", help="measure and print/update baseline")
+    run.add_argument("--update-baseline", action="store_true")
+    run.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    run.add_argument("--inner-scale", type=float, default=1.0)
+    run.add_argument("--repeats", type=int, default=3)
+    run.set_defaults(func=cmd_run)
+
+    check = sub.add_parser("check", help="compare against committed baseline")
+    check.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    check.add_argument("--inner-scale", type=float, default=1.0)
+    check.add_argument("--repeats", type=int, default=2)
+    check.add_argument("--max-slowdown", type=float, default=2.5)
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

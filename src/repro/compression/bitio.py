@@ -3,8 +3,15 @@
 Bits are packed LSB-first within each byte, the same convention RFC 1951
 (Deflate) uses: the first bit written becomes the least-significant bit of
 the first output byte. Huffman codes are written most-significant-bit first
-via :meth:`BitWriter.write_bits_msb` so canonical code prefixes sort the
-way the decoder expects.
+— either via :meth:`BitWriter.write_bits_msb` or, on the hot path, as a
+single :meth:`BitWriter.write_bits` call of the pre-bit-reversed code
+(:class:`~repro.compression.huffman.HuffmanTable` stores both forms).
+
+:class:`BitReader` additionally exposes a peek/consume fast path
+(:meth:`BitReader.peek_bits` / :meth:`BitReader.consume_bits`) for the
+table-driven Huffman decoder: peek never consumes and zero-pads past the
+end of the stream, so a decoder can look at ``root_bits`` bits at once
+and then consume exactly the matched code length.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from repro.errors import CorruptStreamError
 
 class BitWriter:
     """Accumulates bits LSB-first into a growing byte buffer."""
+
+    __slots__ = ("_out", "_acc", "_nbits")
 
     def __init__(self) -> None:
         self._out = bytearray()
@@ -37,7 +46,8 @@ class BitWriter:
         """Append ``nbits`` bits of ``value`` starting from the MSB.
 
         Used for Huffman codes, whose canonical ordering is defined on the
-        bit string read most-significant-bit first.
+        bit string read most-significant-bit first. Equivalent to one
+        ``write_bits`` call of the bit-reversed value.
         """
         for shift in range(nbits - 1, -1, -1):
             self.write_bits((value >> shift) & 1, 1)
@@ -64,8 +74,16 @@ class BitWriter:
         return bytes(self._out)
 
 
+#: Bytes pulled into the accumulator per refill. Python ints are
+#: arbitrary-precision, so refilling 4 bytes at a time via one
+#: ``int.from_bytes`` costs the same as one byte did in the per-byte loop.
+_REFILL_BYTES = 4
+
+
 class BitReader:
     """Reads bits LSB-first from a byte buffer produced by :class:`BitWriter`."""
+
+    __slots__ = ("_data", "_pos", "_acc", "_nbits")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
@@ -78,11 +96,12 @@ class BitReader:
         if nbits < 0:
             raise ValueError(f"nbits must be non-negative, got {nbits}")
         while self._nbits < nbits:
-            if self._pos >= len(self._data):
+            chunk = self._data[self._pos : self._pos + _REFILL_BYTES]
+            if not chunk:
                 raise CorruptStreamError("bit stream exhausted")
-            self._acc |= self._data[self._pos] << self._nbits
-            self._pos += 1
-            self._nbits += 8
+            self._acc |= int.from_bytes(chunk, "little") << self._nbits
+            self._pos += len(chunk)
+            self._nbits += 8 * len(chunk)
         value = self._acc & ((1 << nbits) - 1)
         self._acc >>= nbits
         self._nbits -= nbits
@@ -92,6 +111,30 @@ class BitReader:
         """Read a single bit."""
         return self.read_bits(1)
 
+    def peek_bits(self, nbits: int) -> int:
+        """Return the next ``nbits`` bits without consuming them.
+
+        Bits past the end of the stream read as zero — the table-driven
+        Huffman decoder peeks a full root-table index near the end of a
+        stream whose final code may be shorter; :meth:`consume_bits`
+        still raises if the *matched* code overruns the real data.
+        """
+        while self._nbits < nbits:
+            chunk = self._data[self._pos : self._pos + _REFILL_BYTES]
+            if not chunk:
+                break
+            self._acc |= int.from_bytes(chunk, "little") << self._nbits
+            self._pos += len(chunk)
+            self._nbits += 8 * len(chunk)
+        return self._acc & ((1 << nbits) - 1)
+
+    def consume_bits(self, nbits: int) -> None:
+        """Discard ``nbits`` previously peeked bits."""
+        if nbits > self._nbits:
+            raise CorruptStreamError("bit stream exhausted")
+        self._acc >>= nbits
+        self._nbits -= nbits
+
     def align_to_byte(self) -> None:
         """Discard bits up to the next byte boundary."""
         drop = self._nbits % 8
@@ -99,12 +142,26 @@ class BitReader:
             self.read_bits(drop)
 
     def read_bytes(self, n: int) -> bytes:
-        """Read ``n`` whole bytes; the stream must be byte-aligned."""
+        """Read ``n`` whole bytes; the stream must be byte-aligned.
+
+        When the reader is byte-aligned the bytes are taken by slicing
+        the underlying buffer (after draining whole bytes already in the
+        accumulator) instead of one ``read_bits(8)`` call per byte.
+        """
         if self._nbits % 8:
             raise ValueError("read_bytes requires byte alignment")
         out = bytearray()
-        for _ in range(n):
-            out.append(self.read_bits(8))
+        while self._nbits and n > 0:
+            out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+            n -= 1
+        if n > 0:
+            end = self._pos + n
+            if end > len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            out += self._data[self._pos : end]
+            self._pos = end
         return bytes(out)
 
     @property

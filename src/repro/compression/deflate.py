@@ -22,7 +22,15 @@ from typing import List, Sequence, Tuple
 from repro.compression.base import Codec, CodecSpec, register_codec
 from repro.compression.bitio import BitReader, BitWriter
 from repro.compression.huffman import HuffmanTable
-from repro.compression.lz77 import Literal, Lz77Matcher, Match, Token
+from repro.compression.lz77 import (
+    PACKED_LENGTH_BITS,
+    PACKED_LENGTH_MASK,
+    Literal,
+    Lz77Matcher,
+    Match,
+    Token,
+    extend_match,
+)
 from repro.errors import ConfigError, CorruptStreamError
 
 _MAGIC = 0xD5
@@ -77,6 +85,33 @@ def _distance_to_code(distance: int) -> Tuple[int, int, int]:
         if distance >= base:
             return code_index, distance - base, extra
     raise ValueError(f"unencodable match distance {distance}")
+
+
+# Hot-path lookup tables replacing the linear scans above. Lengths are a
+# direct table over 3..258. Distances use two levels: a direct table for
+# 1..256, and a 128-distance-granular table beyond that — valid because
+# every distance code past 256 carries >= 7 extra bits, so its range is
+# aligned to and spans whole 128-distance slots.
+_LEN_TO_CODE: Tuple[Tuple[int, int, int], ...] = tuple(
+    _length_to_code(length) if length >= 3 else (0, 0, 0)
+    for length in range(259)
+)
+
+# (symbol, base, extra_bits) per distance 1..256 (index 0 unused).
+_DIST_LO: Tuple[Tuple[int, int, int], ...] = tuple(
+    (sym, _DIST_CODES[sym][0], _DIST_CODES[sym][1])
+    for d in range(257)
+    for sym in (_distance_to_code(d)[0] if d else 0,)
+)
+
+# (symbol, base, extra_bits) per 128-distance slot for distances > 256:
+# slot = (distance - 1) >> 7. Slots 0/1 cover distances <= 256 and are
+# only present so the index needs no offset.
+_DIST_HIGH: Tuple[Tuple[int, int, int], ...] = tuple(
+    (sym, _DIST_CODES[sym][0], _DIST_CODES[sym][1])
+    for slot in range(256)
+    for sym in (_distance_to_code(max((slot << 7) + 1, 1))[0],)
+)
 
 
 def _write_varint(writer: BitWriter, value: int) -> None:
@@ -151,6 +186,33 @@ def _rle_code_lengths(lengths: Sequence[int]) -> List[Tuple[int, int]]:
 _CL_EXTRA_BITS = {16: 2, 17: 3, 18: 7}
 
 
+def _varint_bits(value: int) -> int:
+    """Bit cost of ``_write_varint_bits(value)``: 8 bits per 7-bit group."""
+    bits = 8
+    value >>= 7
+    while value:
+        bits += 8
+        value >>= 7
+    return bits
+
+
+def _symbol_bits(litlen_freq, dist_freq, extra_bits, ll_lengths, d_lengths):
+    """Exact bit cost of ``_write_symbols`` under the given code lengths.
+
+    ``litlen_freq`` already counts the end-of-block symbol, and
+    ``extra_bits`` is the total extra-bit payload accumulated while
+    encoding, so this predicts the written stream to the bit.
+    """
+    bits = extra_bits
+    for symbol, freq in enumerate(litlen_freq):
+        if freq:
+            bits += freq * ll_lengths[symbol]
+    for symbol, freq in enumerate(dist_freq):
+        if freq:
+            bits += freq * d_lengths[symbol]
+    return bits
+
+
 def _fixed_litlen_lengths() -> List[int]:
     """RFC 1951 fixed literal/length code lengths (3.2.6)."""
     lengths = [8] * 144 + [9] * 112 + [7] * 24 + [8] * 8
@@ -197,19 +259,53 @@ class DeflateCodec(Codec):
     # -- encode ----------------------------------------------------------
 
     def compress(self, data: bytes) -> bytes:
-        candidates = [(_MODE_STORED, data)]
+        mode, body = _MODE_STORED, data
         if data:
-            encoded, litlen_freq, dist_freq = self._encode_tokens(data)
-            candidates.append(
-                (
-                    _MODE_HUFFMAN,
-                    self._compress_dynamic(encoded, litlen_freq, dist_freq),
+            encoded, litlen_freq, dist_freq, extra_bits = self._encode_tokens(
+                data
+            )
+            litlen_table = HuffmanTable.from_frequencies(litlen_freq)
+            dist_table = HuffmanTable.from_frequencies(dist_freq)
+            combined = list(litlen_table.lengths) + list(dist_table.lengths)
+            rle = _rle_code_lengths(combined)
+            cl_freq = [0] * _NUM_CODELEN
+            for symbol, _ in rle:
+                cl_freq[symbol] += 1
+            cl_table = HuffmanTable.from_frequencies(cl_freq, max_length=7)
+
+            # Candidate sizes are computed analytically so only the winning
+            # body is rendered; the selection (first strictly smaller in
+            # stored/dynamic/fixed order) matches the historical behavior
+            # of building all three and taking the min.
+            dyn_bits = 3 * _NUM_CODELEN + _varint_bits(len(rle))
+            cl_lengths = cl_table.lengths
+            for symbol, _ in rle:
+                dyn_bits += cl_lengths[symbol] + _CL_EXTRA_BITS.get(symbol, 0)
+            dyn_bits += _symbol_bits(
+                litlen_freq,
+                dist_freq,
+                extra_bits,
+                litlen_table.lengths,
+                dist_table.lengths,
+            )
+            fixed_bits = _symbol_bits(
+                litlen_freq,
+                dist_freq,
+                extra_bits,
+                _FIXED_LITLEN_TABLE.lengths,
+                _FIXED_DIST_TABLE.lengths,
+            )
+            best_len = len(data)
+            if (dyn_bits + 7) // 8 < best_len:
+                mode, best_len = _MODE_HUFFMAN, (dyn_bits + 7) // 8
+            if (fixed_bits + 7) // 8 < best_len:
+                mode = _MODE_HUFFMAN_FIXED
+            if mode == _MODE_HUFFMAN:
+                body = self._compress_dynamic(
+                    encoded, litlen_table, dist_table, rle, cl_table
                 )
-            )
-            candidates.append(
-                (_MODE_HUFFMAN_FIXED, self._compress_fixed(encoded))
-            )
-        mode, body = min(candidates, key=lambda pair: len(pair[1]))
+            elif mode == _MODE_HUFFMAN_FIXED:
+                body = self._compress_fixed(encoded)
         writer = BitWriter()
         writer.write_bits(_MAGIC, 8)
         writer.write_bits(mode, 8)
@@ -221,23 +317,38 @@ class DeflateCodec(Codec):
         return writer.getvalue()
 
     def _encode_tokens(self, data: bytes):
-        """LZ77-tokenize and map tokens to (symbol, extra) tuples."""
-        tokens = self._matcher.tokenize(data)
+        """LZ77-tokenize and map packed tokens to (symbol, extra) tuples.
+
+        Also returns the total extra-bit payload, which the analytic
+        candidate sizing in :meth:`compress` needs.
+        """
+        packed = self._matcher.tokenize_packed(data)
         litlen_freq = [0] * _NUM_LITLEN
         dist_freq = [0] * _NUM_DIST
         litlen_freq[_EOB] = 1
         encoded: List[Tuple[int, int, int, int, int, int]] = []
-        for token in tokens:
-            if isinstance(token, Literal):
-                litlen_freq[token.byte] += 1
-                encoded.append((token.byte, 0, 0, -1, 0, 0))
+        append = encoded.append
+        len_mask = PACKED_LENGTH_MASK
+        len_to_code = _LEN_TO_CODE
+        dist_lo = _DIST_LO
+        dist_high = _DIST_HIGH
+        extra_bits = 0
+        for token in packed.tolist():
+            if token < 256:
+                litlen_freq[token] += 1
+                append((token, 0, 0, -1, 0, 0))
             else:
-                lsym, lextra, lbits = _length_to_code(token.length)
-                dsym, dextra, dbits = _distance_to_code(token.distance)
+                distance = token >> PACKED_LENGTH_BITS
+                lsym, lextra, lbits = len_to_code[token & len_mask]
+                if distance <= 256:
+                    dsym, dbase, dbits = dist_lo[distance]
+                else:
+                    dsym, dbase, dbits = dist_high[(distance - 1) >> 7]
                 litlen_freq[lsym] += 1
                 dist_freq[dsym] += 1
-                encoded.append((lsym, lextra, lbits, dsym, dextra, dbits))
-        return encoded, litlen_freq, dist_freq
+                extra_bits += lbits + dbits
+                append((lsym, lextra, lbits, dsym, distance - dbase, dbits))
+        return encoded, litlen_freq, dist_freq, extra_bits
 
     def _write_symbols(
         self,
@@ -246,27 +357,38 @@ class DeflateCodec(Codec):
         litlen_table: HuffmanTable,
         dist_table: HuffmanTable,
     ) -> None:
+        # The stream is LSB-first, so consecutive write_bits calls can be
+        # fused: write_bits(a, x) then write_bits(b, y) is exactly
+        # write_bits(a | b << x, x + y). A whole token — litlen code,
+        # length extra, distance code, distance extra — becomes one call.
+        write_bits = writer.write_bits
+        ll_lengths = litlen_table.lengths
+        ll_codes = litlen_table.codes_lsb
+        d_lengths = dist_table.lengths
+        d_codes = dist_table.codes_lsb
         for lsym, lextra, lbits, dsym, dextra, dbits in encoded:
-            litlen_table.encode(writer, lsym)
+            nbits = ll_lengths[lsym]
+            if nbits == 0:
+                raise CorruptStreamError(f"symbol {lsym} has no code")
+            value = ll_codes[lsym]
             if lbits:
-                writer.write_bits(lextra, lbits)
+                value |= lextra << nbits
+                nbits += lbits
             if dsym >= 0:
-                dist_table.encode(writer, dsym)
+                dlen = d_lengths[dsym]
+                if dlen == 0:
+                    raise CorruptStreamError(f"symbol {dsym} has no code")
+                value |= d_codes[dsym] << nbits
+                nbits += dlen
                 if dbits:
-                    writer.write_bits(dextra, dbits)
+                    value |= dextra << nbits
+                    nbits += dbits
+            write_bits(value, nbits)
         litlen_table.encode(writer, _EOB)
 
-    def _compress_dynamic(self, encoded, litlen_freq, dist_freq) -> bytes:
-        litlen_table = HuffmanTable.from_frequencies(litlen_freq)
-        dist_table = HuffmanTable.from_frequencies(dist_freq)
-
-        combined = list(litlen_table.lengths) + list(dist_table.lengths)
-        rle = _rle_code_lengths(combined)
-        cl_freq = [0] * _NUM_CODELEN
-        for symbol, _ in rle:
-            cl_freq[symbol] += 1
-        cl_table = HuffmanTable.from_frequencies(cl_freq, max_length=7)
-
+    def _compress_dynamic(
+        self, encoded, litlen_table, dist_table, rle, cl_table
+    ) -> bytes:
         writer = BitWriter()
         for length in cl_table.lengths:
             writer.write_bits(length, 3)
@@ -351,25 +473,97 @@ class DeflateCodec(Codec):
         self, reader: BitReader, orig_len: int, litlen_decoder, dist_decoder
     ) -> bytes:
         out = bytearray()
+        append = out.append
+        lit_decode = litlen_decoder.decode
+        dist_decode = dist_decoder.decode
+        length_codes = _LENGTH_CODES
+        dist_codes = _DIST_CODES
+        # The symbol loop runs once per decoded token; keeping the bit
+        # accumulator in locals (instead of syncing reader attributes on
+        # every decode/read_bits call) is the difference between one
+        # attribute access per token and six. The reader is synced before
+        # any fallback into the decoder object and again on exit, so the
+        # observable bit-consumption order is unchanged. A token needs at
+        # most 15 + 5 + 15 + 13 = 48 bits, so one top-of-loop refill
+        # suffices: ``nbits < extra`` afterwards can only mean the stream
+        # really is exhausted.
+        ll_table = litlen_decoder._root_table
+        ll_mask = litlen_decoder._root_mask
+        d_table = dist_decoder._root_table
+        d_mask = dist_decoder._root_mask
+        data = reader._data
+        acc = reader._acc
+        nbits = reader._nbits
+        pos = reader._pos
         while True:
-            symbol = litlen_decoder.decode(reader)
+            if nbits < 48:
+                chunk = data[pos : pos + 8]
+                if chunk:
+                    acc |= int.from_bytes(chunk, "little") << nbits
+                    pos += len(chunk)
+                    nbits += 8 * len(chunk)
+            entry = ll_table[acc & ll_mask]
+            if entry:
+                clen = entry >> 16
+                if clen > nbits:
+                    raise CorruptStreamError("bit stream exhausted")
+                acc >>= clen
+                nbits -= clen
+                symbol = entry & 0xFFFF
+            else:
+                reader._acc = acc
+                reader._nbits = nbits
+                reader._pos = pos
+                symbol = lit_decode(reader)
+                acc = reader._acc
+                nbits = reader._nbits
+                pos = reader._pos
+            if symbol < 256:
+                append(symbol)
+                continue
             if symbol == _EOB:
                 break
-            if symbol < 256:
-                out.append(symbol)
-                continue
-            base, extra_bits = _LENGTH_CODES[symbol - 257]
-            length = base + (reader.read_bits(extra_bits) if extra_bits else 0)
-            dsym = dist_decoder.decode(reader)
-            dbase, dextra_bits = _DIST_CODES[dsym]
-            distance = dbase + (
-                reader.read_bits(dextra_bits) if dextra_bits else 0
-            )
+            base, extra = length_codes[symbol - 257]
+            if extra:
+                if extra > nbits:
+                    raise CorruptStreamError("bit stream exhausted")
+                length = base + (acc & ((1 << extra) - 1))
+                acc >>= extra
+                nbits -= extra
+            else:
+                length = base
+            entry = d_table[acc & d_mask]
+            if entry:
+                clen = entry >> 16
+                if clen > nbits:
+                    raise CorruptStreamError("bit stream exhausted")
+                acc >>= clen
+                nbits -= clen
+                dsym = entry & 0xFFFF
+            else:
+                reader._acc = acc
+                reader._nbits = nbits
+                reader._pos = pos
+                dsym = dist_decode(reader)
+                acc = reader._acc
+                nbits = reader._nbits
+                pos = reader._pos
+            dbase, dextra = dist_codes[dsym]
+            if dextra:
+                if dextra > nbits:
+                    raise CorruptStreamError("bit stream exhausted")
+                distance = dbase + (acc & ((1 << dextra) - 1))
+                acc >>= dextra
+                nbits -= dextra
+            else:
+                distance = dbase
             start = len(out) - distance
             if start < 0:
                 raise CorruptStreamError("match distance before stream start")
-            for i in range(length):
-                out.append(out[start + i])
+            extend_match(out, start, length)
+        reader._acc = acc
+        reader._nbits = nbits
+        reader._pos = pos
         if len(out) != orig_len:
             raise CorruptStreamError(
                 f"decoded {len(out)} bytes, header said {orig_len}"

@@ -3,20 +3,58 @@
 Implements the entropy stage shared by the Deflate-style and zstd-style
 codecs: code-length assignment from symbol frequencies (heap-built Huffman
 tree with a Kraft-sum repair pass to enforce a maximum code length),
-canonical code assignment, and a bit-serial decoder matched to
-:class:`~repro.compression.bitio.BitReader`.
+canonical code assignment, one-shot encoding via pre-bit-reversed codes,
+and a zlib-style lookup-table decoder over
+:class:`~repro.compression.bitio.BitReader`'s peek/consume fast path.
+
+The encoder writes each code as a single ``write_bits`` call: canonical
+codes are defined MSB-first, and emitting a code MSB-first into the
+LSB-first bit stream is exactly emitting its bit-reversed value LSB-first,
+so :class:`HuffmanTable` precomputes the reversed form. The decoder peeks
+``root_bits`` bits at once and resolves any code no longer than that with
+one table lookup; rarer longer codes fall back to the canonical
+counts/offsets walk. Tables cache their built decoder, so decoding many
+pages against one table (the fixed-tree mode, the benchmark loops, any
+reused table object) builds the lookup table once.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.compression.bitio import BitReader, BitWriter
 from repro.errors import ConfigError, CorruptStreamError
 
 MAX_CODE_LENGTH = 15
+
+#: Width of the decoder's first-level lookup table. 10 bits covers every
+#: code zlib's default trees use in practice while keeping table build
+#: (2^10 entries) cheap enough for per-page dynamic tables.
+DECODE_ROOT_BITS = 10
+
+
+#: Bit-reversal of each byte value; lets ``reverse_bits`` reverse any
+#: code up to 16 bits with two lookups instead of a per-bit loop (the
+#: decode path reverses every symbol of every freshly parsed table).
+_BYTE_REVERSED = tuple(
+    sum(((i >> bit) & 1) << (7 - bit) for bit in range(8)) for i in range(256)
+)
+
+
+def reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of ``value``."""
+    if nbits <= 16:
+        full = (
+            _BYTE_REVERSED[value & 0xFF] << 8
+        ) | _BYTE_REVERSED[(value >> 8) & 0xFF]
+        return full >> (16 - nbits)
+    out = 0
+    for _ in range(nbits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
 
 
 def code_lengths_from_frequencies(
@@ -103,10 +141,29 @@ def canonical_codes(lengths: Sequence[int]) -> List[int]:
 
 @dataclass(frozen=True)
 class HuffmanTable:
-    """Canonical encoder/decoder table for one alphabet."""
+    """Canonical encoder/decoder table for one alphabet.
+
+    Equality and hashing consider only ``lengths``/``codes``; the
+    bit-reversed encode table and the cached decoder are derived state.
+    """
 
     lengths: tuple
     codes: tuple
+    #: ``codes[s]`` bit-reversed over ``lengths[s]`` bits: the LSB-first
+    #: form a single ``write_bits`` call emits as the MSB-first code.
+    codes_lsb: tuple = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.codes_lsb is None:
+            object.__setattr__(
+                self,
+                "codes_lsb",
+                tuple(
+                    reverse_bits(code, length)
+                    for code, length in zip(self.codes, self.lengths)
+                ),
+            )
+        object.__setattr__(self, "_decoder", None)
 
     @classmethod
     def from_frequencies(
@@ -124,29 +181,53 @@ class HuffmanTable:
         return len(self.lengths)
 
     def encode(self, writer: BitWriter, symbol: int) -> None:
-        """Write ``symbol``'s code to ``writer``."""
+        """Write ``symbol``'s code to ``writer`` — one ``write_bits`` call."""
         length = self.lengths[symbol]
         if length == 0:
             raise CorruptStreamError(f"symbol {symbol} has no code")
-        writer.write_bits_msb(self.codes[symbol], length)
+        writer.write_bits(self.codes_lsb[symbol], length)
 
     def build_decoder(self) -> "HuffmanDecoder":
-        return HuffmanDecoder(self)
+        """Return this table's decoder, building it at most once.
+
+        The deflate/zstd decode paths historically rebuilt the decoder
+        for every page; caching it on the table instance makes repeat
+        decodes against one table (fixed trees, benchmarks, any held
+        table object) free after the first build.
+        """
+        decoder = self._decoder
+        if decoder is None:
+            decoder = HuffmanDecoder(self)
+            object.__setattr__(self, "_decoder", decoder)
+        return decoder
 
 
 class HuffmanDecoder:
-    """Bit-serial canonical Huffman decoder.
+    """Table-driven canonical Huffman decoder (zlib-style).
 
-    Uses the counts/offsets canonical decode loop: accumulate bits MSB-first
-    and, at each length, check whether the accumulated value falls inside
-    that length's code range.
+    A first-level table indexed by the next ``root_bits`` stream bits
+    resolves every code of length <= ``root_bits`` in one peek + one
+    lookup. Entries pack ``(length << 16) | symbol``; zero marks an index
+    whose bits are either an invalid pattern or the prefix of a longer
+    code, and falls back to the canonical counts/offsets bit-serial walk.
     """
 
-    def __init__(self, table: HuffmanTable) -> None:
+    __slots__ = (
+        "_max_len",
+        "_symbols_by_length",
+        "_first_code",
+        "_root_bits",
+        "_root_mask",
+        "_root_table",
+    )
+
+    def __init__(
+        self, table: HuffmanTable, root_bits: int = DECODE_ROOT_BITS
+    ) -> None:
         max_len = max(table.lengths) if any(table.lengths) else 0
         self._max_len = max_len
         # symbols_by_length[l] lists symbols with code length l, in canonical
-        # (code-value) order.
+        # (code-value) order — the slow path for codes longer than the root.
         self._symbols_by_length: List[List[int]] = [[] for _ in range(max_len + 1)]
         order = sorted(
             (s for s in range(table.num_symbols) if table.lengths[s]),
@@ -162,13 +243,69 @@ class HuffmanDecoder:
             self._first_code[length] = code
             code += len(self._symbols_by_length[length])
 
+        root = min(max_len, root_bits)
+        self._root_bits = root
+        self._root_mask = (1 << root) - 1
+        root_table = [0] * (1 << root)
+        for symbol, length in enumerate(table.lengths):
+            if not 0 < length <= root:
+                continue
+            # A code of length l occupies the next l stream bits; in the
+            # LSB-first peeked index those are the low l bits, reversed.
+            # Every index whose low bits equal the code gets the entry —
+            # one strided slice assignment instead of a Python loop.
+            base = table.codes_lsb[symbol]
+            entry = (length << 16) | symbol
+            root_table[base :: 1 << length] = [entry] * (
+                1 << (root - length)
+            )
+        self._root_table = root_table
+
     def decode(self, reader: BitReader) -> int:
-        """Read one symbol from ``reader``."""
+        """Read one symbol from ``reader``.
+
+        The peek/consume pair is inlined against the reader's accumulator:
+        this method runs once per decoded symbol, and two extra method
+        calls per symbol is measurable across a page. The semantics are
+        identical — peeks zero-pad past the end of the stream, consuming
+        past the real data raises.
+        """
         if self._max_len == 0:
             raise CorruptStreamError("decoding with an empty Huffman table")
+        acc = reader._acc
+        nbits = reader._nbits
+        if nbits < self._root_bits:
+            data = reader._data
+            pos = reader._pos
+            while nbits < self._root_bits:
+                chunk = data[pos : pos + 4]
+                if not chunk:
+                    break
+                acc |= int.from_bytes(chunk, "little") << nbits
+                pos += len(chunk)
+                nbits += 8 * len(chunk)
+            reader._acc = acc
+            reader._nbits = nbits
+            reader._pos = pos
+        entry = self._root_table[acc & self._root_mask]
+        if entry:
+            length = entry >> 16
+            if length > nbits:
+                raise CorruptStreamError("bit stream exhausted")
+            reader._acc = acc >> length
+            reader._nbits = nbits - length
+            return entry & 0xFFFF
+        return self._decode_slow(reader)
+
+    def _decode_slow(self, reader: BitReader) -> int:
+        """Codes longer than the root table, and invalid patterns."""
         code = 0
         for length in range(1, self._max_len + 1):
             code = (code << 1) | reader.read_bit()
+            if length <= self._root_bits:
+                # Already known not to match (the root table covers every
+                # valid code this short), keep accumulating.
+                continue
             bucket = self._symbols_by_length[length]
             index = code - self._first_code[length]
             if 0 <= index < len(bucket):

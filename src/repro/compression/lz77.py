@@ -1,15 +1,29 @@
 """LZ77 string matching shared by the Deflate-style and zstd-style codecs.
 
 The tokenizer slides over the input keeping a hash-chain index of 3-byte
-prefixes (the classic zlib structure) and emits a sequence of
-:class:`Literal` and :class:`Match` tokens. The window size is a first-class
-parameter because the multi-channel experiments (Fig. 8) study exactly what
-happens when the effective window shrinks from 4 KiB to 1 KiB as pages are
-split across DIMMs.
+prefixes (the classic zlib structure). The hot path,
+:meth:`Lz77Matcher.tokenize_packed`, emits a packed integer token stream —
+one ``array('q')`` element per token — because allocating a dataclass per
+token dominated tokenizer time on 4 KiB pages. The historical object API
+(:class:`Literal`/:class:`Match` via :meth:`Lz77Matcher.tokenize`) is a
+thin adapter over the packed stream and remains the convenient form for
+tests and inspection.
+
+Packed token encoding (``PACKED`` prefix helpers below):
+
+* ``0 <= t <= 255`` — a literal byte ``t``.
+* ``t >= 512`` — a match: ``t = (distance << 9) | length``. Lengths are
+  3..258 so they fit 9 bits, and ``distance >= 1`` guarantees the two
+  ranges never collide.
+
+The window size is a first-class parameter because the multi-channel
+experiments (Fig. 8) study exactly what happens when the effective window
+shrinks from 4 KiB to 1 KiB as pages are split across DIMMs.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, List, Union
 
@@ -22,6 +36,25 @@ _HASH_SHIFT = 16
 _HASH_MULT = 2654435761
 _HASH_BITS = 15
 _HASH_MASK = (1 << _HASH_BITS) - 1
+
+#: Bits reserved for the match length in a packed token.
+PACKED_LENGTH_BITS = 9
+PACKED_LENGTH_MASK = (1 << PACKED_LENGTH_BITS) - 1
+
+
+def pack_literal(byte: int) -> int:
+    """Pack a literal byte into a token int."""
+    return byte
+
+
+def pack_match(length: int, distance: int) -> int:
+    """Pack a match into a token int."""
+    return (distance << PACKED_LENGTH_BITS) | length
+
+
+def packed_is_literal(token: int) -> bool:
+    """True when a packed token is a literal byte."""
+    return token < 256
 
 
 @dataclass(frozen=True)
@@ -85,91 +118,187 @@ class Lz77Matcher:
         self.max_chain = max_chain
         self.lazy = lazy
 
-    def _best_match(
-        self,
-        data: bytes,
-        pos: int,
-        head: List[int],
-        prev: List[int],
-    ) -> Match | None:
-        """Longest match for ``data[pos:]`` within the window, or ``None``."""
-        limit = len(data)
-        if pos + self.min_match > limit:
-            return None
-        best_len = self.min_match - 1
-        best_dist = 0
-        max_len = min(self.max_match, limit - pos)
-        window_floor = pos - self.window_size
-        candidate = head[_hash3(data, pos)]
-        chain_budget = self.max_chain
-        while candidate >= 0 and candidate >= window_floor and chain_budget > 0:
-            chain_budget -= 1
-            # Quick reject: the byte that would extend the current best.
-            if (
-                best_len >= self.min_match
-                and data[candidate + best_len] != data[pos + best_len]
-            ):
-                candidate = prev[candidate]
-                continue
-            length = 0
-            while (
-                length < max_len
-                and data[candidate + length] == data[pos + length]
-            ):
-                length += 1
-            if length > best_len:
-                best_len = length
-                best_dist = pos - candidate
-                if length >= max_len:
-                    break
-            candidate = prev[candidate]
-        if best_len >= self.min_match:
-            return Match(length=best_len, distance=best_dist)
-        return None
+    def tokenize_packed(self, data: bytes) -> array:
+        """Convert ``data`` into a packed LZ77 token stream.
 
-    def tokenize(self, data: bytes) -> List[Token]:
-        """Convert ``data`` into a list of LZ77 tokens."""
+        This is the hot path: one fully inlined scan, no per-token object
+        allocation, chunked slice comparison for match extension. The
+        token *sequence* is identical to what the seed object-based
+        tokenizer produced (the compressed formats depend on it).
+        """
         n = len(data)
-        tokens: List[Token] = []
+        tokens = array("q")
+        append = tokens.append
         if n == 0:
             return tokens
-        head = [-1] * (1 << _HASH_BITS)
-        prev = [-1] * n
+        min_match = self.min_match
+        window_size = self.window_size
+        max_match = self.max_match
+        max_chain = self.max_chain
+        lazy = self.lazy
+        lazy_limit = n - min_match - 1  # last pos where lazy defer is legal
 
-        def insert(i: int) -> None:
-            if i + MIN_MATCH <= n:
-                h = _hash3(data, i)
+        # Build the complete hash chains in one tight rolling-hash pass.
+        # The seed tokenizer interleaved insertion with scanning, but it
+        # inserted every position 0..n-3 exactly once, in increasing
+        # order — so the finished chain structure is the same, and a walk
+        # starting at prev[pos] (instead of the head table) visits
+        # exactly the candidates the interleaved walk saw when position
+        # ``pos`` was scanned: chains only ever point backwards.
+        prev = [-1] * n
+        if n >= 3:
+            head = [-1] * (1 << _HASH_BITS)
+            mult = _HASH_MULT
+            mask = _HASH_MASK
+            key = data[0] | (data[1] << 8)
+            for i, byte in enumerate(data[2:]):
+                key |= byte << 16
+                h = (key * mult >> _HASH_SHIFT) & mask
                 prev[i] = head[h]
                 head[h] = i
+                key >>= 8
+
+        def best_match(
+            pos: int,
+            # Default-arg binding turns every hot-loop load into a fast
+            # local instead of a closure cell dereference.
+            data=data,
+            prev=prev,
+            n=n,
+            min_match=min_match,
+            max_match=max_match,
+            max_chain=max_chain,
+            window_size=window_size,
+        ) -> int:
+            """Packed match token for ``data[pos:]``, or 0 for none."""
+            if pos + min_match > n:
+                return 0
+            candidate = prev[pos]
+            floor = pos - window_size
+            if floor < 0:
+                floor = 0
+            if candidate < floor:
+                return 0
+            best_len = min_match - 1
+            best_dist = 0
+            max_len = max_match if n - pos > max_match else n - pos
+            chain_budget = max_chain
+            # Quick-reject target: the byte a candidate must match at
+            # offset ``best_len`` to possibly beat the current best.
+            # Hoisted out of the loop (it only changes when best_len
+            # does); ``pos + best_len < n`` holds because best_len stays
+            # strictly below max_len <= n - pos.
+            target = data[pos + best_len]
+            while candidate >= floor and chain_budget > 0:
+                chain_budget -= 1
+                # Any candidate mismatching the target byte cannot produce
+                # a strictly longer match, so skipping it never changes
+                # the selected token.
+                if data[candidate + best_len] != target:
+                    candidate = prev[candidate]
+                    continue
+                length = 0
+                # Chunked extension: compare 32-byte slices, then settle
+                # the tail bytewise. Equivalent to the bytewise loop
+                # (bytes are immutable, so overlapping slices are fine).
+                while (
+                    length + 32 <= max_len
+                    and data[candidate + length : candidate + length + 32]
+                    == data[pos + length : pos + length + 32]
+                ):
+                    length += 32
+                while (
+                    length < max_len
+                    and data[candidate + length] == data[pos + length]
+                ):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= max_len:
+                        break
+                    target = data[pos + best_len]
+                candidate = prev[candidate]
+            if best_len >= min_match:
+                return (best_dist << PACKED_LENGTH_BITS) | best_len
+            return 0
 
         pos = 0
+        # Carried lazy result: best_match(pos) already computed by the
+        # previous iteration's deferral check against the same chains.
+        pending = -1
+        # ``prev[pos] < 0`` means best_match must return 0 (no chain to
+        # walk) — skip the call entirely in that common case.
         while pos < n:
-            match = self._best_match(data, pos, head, prev)
-            if match is None:
-                tokens.append(Literal(data[pos]))
-                insert(pos)
+            if pending >= 0:
+                match = pending
+                pending = -1
+            else:
+                match = best_match(pos) if prev[pos] >= 0 else 0
+            if match == 0:
+                append(data[pos])
                 pos += 1
                 continue
-            if self.lazy and pos + 1 + self.min_match <= n:
+            if lazy and pos <= lazy_limit:
                 # One-step lazy evaluation, as zlib does: if deferring by
                 # one byte yields a strictly longer match, emit a literal.
-                insert(pos)
-                next_match = self._best_match(data, pos + 1, head, prev)
-                if next_match is not None and next_match.length > match.length:
-                    tokens.append(Literal(data[pos]))
+                next_match = (
+                    best_match(pos + 1) if prev[pos + 1] >= 0 else 0
+                )
+                if (
+                    next_match != 0
+                    and (next_match & PACKED_LENGTH_MASK)
+                    > (match & PACKED_LENGTH_MASK)
+                ):
+                    append(data[pos])
                     pos += 1
+                    pending = next_match
                     continue
-                tokens.append(match)
-                # ``pos`` was already inserted above.
-                for i in range(pos + 1, pos + match.length):
-                    insert(i)
-                pos += match.length
-                continue
-            tokens.append(match)
-            for i in range(pos, pos + match.length):
-                insert(i)
-            pos += match.length
+            append(match)
+            pos += match & PACKED_LENGTH_MASK
         return tokens
+
+    def tokenize(self, data: bytes) -> List[Token]:
+        """Convert ``data`` into a list of LZ77 tokens.
+
+        Thin adapter over :meth:`tokenize_packed`, kept for tests and any
+        consumer that wants the readable object form.
+        """
+        mask = PACKED_LENGTH_MASK
+        return [
+            Literal(t)
+            if t < 256
+            else Match(length=t & mask, distance=t >> PACKED_LENGTH_BITS)
+            for t in self.tokenize_packed(data)
+        ]
+
+
+def pack_tokens(tokens: Iterable[Token]) -> array:
+    """Convert object tokens to the packed representation."""
+    out = array("q")
+    for token in tokens:
+        if isinstance(token, Literal):
+            out.append(token.byte)
+        else:
+            out.append((token.distance << PACKED_LENGTH_BITS) | token.length)
+    return out
+
+
+def extend_match(out: bytearray, start: int, length: int) -> None:
+    """Append ``length`` bytes copied from ``out[start:]`` (may overlap).
+
+    Non-overlapping spans are a single slice copy; overlapping spans
+    (distance < length, the RLE case) replicate the periodic seed by
+    doubling instead of appending byte-by-byte.
+    """
+    distance = len(out) - start
+    if distance >= length:
+        out += out[start : start + length]
+        return
+    chunk = bytes(out[start:])
+    while len(chunk) < length:
+        chunk += chunk
+    out += chunk[:length]
 
 
 def detokenize(tokens: Iterable[Token]) -> bytes:
@@ -185,8 +314,26 @@ def detokenize(tokens: Iterable[Token]) -> bytes:
                     f"match distance {token.distance} exceeds output "
                     f"length {len(out)}"
                 )
-            for i in range(token.length):
-                out.append(out[start + i])
+            extend_match(out, start, token.length)
+    return bytes(out)
+
+
+def detokenize_packed(tokens: Iterable[int]) -> bytes:
+    """Reconstruct the original bytes from a packed token stream."""
+    out = bytearray()
+    mask = PACKED_LENGTH_MASK
+    for token in tokens:
+        if token < 256:
+            out.append(token)
+        else:
+            distance = token >> PACKED_LENGTH_BITS
+            start = len(out) - distance
+            if start < 0:
+                raise ValueError(
+                    f"match distance {distance} exceeds output "
+                    f"length {len(out)}"
+                )
+            extend_match(out, start, token & mask)
     return bytes(out)
 
 
@@ -195,4 +342,13 @@ def token_stream_cost(tokens: Iterable[Token]) -> int:
     total = 0
     for token in tokens:
         total += 1 if isinstance(token, Literal) else token.length
+    return total
+
+
+def token_stream_cost_packed(tokens: Iterable[int]) -> int:
+    """Total decoded length implied by a packed token stream, in bytes."""
+    total = 0
+    mask = PACKED_LENGTH_MASK
+    for token in tokens:
+        total += 1 if token < 256 else token & mask
     return total

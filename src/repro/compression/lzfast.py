@@ -16,6 +16,7 @@ from __future__ import annotations
 import zlib
 
 from repro.compression.base import Codec, CodecSpec, register_codec
+from repro.compression.lz77 import extend_match
 from repro.errors import ConfigError, CorruptStreamError
 
 _MAGIC = 0xF5
@@ -94,6 +95,7 @@ class LzFastCodec(Codec):
         table = [-1] * (1 << _HASH_BITS)
         literal_start = 0
         pos = 0
+        max_distance = min(self.window_size, _MAX_DISTANCE)
 
         def flush_literals(end: int) -> None:
             start = literal_start
@@ -103,18 +105,37 @@ class LzFastCodec(Codec):
                 out.extend(data[start : start + run])
                 start += run
 
+        # The hash is inlined in both loops below: one function call per
+        # scanned byte was the single largest cost in this codec.
         while pos + _MIN_MATCH <= n:
-            h = _hash4(data, pos)
+            h = (
+                (
+                    data[pos]
+                    | (data[pos + 1] << 8)
+                    | (data[pos + 2] << 16)
+                    | (data[pos + 3] << 24)
+                )
+                * _HASH_MULT
+                >> 16
+            ) & _HASH_MASK
             candidate = table[h]
             table[h] = pos
             if (
                 candidate >= 0
-                and pos - candidate <= min(self.window_size, _MAX_DISTANCE)
+                and pos - candidate <= max_distance
                 and data[candidate : candidate + _MIN_MATCH]
                 == data[pos : pos + _MIN_MATCH]
             ):
                 length = _MIN_MATCH
-                max_len = min(_MAX_MATCH, n - pos)
+                max_len = _MAX_MATCH if n - pos > _MAX_MATCH else n - pos
+                # 32-byte slice comparison, bytewise tail — equivalent to
+                # the bytewise loop (bytes are immutable, overlap is fine).
+                while (
+                    length + 32 <= max_len
+                    and data[candidate + length : candidate + length + 32]
+                    == data[pos + length : pos + length + 32]
+                ):
+                    length += 32
                 while (
                     length < max_len
                     and data[candidate + length] == data[pos + length]
@@ -128,7 +149,18 @@ class LzFastCodec(Codec):
                 # Insert a couple of positions inside the match so later
                 # repeats of the same content are still findable.
                 for i in range(pos + 1, min(pos + length, n - _MIN_MATCH + 1)):
-                    table[_hash4(data, i)] = i
+                    table[
+                        (
+                            (
+                                data[i]
+                                | (data[i + 1] << 8)
+                                | (data[i + 2] << 16)
+                                | (data[i + 3] << 24)
+                            )
+                            * _HASH_MULT
+                            >> 16
+                        ) & _HASH_MASK
+                    ] = i
                 pos += length
                 literal_start = pos
             else:
@@ -182,8 +214,7 @@ class LzFastCodec(Codec):
                 start = len(out) - distance
                 if start < 0 or distance == 0:
                     raise CorruptStreamError("invalid match distance")
-                for i in range(length):
-                    out.append(out[start + i])
+                extend_match(out, start, length)
         if len(out) != orig_len:
             raise CorruptStreamError(
                 f"decoded {len(out)} bytes, header said {orig_len}"

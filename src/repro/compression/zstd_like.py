@@ -22,7 +22,12 @@ from typing import List, Tuple
 from repro.compression.base import Codec, CodecSpec, register_codec
 from repro.compression.bitio import BitReader, BitWriter
 from repro.compression.huffman import HuffmanTable
-from repro.compression.lz77 import Literal, Lz77Matcher
+from repro.compression.lz77 import (
+    PACKED_LENGTH_BITS,
+    PACKED_LENGTH_MASK,
+    Lz77Matcher,
+    extend_match,
+)
 from repro.errors import ConfigError, CorruptStreamError
 
 _MAGIC = 0x25
@@ -103,18 +108,23 @@ class ZstdLikeCodec(Codec):
         return writer.getvalue()
 
     def _compress_body(self, data: bytes) -> bytes:
-        tokens = self._matcher.tokenize(data)
+        packed = self._matcher.tokenize_packed(data)
         literals = bytearray()
+        append_literal = literals.append
         # Sequence: (literal_run, match_length, offset); a trailing run of
         # literals is encoded as a sequence with match_length == 0.
         sequences: List[Tuple[int, int, int]] = []
+        append_seq = sequences.append
+        len_mask = PACKED_LENGTH_MASK
         run = 0
-        for token in tokens:
-            if isinstance(token, Literal):
-                literals.append(token.byte)
+        for token in packed.tolist():
+            if token < 256:
+                append_literal(token)
                 run += 1
             else:
-                sequences.append((run, token.length, token.distance))
+                append_seq(
+                    (run, token & len_mask, token >> PACKED_LENGTH_BITS)
+                )
                 run = 0
         if run:
             sequences.append((run, 0, 0))
@@ -128,8 +138,14 @@ class ZstdLikeCodec(Codec):
             table = HuffmanTable.from_frequencies(freq)
             for length in table.lengths:
                 writer.write_bits(length, 4)
+            # Every byte present in ``literals`` has non-zero frequency and
+            # therefore a code; index the tables directly instead of paying
+            # HuffmanTable.encode's zero-length check per byte.
+            codes_lsb = table.codes_lsb
+            lengths = table.lengths
+            write_bits = writer.write_bits
             for byte in literals:
-                table.encode(writer, byte)
+                write_bits(codes_lsb[byte], lengths[byte])
         _write_varint_bits(writer, len(sequences))
         for lit_run, match_len, offset in sequences:
             _write_varint_bits(writer, lit_run)
@@ -159,8 +175,10 @@ class ZstdLikeCodec(Codec):
         if lit_count:
             lengths = [reader.read_bits(4) for _ in range(256)]
             decoder = HuffmanTable.from_lengths(lengths).build_decoder()
+            decode = decoder.decode
+            append = literals.append
             for _ in range(lit_count):
-                literals.append(decoder.decode(reader))
+                append(decode(reader))
         seq_count = _read_varint_bits(reader)
 
         out = bytearray()
@@ -170,15 +188,14 @@ class ZstdLikeCodec(Codec):
             match_len = _read_varint_bits(reader)
             if lit_pos + lit_run > len(literals):
                 raise CorruptStreamError("literal section overrun")
-            out.extend(literals[lit_pos : lit_pos + lit_run])
+            out += literals[lit_pos : lit_pos + lit_run]
             lit_pos += lit_run
             if match_len:
                 offset = _read_varint_bits(reader)
                 start = len(out) - offset
                 if start < 0 or offset == 0 or match_len < _MIN_MATCH:
                     raise CorruptStreamError("invalid sequence")
-                for i in range(match_len):
-                    out.append(out[start + i])
+                extend_match(out, start, match_len)
         if len(out) != orig_len:
             raise CorruptStreamError(
                 f"decoded {len(out)} bytes, header said {orig_len}"

@@ -11,6 +11,7 @@ to the near-memory accelerator.
 
 from repro.sfm.backend import SfmBackend, SwapOutcome
 from repro.sfm.controller import ColdScanController, PressureController
+from repro.sfm.digest_cache import DigestPageCache, page_digest
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.policy import OffloadPolicy, io_amplification_ratio
@@ -21,6 +22,7 @@ from repro.sfm.zswap import ZswapFrontend
 __all__ = [
     "BandwidthLedger",
     "ColdScanController",
+    "DigestPageCache",
     "OffloadPolicy",
     "PAGE_SIZE",
     "Page",
@@ -33,4 +35,5 @@ __all__ = [
     "ZpoolEntry",
     "ZswapFrontend",
     "io_amplification_ratio",
+    "page_digest",
 ]

@@ -17,6 +17,11 @@ from typing import Optional
 from repro.compression.base import Codec
 from repro.compression.zstd_like import ZstdLikeCodec
 from repro.errors import SfmError, ZpoolFullError
+from repro.sfm.digest_cache import (
+    DIGEST_CYCLES_PER_BYTE,
+    DigestPageCache,
+    page_digest,
+)
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.rbtree import RedBlackTree
@@ -52,6 +57,7 @@ class SfmBackend:
         capacity_bytes: int,
         codec: Optional[Codec] = None,
         cpu_freq_hz: float = 2.6e9,
+        page_cache_entries: int = 1024,
     ) -> None:
         self.codec = codec if codec is not None else ZstdLikeCodec()
         self.cpu_freq_hz = cpu_freq_hz
@@ -59,6 +65,10 @@ class SfmBackend:
         self.index = RedBlackTree()
         self.stats = SwapStats()
         self.ledger = BandwidthLedger()
+        #: Content-keyed blob cache; ``page_cache_entries=0`` disables it.
+        self.page_cache: Optional[DigestPageCache] = (
+            DigestPageCache(page_cache_entries) if page_cache_entries else None
+        )
 
     # -- capacity ------------------------------------------------------------
 
@@ -93,8 +103,22 @@ class SfmBackend:
         if page.data is None:
             raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
 
-        blob = self._compress(page.data)
-        cycles = self.codec.spec.compress_cycles_per_byte * PAGE_SIZE
+        blob = None
+        if self.page_cache is not None:
+            digest = page_digest(page.data)
+            blob = self.page_cache.get(digest)
+        if blob is not None:
+            # Identical content was compressed before: reuse the blob and
+            # pay only the hash, not the compressor.
+            self.stats.digest_cache_hits += 1
+            cycles = DIGEST_CYCLES_PER_BYTE * PAGE_SIZE
+        else:
+            if self.page_cache is not None:
+                self.stats.digest_cache_misses += 1
+            blob = self._compress(page.data)
+            cycles = self.codec.spec.compress_cycles_per_byte * PAGE_SIZE
+            if self.page_cache is not None:
+                self.page_cache.put(digest, blob)
         self.stats.cpu_compress_cycles += cycles
         # O3: the cold page is read from DRAM, the blob written back.
         self.ledger.record("sfm_cpu", "read", PAGE_SIZE)

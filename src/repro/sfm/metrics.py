@@ -32,6 +32,17 @@ class SwapStats:
     cpu_fallback_decompressions: int = 0
     offloaded_compressions: int = 0
     offloaded_decompressions: int = 0
+    #: Digest-keyed page-cache accounting: a hit reuses a previously
+    #: compressed blob for identical page content and skips the
+    #: compressor; a miss runs the compressor as usual.
+    digest_cache_hits: int = 0
+    digest_cache_misses: int = 0
+
+    @property
+    def digest_cache_hit_rate(self) -> float:
+        """Fraction of swap-outs served from the digest cache."""
+        total = self.digest_cache_hits + self.digest_cache_misses
+        return self.digest_cache_hits / total if total else 0.0
 
     @property
     def mean_compression_ratio(self) -> float:

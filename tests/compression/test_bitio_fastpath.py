@@ -1,0 +1,124 @@
+"""Fast-path equivalence tests for :mod:`repro.compression.bitio`.
+
+The aligned ``read_bytes`` slice path and the ``peek_bits``/
+``consume_bits`` pair must be bit-for-bit interchangeable with the
+bit-serial operations they accelerate.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+def _slow_read_bytes(reader: BitReader, n: int) -> bytes:
+    """The seed implementation: one read_bits(8) call per byte."""
+    return bytes(reader.read_bits(8) for _ in range(n))
+
+
+class TestReadBytesFastPath:
+    def test_aligned_at_start(self):
+        data = bytes(range(64))
+        fast = BitReader(data)
+        slow = BitReader(data)
+        assert fast.read_bytes(64) == _slow_read_bytes(slow, 64)
+
+    def test_aligned_mid_buffer(self):
+        """Byte-aligned at a nonzero position: the satellite case."""
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.align_to_byte()
+        writer.write_bytes(b"payload-after-alignment")
+        blob = writer.getvalue()
+        fast, slow = BitReader(blob), BitReader(blob)
+        for reader in (fast, slow):
+            reader.read_bits(3)
+            reader.align_to_byte()
+        assert fast.read_bytes(23) == _slow_read_bytes(slow, 23)
+
+    def test_drains_accumulator_bytes_first(self):
+        """Whole bytes buffered in the accumulator (from a multi-byte
+        refill) come out before the buffer slice."""
+        data = b"\x11\x22\x33\x44\x55\x66\x77\x88"
+        fast, slow = BitReader(data), BitReader(data)
+        for reader in (fast, slow):
+            # Pull 16 bits so the 4-byte refill leaves 2 whole bytes
+            # sitting in the accumulator.
+            assert reader.read_bits(16) == 0x2211
+        assert fast.read_bytes(6) == _slow_read_bytes(slow, 6)
+
+    def test_misaligned_still_rejected(self):
+        reader = BitReader(b"\xff\xff")
+        reader.read_bits(3)
+        with pytest.raises(ValueError):
+            reader.read_bytes(1)
+
+    def test_overrun_raises_corrupt_stream(self):
+        reader = BitReader(b"ab")
+        with pytest.raises(CorruptStreamError):
+            reader.read_bytes(3)
+
+    def test_zero_bytes(self):
+        reader = BitReader(b"x")
+        assert reader.read_bytes(0) == b""
+        assert reader.read_bytes(1) == b"x"
+
+    @given(
+        st.binary(max_size=256),
+        st.integers(0, 8),
+        st.integers(0, 260),
+    )
+    def test_matches_slow_path_bit_for_bit(self, data, skip_bytes, n):
+        """Property: any aligned position, any length — identical bytes
+        and identical success/failure behaviour."""
+        fast, slow = BitReader(data), BitReader(data)
+        if skip_bytes * 8 > len(data) * 8:
+            return
+        for reader in (fast, slow):
+            if skip_bytes:
+                reader.read_bits(8 * skip_bytes)
+        try:
+            expected = _slow_read_bytes(slow, n)
+        except CorruptStreamError:
+            with pytest.raises(CorruptStreamError):
+                fast.read_bytes(n)
+            return
+        assert fast.read_bytes(n) == expected
+        assert fast.bits_remaining == slow.bits_remaining
+
+
+class TestPeekConsume:
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\xa5\x5a")
+        assert reader.peek_bits(8) == 0xA5
+        assert reader.peek_bits(8) == 0xA5
+        assert reader.read_bits(16) == 0x5AA5
+
+    def test_peek_zero_pads_past_end(self):
+        reader = BitReader(b"\x03")
+        assert reader.peek_bits(16) == 0x0003
+
+    def test_consume_tracks_reads(self):
+        reader = BitReader(b"\xff\x00")
+        reader.peek_bits(12)
+        reader.consume_bits(4)
+        assert reader.read_bits(4) == 0xF
+
+    def test_consume_past_real_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.peek_bits(16)  # zero-padded, fine
+        with pytest.raises(CorruptStreamError):
+            reader.consume_bits(16)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 20))
+    def test_peek_then_consume_equals_read(self, data, nbits):
+        if nbits > len(data) * 8:
+            return
+        via_read = BitReader(data)
+        via_peek = BitReader(data)
+        expected = via_read.read_bits(nbits)
+        assert via_peek.peek_bits(nbits) == expected
+        via_peek.consume_bits(nbits)
+        assert via_peek.bits_remaining == via_read.bits_remaining
