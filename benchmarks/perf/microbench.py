@@ -163,6 +163,93 @@ def _kernel_emulator_window() -> Callable[[], None]:
     return op
 
 
+def _swap_path_setup(traced: bool) -> Callable[[], None]:
+    """Full store/load path (zpool + rbtree + codec + telemetry guards),
+    with tracing disabled or enabled — the pair that brackets what the
+    instrumentation costs on the real hot path."""
+    from repro.sfm.backend import SfmBackend
+    from repro.sfm.page import Page
+    from repro.telemetry import trace as _trace
+
+    codec = DeflateCodec(window_size=4096)
+    pages = _bench_pages()
+
+    def body() -> None:
+        backend = SfmBackend(
+            capacity_bytes=len(pages) * PAGE * 2,
+            codec=codec,
+            page_cache_entries=0,
+        )
+        for i, data in enumerate(pages):
+            page = Page(vaddr=i * PAGE, data=data)
+            if backend.swap_out(page).accepted:
+                backend.swap_in(page)
+
+    if not traced:
+        return body
+
+    def traced_body() -> None:
+        with _trace.tracing():
+            body()
+
+    return traced_body
+
+
+def _kernel_swap_telemetry_off() -> Callable[[], None]:
+    return _swap_path_setup(traced=False)
+
+
+def _kernel_swap_telemetry_on() -> Callable[[], None]:
+    return _swap_path_setup(traced=True)
+
+
+def telemetry_overhead_ratio(repeats: int = 5) -> float:
+    """Cost of the *disabled* telemetry guards on the deflate round-trip.
+
+    Times the plain codec round-trip loop against the identical loop with
+    the hot path's guard pattern (``tracing_enabled()`` check + early
+    out) at the same emission-site density as the real swap path. The
+    ratio is measured in-process so it is machine-independent; CI gates
+    it at < 3% (``run_perf.py telemetry-guard``).
+    """
+    from repro.telemetry import trace as _trace
+
+    codec = DeflateCodec(window_size=4096)
+    pages = _bench_pages()
+    blobs = [codec.compress(page) for page in pages]
+
+    def plain() -> None:
+        for page, blob in zip(pages, blobs):
+            codec.decompress(codec.compress(page))
+            codec.decompress(blob)
+
+    def guarded() -> None:
+        # Two guarded sites per page, like swap_out + swap_in.
+        for page, blob in zip(pages, blobs):
+            if _trace.tracing_enabled():
+                _trace.complete(
+                    "cpu_compress", _trace.TRACK_CPU, _trace.clock_ns(), 0.0
+                )
+            codec.decompress(codec.compress(page))
+            if _trace.tracing_enabled():
+                _trace.complete(
+                    "cpu_decompress", _trace.TRACK_CPU, _trace.clock_ns(), 0.0
+                )
+            codec.decompress(blob)
+
+    def best_of(op: Callable[[], None]) -> float:
+        op()  # warm up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            op()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    assert not _trace.tracing_enabled(), "guard must measure the off path"
+    return best_of(guarded) / best_of(plain)
+
+
 #: name -> (setup, default inner iterations per timed batch).
 KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "deflate_roundtrip_4k": (_kernel_deflate_roundtrip, 1),
@@ -173,6 +260,8 @@ KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "huffman_encode_4k": (_kernel_huffman_encode, 2),
     "huffman_decode_4k": (_kernel_huffman_decode, 1),
     "emulator_window": (_kernel_emulator_window, 1),
+    "swap_telemetry_off": (_kernel_swap_telemetry_off, 1),
+    "swap_telemetry_on": (_kernel_swap_telemetry_on, 1),
 }
 
 

@@ -18,11 +18,18 @@ Modes:
     algorithmic regressions (accidentally reverting to a bit-serial
     loop), not percent-level noise.
 
+``telemetry-guard``
+    Assert that the *disabled* telemetry guards cost < ``--max-overhead``
+    (default 3%) on the deflate round-trip kernel. Unlike ``check`` this
+    is an in-process ratio (guarded loop vs plain loop on the same
+    machine, same run), so the gate can afford to be tight.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py run
     PYTHONPATH=src python benchmarks/perf/run_perf.py run --update-baseline
     PYTHONPATH=src python benchmarks/perf/run_perf.py check --inner-scale 0.5
+    PYTHONPATH=src python benchmarks/perf/run_perf.py telemetry-guard
 """
 
 from __future__ import annotations
@@ -46,8 +53,27 @@ def _load(path: Path) -> dict:
         return json.load(fh)
 
 
+def _measure(args: argparse.Namespace) -> dict:
+    """Run all kernels, optionally inside a telemetry session.
+
+    With ``--trace-dir`` the measurement runs under tracing and writes
+    ``trace.json``/``metrics.json`` there (the measured numbers then
+    include the enabled-tracing overhead — useful for inspecting the
+    harness itself, not for updating baselines).
+    """
+    trace_dir = getattr(args, "trace_dir", None)
+    if not trace_dir:
+        return microbench.run_all(args.inner_scale, args.repeats)
+    from repro.telemetry import TelemetrySession
+
+    with TelemetrySession(out_dir=trace_dir):
+        results = microbench.run_all(args.inner_scale, args.repeats)
+    print(f"telemetry written to {trace_dir}", file=sys.stderr)
+    return results
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    results = microbench.run_all(args.inner_scale, args.repeats)
+    results = _measure(args)
     payload = {"schema": 1, "kernels": results}
     if args.update_baseline:
         baseline_path = Path(args.baseline)
@@ -76,7 +102,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     doc = _load(Path(args.baseline))
     committed = doc["baseline"]["kernels"]
-    fresh = microbench.run_all(args.inner_scale, args.repeats)
+    fresh = _measure(args)
     failures = []
     width = max(len(name) for name in fresh)
     print(f"{'kernel'.ljust(width)}  committed(s/op)  fresh(s/op)  ratio")
@@ -105,6 +131,28 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_guard(args: argparse.Namespace) -> int:
+    # Best-of-N both ways; take the minimum over trials so a single
+    # noisy plain-loop batch can't fail the gate spuriously.
+    ratio = min(
+        microbench.telemetry_overhead_ratio(repeats=args.repeats)
+        for _ in range(args.trials)
+    )
+    overhead = ratio - 1.0
+    print(
+        f"disabled-telemetry overhead on deflate round-trip: "
+        f"{overhead * 100:+.2f}% (gate: < {args.max_overhead * 100:.0f}%)"
+    )
+    if overhead > args.max_overhead:
+        print(
+            "telemetry guard FAILED: the tracing_enabled() fast path must "
+            "stay free when tracing is off"
+        )
+        return 1
+    print("telemetry guard passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -114,6 +162,7 @@ def main(argv=None) -> int:
     run.add_argument("--baseline", default=str(DEFAULT_BASELINE))
     run.add_argument("--inner-scale", type=float, default=1.0)
     run.add_argument("--repeats", type=int, default=3)
+    run.add_argument("--trace-dir", default=None)
     run.set_defaults(func=cmd_run)
 
     check = sub.add_parser("check", help="compare against committed baseline")
@@ -121,7 +170,17 @@ def main(argv=None) -> int:
     check.add_argument("--inner-scale", type=float, default=1.0)
     check.add_argument("--repeats", type=int, default=2)
     check.add_argument("--max-slowdown", type=float, default=2.5)
+    check.add_argument("--trace-dir", default=None)
     check.set_defaults(func=cmd_check)
+
+    guard = sub.add_parser(
+        "telemetry-guard",
+        help="assert disabled telemetry costs < --max-overhead",
+    )
+    guard.add_argument("--max-overhead", type=float, default=0.03)
+    guard.add_argument("--repeats", type=int, default=3)
+    guard.add_argument("--trials", type=int, default=3)
+    guard.set_defaults(func=cmd_telemetry_guard)
 
     args = parser.parse_args(argv)
     return args.func(args)

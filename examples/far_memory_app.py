@@ -13,6 +13,7 @@ Run:  python examples/far_memory_app.py
 
 from repro import PAGE_SIZE, SfmBackend, XfmBackend
 from repro._units import pretty_bytes
+from repro.analysis.report import format_stats
 from repro.sfm.controller import ColdScanController
 from repro.workloads.aifm import FarMemoryRuntime
 from repro.workloads.webfrontend import WebFrontend, WebFrontendConfig
@@ -86,6 +87,13 @@ def main() -> None:
     print(
         f"\nXFM kept {pretty_bytes(max(0, saved))} of swap traffic off the "
         "DDR channel\n(demand faults still use CPU_Fallback by design, §6)."
+    )
+    print()
+    print(
+        format_stats(
+            [baseline_runtime.backend.stats, xfm_runtime.backend.stats],
+            title="swap counters (both backends, merged)",
+        )
     )
     xfm_runtime.trace.save("/tmp/xfm_webfrontend_trace.jsonl")
     print("swap trace written to /tmp/xfm_webfrontend_trace.jsonl")

@@ -193,7 +193,13 @@ def main(argv: List[str] = None) -> int:
         "experiments",
         nargs="*",
         default=["list"],
-        help="experiment names, 'list', or 'all'",
+        help="experiment names, 'list', 'all', 'export <dir>', "
+        "or 'trace <workload>'",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output directory for 'trace' (default: trace-out)",
     )
     args = parser.parse_args(argv)
     names = args.experiments or ["list"]
@@ -204,6 +210,35 @@ def main(argv: List[str] = None) -> int:
             print(f"  {name:8s} {description}")
         print("run: python -m repro <name> [<name> ...] | all")
         print("     python -m repro export <dir>   # CSV/JSON figure data")
+        print("     python -m repro trace <workload> [--out DIR]"
+              "   # Perfetto trace + metrics")
+        from repro.telemetry.runner import WORKLOADS
+
+        print(f"     trace workloads: {', '.join(sorted(WORKLOADS))}")
+        return 0
+    if names and names[0] == "trace":
+        from pathlib import Path
+
+        from repro.telemetry.runner import WORKLOADS, run_traced
+
+        targets = names[1:] or ["zswap"]
+        unknown = [name for name in targets if name not in WORKLOADS]
+        if unknown:
+            print(
+                f"unknown trace workload(s): {', '.join(unknown)} "
+                f"(have: {', '.join(sorted(WORKLOADS))})",
+                file=sys.stderr,
+            )
+            return 2
+        out_base = Path(args.out) if args.out else Path("trace-out")
+        for name in targets:
+            out_dir = out_base / name if len(targets) > 1 else out_base
+            session, summary = run_traced(name, out_dir)
+            print(f"trace workload: {name}")
+            for key, value in summary.items():
+                print(f"  {key:24s}: {value}")
+            print(f"  wrote {out_dir / 'trace.json'}")
+            print(f"  wrote {out_dir / 'metrics.json'}")
         return 0
     if names and names[0] == "export":
         from pathlib import Path

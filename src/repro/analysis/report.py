@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Union
 
 
 def _cell(value) -> str:
@@ -37,3 +37,24 @@ def format_table(
             " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def format_stats(stats: Union[object, Sequence], title: str = "") -> str:
+    """Render one stats facade — or merge a sequence of same-typed ones —
+    as a two-column table.
+
+    This is the single stats-aggregation path for report output: callers
+    hand over :class:`~repro.telemetry.stats.StatsFacade` instances
+    (``SwapStats``, ``DriverStats``, ...) and the facade's ``merged`` /
+    ``as_dict`` do the combining, instead of each report re-summing
+    fields by hand.
+    """
+    if isinstance(stats, (list, tuple)):
+        if not stats:
+            raise ValueError("format_stats needs at least one stats object")
+        stats = type(stats[0]).merged(stats)
+    return format_table(
+        ["counter", "value"],
+        [[name, value] for name, value in stats.as_dict().items()],
+        title=title,
+    )

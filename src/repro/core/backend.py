@@ -19,6 +19,7 @@ from repro.core.nma import NearMemoryAccelerator, NmaConfig
 from repro.errors import QueueFullError, SfmError, SpmFullError, ZpoolFullError
 from repro.sfm.backend import SfmBackend, SwapOutcome
 from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry import reasons, trace as _trace
 
 
 class XfmBackend(SfmBackend):
@@ -31,14 +32,20 @@ class XfmBackend(SfmBackend):
         codec: Optional[Codec] = None,
         cpu_freq_hz: float = 2.6e9,
         row_bytes: int = 8192,
+        registry=None,
     ) -> None:
         self.nma = nma if nma is not None else NearMemoryAccelerator(
             NmaConfig(), codec=codec
         )
         super().__init__(
-            capacity_bytes, codec=self.nma.codec, cpu_freq_hz=cpu_freq_hz
+            capacity_bytes,
+            codec=self.nma.codec,
+            cpu_freq_hz=cpu_freq_hz,
+            registry=registry,
         )
-        self.driver = XfmDriver(self.nma)
+        # Driver counters re-home into the same per-System registry as
+        # the swap statistics.
+        self.driver = XfmDriver(self.nma, registry=self.registry)
         self.driver.xfm_paramset(sfm_base=0, sfm_size=capacity_bytes)
         self.row_bytes = row_bytes
 
@@ -46,6 +53,15 @@ class XfmBackend(SfmBackend):
         """Rank-row index of an address inside the SFM region (the
         granularity the refresh side channel schedules on)."""
         return addr // self.row_bytes
+
+    def _count_fallback_reason(self, exc: Exception) -> str:
+        """Map a submit failure to its reason code and bump the
+        matching per-reason counter."""
+        if isinstance(exc, SpmFullError):
+            self.stats.fallbacks_spm_full += 1
+            return reasons.SPM_FULL
+        self.stats.fallbacks_queue_full += 1
+        return reasons.QUEUE_FULL
 
     # -- swap-out: offload with CPU fallback ---------------------------------
 
@@ -61,8 +77,11 @@ class XfmBackend(SfmBackend):
                 source_row=self._row_of(page.vaddr),
                 input_bytes=PAGE_SIZE,
             )
-        except (SpmFullError, QueueFullError):
+        except (SpmFullError, QueueFullError) as exc:
             self.stats.cpu_fallback_compressions += 1
+            reason = self._count_fallback_reason(exc)
+            if _trace.tracing_enabled():
+                _trace.fallback(reason, "compress", vaddr=page.vaddr)
             return super().swap_out(page)
 
         # Device side: stage, compress, write back — all on-DIMM.
@@ -94,6 +113,18 @@ class XfmBackend(SfmBackend):
         self.stats.offloaded_compressions += 1
         self.stats.bytes_out_uncompressed += PAGE_SIZE
         self.stats.bytes_out_compressed += len(blob)
+        self.blob_sizes.observe(len(blob))
+        if _trace.tracing_enabled():
+            _trace.complete(
+                "nma_compress",
+                _trace.TRACK_NMA,
+                _trace.clock_ns(),
+                self.nma.config.compress_time_ns(PAGE_SIZE),
+                args={
+                    "request_id": request.request_id,
+                    "blob_bytes": len(blob),
+                },
+            )
         del request
         return SwapOutcome(accepted=True, compressed_len=len(blob))
 
@@ -108,19 +139,27 @@ class XfmBackend(SfmBackend):
         """
         if not do_offload:
             self.stats.cpu_fallback_decompressions += 1
+            self.stats.fallbacks_demand += 1
+            if _trace.tracing_enabled():
+                _trace.fallback(
+                    reasons.DEMAND_FAULT, "decompress", vaddr=page.vaddr
+                )
             return super().swap_in(page)
         if not page.swapped:
             raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
         handle = self.index.lookup(page.vaddr)
         blob_len = self.zpool.entry(handle).length
         try:
-            self.driver.submit_decompress(
+            request = self.driver.submit_decompress(
                 source_row=self._row_of(page.vaddr),
                 input_bytes=blob_len,
                 dest_row=self._row_of(page.vaddr),
             )
-        except (SpmFullError, QueueFullError):
+        except (SpmFullError, QueueFullError) as exc:
             self.stats.cpu_fallback_decompressions += 1
+            reason = self._count_fallback_reason(exc)
+            if _trace.tracing_enabled():
+                _trace.fallback(reason, "decompress", vaddr=page.vaddr)
             return super().swap_in(page)
 
         self.nma.pop_request()
@@ -145,6 +184,17 @@ class XfmBackend(SfmBackend):
         self.stats.offloaded_decompressions += 1
         self.stats.bytes_in_uncompressed += PAGE_SIZE
         self.stats.bytes_in_compressed += len(blob)
+        if _trace.tracing_enabled():
+            _trace.complete(
+                "nma_decompress",
+                _trace.TRACK_NMA,
+                _trace.clock_ns(),
+                self.nma.config.decompress_time_ns(len(blob)),
+                args={
+                    "request_id": request.request_id,
+                    "blob_bytes": len(blob),
+                },
+            )
         return data
 
     # -- drop-in aliases --------------------------------------------------------

@@ -11,34 +11,43 @@ call raises and the backend runs ``CPU_Fallback``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.nma import NearMemoryAccelerator, OffloadRequest
 from repro.core.registers import Registers
 from repro.errors import ConfigError, SpmFullError
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import StatsFacade
 
 IOCTL_PARAMSET = 0x5801
 IOCTL_COMPACT = 0x5802
 
 
-@dataclass
-class DriverStats:
-    """MMIO/synchronization accounting."""
+class DriverStats(StatsFacade):
+    """MMIO/synchronization accounting (registry-backed facade)."""
 
-    mmio_reads: int = 0
-    mmio_writes: int = 0
-    capacity_syncs: int = 0
-    submissions: int = 0
-    rejected_submissions: int = 0
+    _PREFIX = "driver"
+    _FIELDS = {
+        "mmio_reads": 0,
+        "mmio_writes": 0,
+        "capacity_syncs": 0,
+        "submissions": 0,
+        "rejected_submissions": 0,
+    }
 
 
 class XfmDriver:
     """Host interface to one XFM DIMM."""
 
-    def __init__(self, nma: NearMemoryAccelerator) -> None:
+    def __init__(
+        self,
+        nma: NearMemoryAccelerator,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
         self.nma = nma
-        self.stats = DriverStats()
+        self.stats = DriverStats(registry=registry, labels=labels)
         #: Lazy upper bound on SPM bytes consumed by our submissions.
         self._inferred_spm_used = 0
         self._sfm_base = 0
@@ -104,6 +113,16 @@ class XfmDriver:
         )
         self.stats.mmio_writes += 1  # CRQ tail doorbell
         self.stats.submissions += 1
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "doorbell",
+                _trace.TRACK_DRIVER,
+                args={
+                    "op": "compress",
+                    "request_id": request.request_id,
+                    "bytes": input_bytes,
+                },
+            )
         return request
 
     def submit_decompress(
@@ -124,6 +143,16 @@ class XfmDriver:
         )
         self.stats.mmio_writes += 1
         self.stats.submissions += 1
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "doorbell",
+                _trace.TRACK_DRIVER,
+                args={
+                    "op": "decompress",
+                    "request_id": request.request_id,
+                    "bytes": input_bytes,
+                },
+            )
         return request
 
     def _reserve_spm(self, nbytes: int) -> None:
@@ -133,6 +162,12 @@ class XfmDriver:
             self.stats.capacity_syncs += 1
             free = self.sp_capacity()
             self._inferred_spm_used = capacity - free
+            if _trace.tracing_enabled():
+                _trace.instant(
+                    "capacity_sync",
+                    _trace.TRACK_DRIVER,
+                    args={"free_bytes": free, "need_bytes": nbytes},
+                )
             if self._inferred_spm_used + nbytes > capacity:
                 self.stats.rejected_submissions += 1
                 raise SpmFullError(

@@ -43,6 +43,7 @@ from repro.dram.energy import AccessEnergyModel
 from repro.dram.refresh import RefreshScheduler
 from repro.dram.timing import DramTimings
 from repro.errors import ConfigError
+from repro.telemetry import reasons, trace as _trace
 from repro.validation.hooks import validation_enabled
 
 
@@ -121,6 +122,10 @@ class EmulatorReport:
     #: Completion-latency percentiles in ms (p50/p95/p99), empty when no
     #: op completed.
     latency_percentiles_ms: Dict[int, float] = None  # type: ignore[assignment]
+    #: ``fallback_ops`` split by reason code; the same split the trace's
+    #: ``cpu_fallback`` events carry, so the two reconcile exactly.
+    fallback_spm_full: int = 0
+    fallback_queue_full: int = 0
 
     @property
     def fallback_fraction(self) -> float:
@@ -264,6 +269,8 @@ class XfmEmulator:
 
         total_ops = 0
         fallbacks = 0
+        fallbacks_spm = 0
+        fallbacks_queue = 0
         completed = 0
         conditional = 0
         random_count = 0
@@ -276,8 +283,15 @@ class XfmEmulator:
 
         blob = cfg.blob_bytes
         group_limit = PAGE_SIZE
+        trace_on = _trace.tracing_enabled()
+        trefi_ns = self.timings.trefi_ns
 
         for ref in range(num_refs):
+            if trace_on:
+                # Simulated time follows the REF cadence; the window span
+                # itself lands on the per-channel refresh track.
+                _trace.set_clock_ns(ref * trefi_ns)
+                self.refresh.trace_window(ref)
             # -- arrivals -------------------------------------------------
             for is_compress, count in (
                 (True, comp_arrivals[ref]),
@@ -286,11 +300,25 @@ class XfmEmulator:
                 for _ in range(int(count)):
                     total_ops += 1
                     reserve = PAGE_SIZE  # input page or output page
-                    if (
-                        spm_used + reserve > spm_capacity
-                        or crq_used >= cfg.crq_depth
-                    ):
+                    if spm_used + reserve > spm_capacity:
                         fallbacks += 1
+                        fallbacks_spm += 1
+                        if trace_on:
+                            _trace.fallback(
+                                reasons.SPM_FULL,
+                                "compress" if is_compress else "decompress",
+                                ref=ref,
+                            )
+                        continue
+                    if crq_used >= cfg.crq_depth:
+                        fallbacks += 1
+                        fallbacks_queue += 1
+                        if trace_on:
+                            _trace.fallback(
+                                reasons.QUEUE_FULL,
+                                "compress" if is_compress else "decompress",
+                                ref=ref,
+                            )
                         continue
                     spm_used += reserve
                     spm_peak = max(spm_peak, spm_used)
@@ -316,6 +344,18 @@ class XfmEmulator:
                         AccessKind.READ, row, ref, nbytes=nbytes
                     )
                     read_of[request.request_id] = op.op_id
+                    if trace_on:
+                        _trace.instant(
+                            "offload_enqueue",
+                            _trace.TRACK_NMA,
+                            args={
+                                "op_id": op.op_id,
+                                "kind": "compress"
+                                if is_compress
+                                else "decompress",
+                                "request_id": request.request_id,
+                            },
+                        )
 
             # -- drain one refresh window ----------------------------------
             pressure = spm_used / spm_capacity >= cfg.pressure_threshold
@@ -361,6 +401,18 @@ class XfmEmulator:
                         completed += 1
                         latency_refs_sum += ref - op.arrival_ref
                         latency_samples.append(ref - op.arrival_ref)
+                        if trace_on:
+                            _trace.instant(
+                                "offload_complete",
+                                _trace.TRACK_NMA,
+                                args={
+                                    "op_id": op_id,
+                                    "kind": "compress"
+                                    if op.is_compress
+                                    else "decompress",
+                                    "latency_refs": ref - op.arrival_ref,
+                                },
+                            )
 
             # -- coalesce compressed blobs into flexible writebacks ---------
             while flex_buffer_bytes >= group_limit or (
@@ -418,6 +470,8 @@ class XfmEmulator:
             all_random_energy_j=energy_all_random,
             mean_latency_ms=mean_latency_ms,
             latency_percentiles_ms=percentiles,
+            fallback_spm_full=fallbacks_spm,
+            fallback_queue_full=fallbacks_queue,
         )
 
     def _check_window_state(

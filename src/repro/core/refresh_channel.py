@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dram.refresh import RefreshScheduler
 from repro.errors import ConfigError
+from repro.telemetry import trace as _trace
 
 
 class AccessKind(enum.Enum):
@@ -190,6 +191,21 @@ class WindowScheduler:
             random_budget -= 1
 
         self.pending_count -= len(executed)
+        if executed and _trace.tracing_enabled():
+            # Pure emission: the window placement decisions above are
+            # unchanged whether or not a trace ring is attached.
+            for access in executed:
+                _trace.instant(
+                    "window_access",
+                    _trace.TRACK_NMA,
+                    args={
+                        "kind": access.request.kind.value,
+                        "conditional": access.conditional,
+                        "row": access.request.row,
+                        "request_id": access.request.request_id,
+                        "waited_refs": access.waited_refs,
+                    },
+                )
         return executed
 
     def _remove_from_bucket(self, request: AccessRequest) -> None:

@@ -28,6 +28,8 @@ from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.rbtree import RedBlackTree
 from repro.sfm.zpool import Zpool
+from repro.telemetry import reasons, trace as _trace
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -46,9 +48,12 @@ class XfmDimm:
         region_bytes: int,
         nma_config: NmaConfig,
         codec: Codec,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "XfmDimm":
         nma = NearMemoryAccelerator(nma_config, codec=codec)
-        driver = XfmDriver(nma)
+        # Per-DIMM driver counters share the System registry, labelled
+        # by DIMM index so the series stay distinguishable.
+        driver = XfmDriver(nma, registry=registry, labels={"dimm": index})
         driver.xfm_paramset(sfm_base=index << 40, sfm_size=region_bytes)
         return cls(
             index=index,
@@ -97,17 +102,19 @@ class MultiChannelXfmBackend:
         from repro.compression.deflate import DeflateCodec
 
         self._codec_window = max(256, PAGE_SIZE // num_dimms)
+        self.registry = MetricsRegistry()
         self.dimms: List[XfmDimm] = [
             XfmDimm.build(
                 index=i,
                 region_bytes=capacity_bytes // num_dimms,
                 nma_config=config,
                 codec=DeflateCodec(window_size=self._codec_window),
+                registry=self.registry,
             )
             for i in range(num_dimms)
         ]
         self.index = RedBlackTree()
-        self.stats = SwapStats()
+        self.stats = SwapStats(registry=self.registry)
         self.ledger = BandwidthLedger()
         self.cpu_freq_hz = cpu_freq_hz
         #: Internal fragmentation accumulated by same-offset placement.
@@ -148,10 +155,20 @@ class MultiChannelXfmBackend:
                 segments.append(dimm.nma.compress_page(stripe))
                 self.ledger.record("nma", "read", len(stripe))
                 dimm.driver.notify_release(len(stripe))
-            except (SpmFullError, QueueFullError):
+            except (SpmFullError, QueueFullError) as exc:
                 # CPU fallback for this stripe (rare; accounted as host
                 # work + channel traffic).
                 self.stats.cpu_fallback_compressions += 1
+                if isinstance(exc, SpmFullError):
+                    self.stats.fallbacks_spm_full += 1
+                    reason = reasons.SPM_FULL
+                else:
+                    self.stats.fallbacks_queue_full += 1
+                    reason = reasons.QUEUE_FULL
+                if _trace.tracing_enabled():
+                    _trace.fallback(
+                        reason, "compress", vaddr=page.vaddr, dimm=dimm.index
+                    )
                 codec = dimm.nma.codec
                 segments.append(codec.compress(stripe))
                 self.stats.cpu_compress_cycles += (
@@ -225,6 +242,14 @@ class MultiChannelXfmBackend:
                 )
                 self.ledger.record("sfm_cpu", "read", length)
                 self.stats.cpu_fallback_decompressions += 1
+                self.stats.fallbacks_demand += 1
+                if _trace.tracing_enabled():
+                    _trace.fallback(
+                        reasons.DEMAND_FAULT,
+                        "decompress",
+                        vaddr=page.vaddr,
+                        dimm=dimm.index,
+                    )
         data = self.layout.gather(stripes)
         if not do_offload:
             self.ledger.record("sfm_cpu", "write", PAGE_SIZE)

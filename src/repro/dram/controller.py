@@ -17,6 +17,7 @@ from repro.dram.commands import CommandKind, TimedCommand
 from repro.dram.device import DramDeviceConfig
 from repro.dram.timing import DramTimings
 from repro.errors import ConfigError
+from repro.telemetry.stats import StatsFacade
 
 
 @dataclass(frozen=True)
@@ -41,18 +42,24 @@ class CompletedRequest:
         return self.finish_ns - self.request.arrival_ns
 
 
-@dataclass
-class ControllerStats:
-    """Aggregate outcome of a simulated request stream."""
+class ControllerStats(StatsFacade):
+    """Aggregate outcome of a simulated request stream.
 
-    completed: int
-    total_time_ns: float
-    total_bytes: int
-    row_hits: int
-    row_misses: int
-    refresh_stall_ns: float
-    avg_latency_ns: float
-    max_latency_ns: float
+    Registry-backed facade: the DRAM command/latency counters export and
+    merge through the same telemetry surface as the swap statistics.
+    """
+
+    _PREFIX = "dram.controller"
+    _FIELDS = {
+        "completed": 0,
+        "total_time_ns": 0.0,
+        "total_bytes": 0,
+        "row_hits": 0,
+        "row_misses": 0,
+        "refresh_stall_ns": 0.0,
+        "avg_latency_ns": 0.0,
+        "max_latency_ns": 0.0,
+    }
 
     @property
     def bandwidth_bps(self) -> float:

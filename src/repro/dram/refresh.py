@@ -19,6 +19,7 @@ from typing import List
 from repro.dram.device import DramDeviceConfig
 from repro.dram.timing import REF_COMMANDS_PER_RETENTION, DramTimings
 from repro.errors import ConfigError
+from repro.telemetry import trace as _trace
 
 
 @dataclass(frozen=True)
@@ -131,7 +132,29 @@ class RefreshScheduler:
         """Advance to the next REF command and return its window."""
         window = self.window(self._ref_count)
         self._ref_count += 1
+        self.trace_window(window.ref_index)
         return window
+
+    def trace_window(self, ref_index: int, channel: int = 0) -> None:
+        """Emit the per-tRFC timeline span for one refresh window.
+
+        No-op unless tracing is enabled; pure emission, never touches
+        scheduler state (the validation oracles drive this class too).
+        """
+        if not _trace.tracing_enabled():
+            return
+        rows = self.rows_refreshed(ref_index)
+        _trace.complete(
+            "ref_window",
+            _trace.refresh_track(channel),
+            ref_index * self.trefi_ns,
+            self.trfc_ns,
+            args={
+                "ref_index": ref_index,
+                "row_start": rows.start,
+                "row_stop": rows.stop,
+            },
+        )
 
     def reset(self) -> None:
         self._ref_count = 0

@@ -26,6 +26,12 @@ from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.rbtree import RedBlackTree
 from repro.sfm.zpool import Zpool
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+
+#: Compressed-blob size histogram bounds (bytes): page fractions the
+#: Fig. 8 ratio sweeps care about.
+BLOB_SIZE_BUCKETS = (256, 512, 1024, 1536, 2048, 3072, 4096)
 
 
 @dataclass(frozen=True)
@@ -58,12 +64,19 @@ class SfmBackend:
         codec: Optional[Codec] = None,
         cpu_freq_hz: float = 2.6e9,
         page_cache_entries: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.codec = codec if codec is not None else ZstdLikeCodec()
         self.cpu_freq_hz = cpu_freq_hz
         self.zpool = Zpool(capacity_bytes)
         self.index = RedBlackTree()
-        self.stats = SwapStats()
+        #: Per-System metrics home: swap counters, driver counters (XFM),
+        #: and the blob-size histogram all live here.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = SwapStats(registry=self.registry)
+        self.blob_sizes = self.registry.histogram(
+            "swap.blob_bytes", buckets=BLOB_SIZE_BUCKETS
+        )
         self.ledger = BandwidthLedger()
         #: Content-keyed blob cache; ``page_cache_entries=0`` disables it.
         self.page_cache: Optional[DigestPageCache] = (
@@ -120,6 +133,16 @@ class SfmBackend:
             if self.page_cache is not None:
                 self.page_cache.put(digest, blob)
         self.stats.cpu_compress_cycles += cycles
+        if _trace.tracing_enabled():
+            dur_ns = cycles / self.cpu_freq_hz * 1e9
+            _trace.complete(
+                "cpu_compress",
+                _trace.TRACK_CPU,
+                _trace.clock_ns(),
+                dur_ns,
+                args={"cached": cycles == DIGEST_CYCLES_PER_BYTE * PAGE_SIZE},
+            )
+            _trace.advance_clock_ns(dur_ns)
         # O3: the cold page is read from DRAM, the blob written back.
         self.ledger.record("sfm_cpu", "read", PAGE_SIZE)
 
@@ -142,6 +165,7 @@ class SfmBackend:
         self.stats.swap_outs += 1
         self.stats.bytes_out_uncompressed += PAGE_SIZE
         self.stats.bytes_out_compressed += len(blob)
+        self.blob_sizes.observe(len(blob))
         return SwapOutcome(
             accepted=True, compressed_len=len(blob), cpu_cycles=cycles
         )
@@ -166,6 +190,16 @@ class SfmBackend:
             )
         cycles = self.codec.spec.decompress_cycles_per_byte * PAGE_SIZE
         self.stats.cpu_decompress_cycles += cycles
+        if _trace.tracing_enabled():
+            dur_ns = cycles / self.cpu_freq_hz * 1e9
+            _trace.complete(
+                "cpu_decompress",
+                _trace.TRACK_CPU,
+                _trace.clock_ns(),
+                dur_ns,
+                args={"blob_bytes": len(blob)},
+            )
+            _trace.advance_clock_ns(dur_ns)
         self.ledger.record("sfm_cpu", "write", PAGE_SIZE)
         self.zpool.free(handle)
         self.index.delete(page.vaddr)

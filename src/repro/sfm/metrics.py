@@ -5,6 +5,12 @@ was compressed/decompressed, at what CPU cost) and memory-channel traffic
 split by actor — the CPU-side SFM traffic that Fig. 1/Fig. 11 charge
 against co-runners versus the NMA-side traffic XFM hides inside refresh
 windows.
+
+:class:`SwapStats` is a :class:`~repro.telemetry.stats.StatsFacade`:
+every field lives in a :class:`~repro.telemetry.registry.MetricsRegistry`
+counter (private per instance unless a shared registry is bound), which
+gives all stats objects one ``merge()``/``as_dict()`` implementation and
+uniform export alongside trace data.
 """
 
 from __future__ import annotations
@@ -13,36 +19,68 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro._units import SECONDS_PER_MINUTE
+from repro.telemetry.stats import StatsFacade
 
 
-@dataclass
-class SwapStats:
-    """Aggregate swap-path statistics."""
+class SwapStats(StatsFacade):
+    """Aggregate swap-path statistics (registry-backed facade)."""
 
-    swap_outs: int = 0
-    swap_ins: int = 0
-    rejected: int = 0
-    bytes_out_uncompressed: int = 0
-    bytes_out_compressed: int = 0
-    bytes_in_uncompressed: int = 0
-    bytes_in_compressed: int = 0
-    cpu_compress_cycles: float = 0.0
-    cpu_decompress_cycles: float = 0.0
-    cpu_fallback_compressions: int = 0
-    cpu_fallback_decompressions: int = 0
-    offloaded_compressions: int = 0
-    offloaded_decompressions: int = 0
-    #: Digest-keyed page-cache accounting: a hit reuses a previously
-    #: compressed blob for identical page content and skips the
-    #: compressor; a miss runs the compressor as usual.
-    digest_cache_hits: int = 0
-    digest_cache_misses: int = 0
+    _PREFIX = "swap"
+    _FIELDS = {
+        "swap_outs": 0,
+        "swap_ins": 0,
+        "rejected": 0,
+        "bytes_out_uncompressed": 0,
+        "bytes_out_compressed": 0,
+        "bytes_in_uncompressed": 0,
+        "bytes_in_compressed": 0,
+        "cpu_compress_cycles": 0.0,
+        "cpu_decompress_cycles": 0.0,
+        "cpu_fallback_compressions": 0,
+        "cpu_fallback_decompressions": 0,
+        "offloaded_compressions": 0,
+        "offloaded_decompressions": 0,
+        # Digest-keyed page-cache accounting: a hit reuses a previously
+        # compressed blob for identical page content and skips the
+        # compressor; a miss runs the compressor as usual.
+        "digest_cache_hits": 0,
+        "digest_cache_misses": 0,
+        # Per-reason fallback ledger (repro.telemetry.reasons codes).
+        # Invariant: the three sum to cpu_fallback_compressions +
+        # cpu_fallback_decompressions, and each trace ``cpu_fallback``
+        # event carries exactly one of the codes — the reconciliation
+        # the `python -m repro trace` acceptance test checks.
+        "fallbacks_spm_full": 0,
+        "fallbacks_queue_full": 0,
+        "fallbacks_demand": 0,
+    }
 
     @property
     def digest_cache_hit_rate(self) -> float:
-        """Fraction of swap-outs served from the digest cache."""
+        """Fraction of digest-cache *lookups* that hit.
+
+        The denominator is cache lookups (hits + misses), not swap-outs:
+        same-filled pages bypass the backend entirely in the zswap
+        frontend, and runs with the cache disabled perform no lookups at
+        all, so neither appears here. For the share of swap-out attempts
+        that consulted the cache, see :attr:`digest_cache_lookup_rate`.
+        """
         total = self.digest_cache_hits + self.digest_cache_misses
         return self.digest_cache_hits / total if total else 0.0
+
+    @property
+    def digest_cache_lookup_rate(self) -> float:
+        """Fraction of swap-out attempts that consulted the digest cache.
+
+        Attempts = accepted swap-outs + rejected ones; lookups = hits +
+        misses. This is 1.0 when the cache is enabled (every backend
+        swap-out hashes the page first) and 0.0 when it is disabled —
+        the honest companion to :attr:`digest_cache_hit_rate`, whose
+        denominator excludes non-lookups.
+        """
+        attempts = self.swap_outs + self.rejected
+        lookups = self.digest_cache_hits + self.digest_cache_misses
+        return lookups / attempts if attempts else 0.0
 
     @property
     def mean_compression_ratio(self) -> float:

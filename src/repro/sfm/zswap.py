@@ -13,27 +13,30 @@ kernel exposes in ``/sys/kernel/debug/zswap``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry import trace as _trace
+from repro.telemetry.stats import StatsFacade
 
 
-@dataclass
-class ZswapStats:
-    """Counters mirroring zswap's debugfs statistics."""
+class ZswapStats(StatsFacade):
+    """Counters mirroring zswap's debugfs statistics (registry-backed)."""
 
-    stored_pages: int = 0
-    same_filled_pages: int = 0
-    reject_compress_poor: int = 0
-    reject_pool_limit: int = 0
-    loads: int = 0
-    invalidates: int = 0
-    #: Entries evicted to the backing swap device to admit new stores
-    #: (zswap's writeback path).
-    written_back: int = 0
+    _PREFIX = "zswap"
+    _FIELDS = {
+        "stored_pages": 0,
+        "same_filled_pages": 0,
+        "reject_compress_poor": 0,
+        "reject_pool_limit": 0,
+        "loads": 0,
+        "invalidates": 0,
+        # Entries evicted to the backing swap device to admit new stores
+        # (zswap's writeback path).
+        "written_back": 0,
+    }
 
     @property
     def total_rejects(self) -> int:
@@ -96,45 +99,96 @@ class ZswapFrontend:
             self.invalidate_page(swap_type, offset)
             self.stats.invalidates -= 1  # internal, not caller-visible
 
+        trace_on = _trace.tracing_enabled()
         fill = data[0]
         if data == bytes([fill]) * PAGE_SIZE:
             self._same_filled[key] = fill
             self.stats.same_filled_pages += 1
             self.stats.stored_pages += 1
+            if trace_on:
+                _trace.instant(
+                    "zswap_store",
+                    _trace.TRACK_CPU,
+                    args={"outcome": "same_filled", "offset": offset},
+                )
             return True
 
         if self._over_limit():
             if self.writeback is None or not self.shrink():
                 self.stats.reject_pool_limit += 1
+                if trace_on:
+                    _trace.instant(
+                        "zswap_store",
+                        _trace.TRACK_CPU,
+                        args={"outcome": "reject_pool_limit", "offset": offset},
+                    )
                 return False
 
         vaddr = ((swap_type & 0xFFFF) << 44) | (offset * PAGE_SIZE)
         page = Page(vaddr=vaddr, data=data)
+        start_ns = _trace.clock_ns() if trace_on else 0.0
         outcome = self.backend.swap_out(page)
         if not outcome.accepted:
             if outcome.reason == "incompressible":
                 self.stats.reject_compress_poor += 1
             else:
                 self.stats.reject_pool_limit += 1
+            if trace_on:
+                _trace.complete(
+                    "zswap_store",
+                    _trace.TRACK_CPU,
+                    start_ns,
+                    max(0.0, _trace.clock_ns() - start_ns),
+                    args={"outcome": f"reject_{outcome.reason}",
+                          "offset": offset},
+                )
             return False
         self._pages[key] = page
         self.stats.stored_pages += 1
+        if trace_on:
+            _trace.complete(
+                "zswap_store",
+                _trace.TRACK_CPU,
+                start_ns,
+                max(0.0, _trace.clock_ns() - start_ns),
+                args={
+                    "outcome": "stored",
+                    "offset": offset,
+                    "compressed_len": outcome.compressed_len,
+                },
+            )
         return True
 
     def load(self, swap_type: int, offset: int) -> Optional[bytes]:
         """Swap-in hook: returns the page or None if zswap never had it."""
         key = (swap_type, offset)
+        trace_on = _trace.tracing_enabled()
         if key in self._same_filled:
             fill = self._same_filled.pop(key)
             self.stats.loads += 1
             self.stats.stored_pages -= 1
+            if trace_on:
+                _trace.instant(
+                    "zswap_load",
+                    _trace.TRACK_CPU,
+                    args={"outcome": "same_filled", "offset": offset},
+                )
             return bytes([fill]) * PAGE_SIZE
         page = self._pages.pop(key, None)
         if page is None:
             return None
+        start_ns = _trace.clock_ns() if trace_on else 0.0
         data = self.backend.swap_in(page)
         self.stats.loads += 1
         self.stats.stored_pages -= 1
+        if trace_on:
+            _trace.complete(
+                "zswap_load",
+                _trace.TRACK_CPU,
+                start_ns,
+                max(0.0, _trace.clock_ns() - start_ns),
+                args={"outcome": "loaded", "offset": offset},
+            )
         return data
 
     def invalidate_page(self, swap_type: int, offset: int) -> None:

@@ -1,0 +1,75 @@
+"""Unified telemetry: metrics registry, structured tracing, export.
+
+Three layers (see DESIGN.md "Telemetry"):
+
+* :mod:`repro.telemetry.registry` — named counters / gauges /
+  fixed-bucket histograms with labels, collector callbacks, JSON/CSV
+  snapshots; the home of every statistic the stack keeps.
+* :mod:`repro.telemetry.trace` — zero-cost-when-disabled span/instant
+  events with simulated-time timestamps, buffered in a bounded ring and
+  exportable as Chrome trace-event JSON (Perfetto / ``about:tracing``),
+  one track per actor (CPU, NMA, driver, per-channel refresh).
+* :mod:`repro.telemetry.session` — :class:`TelemetrySession`, the
+  per-run bundle that writes ``trace.json`` + ``metrics.json``.
+
+``python -m repro trace <workload>`` runs an instrumented workload and
+exports both files; see :mod:`repro.telemetry.runner`.
+"""
+
+from repro.telemetry import reasons
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.stats import StatsFacade
+from repro.telemetry.trace import (
+    TRACK_CPU,
+    TRACK_DRIVER,
+    TRACK_NMA,
+    TraceEvent,
+    TraceRing,
+    advance_clock_ns,
+    clock_ns,
+    complete,
+    emit,
+    fallback,
+    instant,
+    refresh_track,
+    set_clock_ns,
+    set_tracing,
+    to_chrome_trace,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StatsFacade",
+    "TelemetrySession",
+    "TraceEvent",
+    "TraceRing",
+    "TRACK_CPU",
+    "TRACK_DRIVER",
+    "TRACK_NMA",
+    "advance_clock_ns",
+    "clock_ns",
+    "complete",
+    "default_registry",
+    "emit",
+    "fallback",
+    "instant",
+    "reasons",
+    "refresh_track",
+    "set_clock_ns",
+    "set_tracing",
+    "to_chrome_trace",
+    "tracing",
+    "tracing_enabled",
+]

@@ -1,0 +1,27 @@
+"""Machine-readable reason codes for CPU-fallback trace events.
+
+Every ``cpu_fallback`` instant event carries exactly one of these codes
+in its ``args["reason"]`` so a trace can be reconciled against the
+``SwapStats`` per-reason fallback counters without string-guessing.
+"""
+
+from __future__ import annotations
+
+#: ScratchPad Memory could not hold the staging buffer (Fig. 12's
+#: dominant failure mode at small SPM sizes).
+SPM_FULL = "spm_full"
+
+#: Compress_Request_Queue had no free slot (queue overflow).
+QUEUE_FULL = "queue_full"
+
+#: The per-tRFC access budget left no window slot (emulator pipelines
+#: that starve the scheduler rather than the queue).
+BUDGET_EXHAUSTED = "budget_exhausted"
+
+#: Demand-fault decompression on the CPU path *by design* (§6): not a
+#: resource failure, but it lands on the same counter family so traces
+#: and ``SwapStats.cpu_fallback_decompressions`` reconcile exactly.
+DEMAND_FAULT = "demand_fault"
+
+#: Every code a fallback event may carry.
+ALL_REASONS = (SPM_FULL, QUEUE_FULL, BUDGET_EXHAUSTED, DEMAND_FAULT)

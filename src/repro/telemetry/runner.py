@@ -1,0 +1,227 @@
+"""Traced reference workloads behind ``python -m repro trace``.
+
+Each workload drives a real slice of the stack inside a
+:class:`~repro.telemetry.session.TelemetrySession` so the exported
+``trace.json`` exercises every track the taxonomy defines:
+
+* ``zswap``    — the functional swap path: a :class:`ZswapFrontend` over
+  an :class:`XfmBackend` with a deliberately tiny SPM/CRQ, driven over a
+  refresh-window clock loop. Produces CPU spans (zswap store/load,
+  compress/decompress), NMA offload spans, driver doorbells, refresh
+  windows, and all three fallback reason codes.
+* ``emulator`` — one Fig. 12 emulation point with an undersized SPM, so
+  the per-tRFC pipeline (window spans, enqueues, completions, fallbacks)
+  is visible on the timeline.
+
+Workload functions take the *entered* session and return a flat summary
+dict (printable key -> value) for the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.telemetry import trace as _trace
+from repro.telemetry.session import TelemetrySession
+
+#: Bytes per page, kept local to avoid importing the stack at module load.
+_PAGE = 4096
+
+
+def _patterned_page(index: int) -> bytes:
+    """Compressible page: short repeating runs keyed by ``index``."""
+    unit = bytes([(index * 7 + j) % 13 for j in range(64)])
+    return (unit * (_PAGE // len(unit)))[:_PAGE]
+
+
+def _noise_page(seed: int) -> bytes:
+    """Incompressible page from a fixed xorshift stream (no RNG deps)."""
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+    out = bytearray(_PAGE)
+    for i in range(_PAGE):
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        out[i] = state & 0xFF
+    return bytes(out)
+
+
+# -- zswap workload ---------------------------------------------------------
+
+
+def _zswap_workload(session: TelemetrySession) -> Dict[str, object]:
+    from repro.core.backend import XfmBackend
+    from repro.core.nma import NearMemoryAccelerator, NmaConfig
+    from repro.dram.device import DDR5_32GB, timings_for_device
+    from repro.dram.refresh import RefreshScheduler
+    from repro.sfm.zswap import ZswapFrontend
+
+    config = NmaConfig(spm_bytes=4 * _PAGE, crq_depth=4)
+    backend = XfmBackend(
+        capacity_bytes=2 * 1024 * 1024,
+        nma=NearMemoryAccelerator(config),
+        registry=session.registry,
+    )
+    zswap = ZswapFrontend(
+        backend, total_ram_bytes=64 * 1024 * 1024, max_pool_percent=20
+    )
+    refresh = RefreshScheduler(DDR5_32GB, timings_for_device(DDR5_32GB))
+    trefi_ns = refresh.trefi_ns
+
+    stored: Dict[int, bytes] = {}
+    offset = 0
+
+    def store(data: bytes) -> bool:
+        nonlocal offset
+        offset += 1
+        if zswap.store(0, offset, data):
+            stored[offset] = data
+            return True
+        return False
+
+    #: In-flight prefetch staging: (SPM entry ids) held across a window to
+    #: create the resource pressure that forces CPU fallbacks.
+    staged = []
+
+    def stage_prefetches(count: int, pop: bool) -> None:
+        """Reserve SPM (and optionally leave the CRQ occupied) the way a
+        burst of outstanding prefetch decompressions would."""
+        for _ in range(count):
+            request = backend.driver.submit_decompress(
+                source_row=0, input_bytes=_PAGE, dest_row=1
+            )
+            if pop:
+                backend.nma.pop_request()
+                staged.append(backend.nma.stage_input(request))
+
+    def release_prefetches(queued: int) -> None:
+        for _ in range(queued):
+            backend.nma.pop_request()
+        while staged:
+            entry = staged.pop()
+            backend.nma.release(entry.entry_id)
+            backend.driver.notify_release(_PAGE)
+
+    num_windows = 12
+    for ref in range(num_windows):
+        _trace.set_clock_ns(ref * trefi_ns)
+        refresh.tick()  # emits the per-channel ref_window span
+        if ref < 4:
+            # Steady state: compressible pages offload through the NMA.
+            for i in range(6):
+                store(_patterned_page(ref * 6 + i))
+        elif ref == 4:
+            # Rejects: same-filled (kept, no pool space) + incompressible.
+            store(b"\x00" * _PAGE)
+            store(b"\x5a" * _PAGE)
+            store(_noise_page(1))
+            store(_noise_page(2))
+        elif ref == 5:
+            # SPM pressure: staged prefetches hold the whole scratchpad,
+            # so these stores fall back with reason ``spm_full``.
+            stage_prefetches(4, pop=True)
+            for i in range(3):
+                store(_patterned_page(100 + i))
+            release_prefetches(queued=0)
+        elif ref == 6:
+            # CRQ pressure: the queue is full of un-popped prefetches, so
+            # these stores fall back with reason ``queue_full``.
+            stage_prefetches(4, pop=False)
+            for i in range(3):
+                store(_patterned_page(200 + i))
+            release_prefetches(queued=4)
+        elif ref < 10:
+            # Demand faults: each load is a CPU decompression by design.
+            for key in sorted(stored)[:4]:
+                data = zswap.load(0, key)
+                expect = stored.pop(key)
+                if data != expect:
+                    raise AssertionError(
+                        f"round-trip mismatch at offset {key}"
+                    )
+        elif ref == 10:
+            for key in sorted(stored)[:2]:
+                zswap.invalidate_page(0, key)
+                stored.pop(key)
+        else:
+            backend.xfm_compact()
+
+    session.add_stats("swap", backend.stats)
+    session.add_stats("driver", backend.driver.stats)
+    session.add_stats("zswap", zswap.stats)
+    stats = backend.stats
+    return {
+        "windows": num_windows,
+        "stores_accepted": zswap.stats.stored_pages + zswap.stats.loads,
+        "loads": zswap.stats.loads,
+        "rejects": zswap.stats.total_rejects,
+        "offloaded_compressions": stats.offloaded_compressions,
+        "fallbacks_spm_full": stats.fallbacks_spm_full,
+        "fallbacks_queue_full": stats.fallbacks_queue_full,
+        "fallbacks_demand": stats.fallbacks_demand,
+        "trace_events": len(session.ring),
+    }
+
+
+# -- emulator workload ------------------------------------------------------
+
+
+def _emulator_workload(session: TelemetrySession) -> Dict[str, object]:
+    from repro.core.emulator import EmulatorConfig, XfmEmulator
+
+    config = EmulatorConfig(
+        sim_time_s=0.01,
+        spm_bytes=256 * 1024,
+        accesses_per_ref=1,
+        promotion_rate=1.0,
+    )
+    report = XfmEmulator(config).run()
+
+    gauges = {
+        "emulator.total_ops": report.total_ops,
+        "emulator.completed_ops": report.completed_ops,
+        "emulator.fallback_ops": report.fallback_ops,
+        "emulator.fallback_spm_full": report.fallback_spm_full,
+        "emulator.fallback_queue_full": report.fallback_queue_full,
+        "emulator.conditional_accesses": report.conditional_accesses,
+        "emulator.random_accesses": report.random_accesses,
+        "emulator.spm_peak_bytes": report.spm_peak_bytes,
+    }
+    for name, value in gauges.items():
+        session.registry.gauge(name).set(value)
+    return {
+        "total_ops": report.total_ops,
+        "completed_ops": report.completed_ops,
+        "fallback_fraction": round(report.fallback_fraction, 4),
+        "fallback_spm_full": report.fallback_spm_full,
+        "fallback_queue_full": report.fallback_queue_full,
+        "random_fraction": round(report.random_fraction, 4),
+        "trace_events": len(session.ring),
+        "trace_dropped": session.ring.dropped,
+    }
+
+
+WORKLOADS: Dict[str, Callable[[TelemetrySession], Dict[str, object]]] = {
+    "zswap": _zswap_workload,
+    "emulator": _emulator_workload,
+}
+
+
+def run_traced(
+    workload: str,
+    out_dir: Optional[object] = None,
+    ring_capacity: int = 65536,
+) -> Tuple[TelemetrySession, Dict[str, object]]:
+    """Run one named workload under tracing; returns (session, summary).
+
+    When ``out_dir`` is set the session writes ``trace.json`` and
+    ``metrics.json`` there on exit.
+    """
+    if workload not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {workload!r}; have {sorted(WORKLOADS)}"
+        )
+    session = TelemetrySession(out_dir=out_dir, ring_capacity=ring_capacity)
+    with session:
+        summary = WORKLOADS[workload](session)
+    return session, summary

@@ -1,0 +1,99 @@
+"""TelemetrySession: one run's trace ring + metrics registry + export.
+
+The session is the user-facing bundle: entering it turns tracing on
+(with a bounded ring), attaches a fresh metrics registry, and resets the
+simulated clock; exiting turns tracing off. ``write()`` — called
+automatically on exit when ``out_dir`` is set — produces
+
+* ``trace.json``  — Chrome trace-event JSON (open in Perfetto or
+  ``about:tracing``), and
+* ``metrics.json`` — the registry snapshot plus every stats facade
+  attached with :meth:`add_stats`.
+
+The benchmark harness wraps measured runs in a session so
+``BENCH_perf.json`` runs can optionally attach traces; the ``python -m
+repro trace`` subcommand uses it for its workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import StatsFacade
+from repro.telemetry.trace import (
+    TraceRing,
+    set_clock_ns,
+    set_tracing,
+    to_chrome_trace,
+    tracing_enabled,
+)
+
+
+class TelemetrySession:
+    """Context manager owning one run's trace ring and registry."""
+
+    def __init__(
+        self,
+        out_dir: Optional[object] = None,
+        ring_capacity: int = 65536,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.ring = TraceRing(ring_capacity)
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._stats: Dict[str, StatsFacade] = {}
+        self._was_enabled = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "TelemetrySession":
+        self._was_enabled = tracing_enabled()
+        set_tracing(True, self.ring)
+        set_clock_ns(0.0)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_tracing(False)
+        if self.out_dir is not None and exc_type is None:
+            self.write(self.out_dir)
+
+    # -- metrics attachment ------------------------------------------------
+
+    def add_stats(self, name: str, stats: StatsFacade) -> None:
+        """Include a stats facade in ``metrics.json`` under ``name``."""
+        self._stats[name] = stats
+
+    def metrics_document(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": 1,
+            "registry": self.registry.snapshot(),
+            "stats": {
+                name: stats.as_dict() for name, stats in self._stats.items()
+            },
+        }
+        doc["trace"] = {
+            "events": len(self.ring),
+            "dropped": self.ring.dropped,
+        }
+        return doc
+
+    # -- export ------------------------------------------------------------
+
+    def write(self, out_dir: object) -> Tuple[Path, Path]:
+        """Write ``trace.json`` + ``metrics.json``; returns their paths."""
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        trace_path = target / "trace.json"
+        metrics_path = target / "metrics.json"
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome_trace(self.ring), fh, indent=1)
+            fh.write("\n")
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(self.metrics_document(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return trace_path, metrics_path

@@ -1,0 +1,289 @@
+"""Structured trace events: zero-cost when disabled, Perfetto when on.
+
+The tracing layer follows the :mod:`repro.validation.hooks` pattern: hot
+paths guard every emission site behind :func:`tracing_enabled`, which is
+a single module-global boolean read when tracing is off — cheap enough
+to leave in the swap store path and the emulator's per-REF loop. When a
+ring is installed (``with tracing():`` or via
+:class:`~repro.telemetry.session.TelemetrySession`), events are appended
+to a bounded ring buffer and can be exported as Chrome trace-event JSON,
+loadable in Perfetto / ``about:tracing``.
+
+Timestamps are **simulated time** in nanoseconds. Components that own a
+timeline (the emulator's REF index x tREFI, the functional workloads'
+window loop) publish it through :func:`set_clock_ns` /
+:func:`advance_clock_ns`; emission sites that have no better timestamp
+read :func:`clock_ns`.
+
+Tracks map to Chrome's pid/tid pairs: one track per actor — ``cpu``
+(fallback + host swap work), ``nma`` (window-multiplexed accelerator
+work), ``driver`` (MMIO/doorbells), and one ``refresh/ch<N>`` track per
+channel. Track names become thread names via ``M`` metadata events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigError
+
+#: Chrome trace-event phase codes used here.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_METADATA = "M"
+
+#: Well-known track names (tids assigned on first use; these sort first).
+TRACK_CPU = "cpu"
+TRACK_NMA = "nma"
+TRACK_DRIVER = "driver"
+
+
+def refresh_track(channel: int = 0) -> str:
+    """Per-channel refresh-window track name."""
+    return f"refresh/ch{channel}"
+
+
+class TraceEvent:
+    """One trace event; converts 1:1 to a Chrome trace-event dict."""
+
+    __slots__ = ("name", "ph", "ts_ns", "track", "dur_ns", "args")
+
+    def __init__(
+        self,
+        name: str,
+        ph: str,
+        ts_ns: float,
+        track: str,
+        dur_ns: Optional[float] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.ph = ph
+        self.ts_ns = ts_ns
+        self.track = track
+        self.dur_ns = dur_ns
+        self.args = args
+
+
+class TraceRing:
+    """Bounded event ring: overflow drops the *oldest* events and counts
+    them, so a long run keeps its tail (the part being diagnosed) and
+    the export records how much history was shed."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ConfigError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: Deque[TraceEvent] = deque()
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+# -- global switch + clock (the validation.hooks pattern) ------------------
+
+_enabled: bool = False
+_ring: Optional[TraceRing] = None
+_clock_ns: float = 0.0
+
+
+def tracing_enabled() -> bool:
+    """Whether trace emission is active (the hot-path guard)."""
+    return _enabled
+
+
+def current_ring() -> Optional[TraceRing]:
+    return _ring
+
+
+def set_tracing(
+    enabled: bool, ring: Optional[TraceRing] = None
+) -> Optional[TraceRing]:
+    """Install/remove the active ring; returns the previous ring."""
+    global _enabled, _ring
+    previous = _ring
+    if enabled:
+        _ring = ring if ring is not None else TraceRing()
+        _enabled = True
+    else:
+        _enabled = False
+        _ring = None
+    return previous
+
+
+@contextmanager
+def tracing(ring: Optional[TraceRing] = None) -> Iterator[TraceRing]:
+    """Scoped tracing; yields the active ring."""
+    global _enabled, _ring
+    prev_enabled, prev_ring = _enabled, _ring
+    active = ring if ring is not None else TraceRing()
+    _ring = active
+    _enabled = True
+    try:
+        yield active
+    finally:
+        _enabled, _ring = prev_enabled, prev_ring
+
+
+def clock_ns() -> float:
+    """Current simulated-time timestamp."""
+    return _clock_ns
+
+
+def set_clock_ns(t_ns: float) -> None:
+    global _clock_ns
+    _clock_ns = t_ns
+
+
+def advance_clock_ns(dt_ns: float) -> float:
+    global _clock_ns
+    _clock_ns += dt_ns
+    return _clock_ns
+
+
+# -- emission --------------------------------------------------------------
+
+def emit(
+    name: str,
+    ph: str,
+    track: str,
+    ts_ns: Optional[float] = None,
+    dur_ns: Optional[float] = None,
+    args: Optional[Dict[str, object]] = None,
+) -> None:
+    """Append one event to the active ring (no-op when tracing is off).
+
+    Callers on hot paths should guard with :func:`tracing_enabled` so the
+    disabled cost is one boolean read rather than argument packing.
+    """
+    ring = _ring
+    if ring is None:
+        return
+    ring.append(
+        TraceEvent(
+            name=name,
+            ph=ph,
+            ts_ns=_clock_ns if ts_ns is None else ts_ns,
+            track=track,
+            dur_ns=dur_ns,
+            args=args,
+        )
+    )
+
+
+def instant(
+    name: str,
+    track: str,
+    ts_ns: Optional[float] = None,
+    args: Optional[Dict[str, object]] = None,
+) -> None:
+    emit(name, PH_INSTANT, track, ts_ns=ts_ns, args=args)
+
+
+def complete(
+    name: str,
+    track: str,
+    start_ns: float,
+    dur_ns: float,
+    args: Optional[Dict[str, object]] = None,
+) -> None:
+    emit(name, PH_COMPLETE, track, ts_ns=start_ns, dur_ns=dur_ns, args=args)
+
+
+def fallback(
+    reason: str,
+    op: str,
+    ts_ns: Optional[float] = None,
+    **extra: object,
+) -> None:
+    """The canonical CPU-fallback instant: ``cpu_fallback`` on the CPU
+    track with a machine-readable ``reason`` code (see
+    :mod:`repro.telemetry.reasons`) and the op kind
+    (``compress``/``decompress``)."""
+    args: Dict[str, object] = {"reason": reason, "op": op}
+    if extra:
+        args.update(extra)
+    emit("cpu_fallback", PH_INSTANT, TRACK_CPU, ts_ns=ts_ns, args=args)
+
+
+# -- Chrome trace-event export ---------------------------------------------
+
+#: Stable tids for the well-known tracks; others assigned from 100.
+_FIXED_TIDS = {TRACK_CPU: 1, TRACK_NMA: 2, TRACK_DRIVER: 3}
+TRACE_PID = 1
+
+
+def to_chrome_trace(ring: TraceRing) -> Dict[str, object]:
+    """Render the ring as a Chrome trace-event JSON document.
+
+    One process (pid 1, named after the reproduction) with one thread
+    per track; ``ts``/``dur`` are microseconds per the trace-event spec.
+    """
+    tids: Dict[str, int] = {}
+    next_dynamic = 100
+    events: List[Dict[str, object]] = []
+    for event in ring.events():
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = _FIXED_TIDS.get(event.track)
+            if tid is None:
+                tid = next_dynamic
+                next_dynamic += 1
+            tids[event.track] = tid
+        record: Dict[str, object] = {
+            "name": event.name,
+            "ph": event.ph,
+            "ts": event.ts_ns / 1e3,
+            "pid": TRACE_PID,
+            "tid": tid,
+        }
+        if event.ph == PH_COMPLETE:
+            record["dur"] = (event.dur_ns or 0.0) / 1e3
+        if event.ph == PH_INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = dict(event.args)
+        events.append(record)
+
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": PH_METADATA,
+            "ts": 0.0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "xfm-repro"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": PH_METADATA,
+                "ts": 0.0,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": ring.dropped},
+    }

@@ -33,6 +33,49 @@ class TestSwapStats:
         stats = SwapStats(cpu_compress_cycles=10.0, cpu_decompress_cycles=5.0)
         assert stats.total_cpu_cycles == 15.0
 
+    def test_digest_cache_hit_rate_denominator_is_lookups(self):
+        """Regression: the hit rate is hits / (hits + misses) — cache
+        lookups — NOT hits / swap-outs. Same-filled pages and
+        cache-disabled runs perform no lookup, so swap-out counts must
+        not dilute the rate."""
+        stats = SwapStats(
+            swap_outs=100, digest_cache_hits=3, digest_cache_misses=1
+        )
+        assert stats.digest_cache_hit_rate == 0.75
+
+    def test_digest_cache_hit_rate_no_lookups(self):
+        assert SwapStats(swap_outs=10).digest_cache_hit_rate == 0.0
+
+    def test_digest_cache_lookup_rate(self):
+        stats = SwapStats(
+            swap_outs=3,
+            rejected=1,
+            digest_cache_hits=1,
+            digest_cache_misses=1,
+        )
+        assert stats.digest_cache_lookup_rate == 0.5
+
+    def test_digest_cache_lookup_rate_cache_enabled_backend(self):
+        """With the cache on, every backend swap-out attempt hashes the
+        page first, so the lookup rate is exactly 1.0."""
+        from repro.sfm.backend import SfmBackend
+        from repro.sfm.page import PAGE_SIZE, Page
+
+        backend = SfmBackend(capacity_bytes=64 * PAGE_SIZE)
+        for i in range(4):
+            backend.swap_out(
+                Page(vaddr=i * PAGE_SIZE, data=bytes([i % 3]) * PAGE_SIZE)
+            )
+        assert backend.stats.digest_cache_lookup_rate == 1.0
+        assert backend.stats.digest_cache_hit_rate == 0.25  # page 3 == page 0
+
+    def test_merge_and_as_dict(self):
+        merged = SwapStats.merged(
+            [SwapStats(swap_outs=2), SwapStats(swap_outs=3, swap_ins=1)]
+        )
+        assert merged.swap_outs == 5
+        assert merged.as_dict()["swap_ins"] == 1
+
 
 class TestBandwidthLedger:
     def test_record_and_totals(self):

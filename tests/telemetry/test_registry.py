@@ -1,0 +1,136 @@
+"""Metrics registry semantics: counters, gauges, histograms, export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5
+        c.set(2)
+        assert c.value == 2
+
+    def test_registry_dedupes_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("swap.outs")
+        b = reg.counter("swap.outs")
+        assert a is b
+        labelled = reg.counter("swap.outs", dimm=0)
+        assert labelled is not a
+        assert reg.counter("swap.outs", dimm=0) is labelled
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.snapshot() == 12
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", buckets=(10, 20, 30))
+        for value in (5, 10, 11, 25, 31, 1000):
+            h.observe(value)
+        # <=10: 5, 10 | <=20: 11 | <=30: 25 | overflow: 31, 1000
+        assert h.counts == [2, 1, 1, 2]
+        assert h.total == 6
+        assert h.mean == pytest.approx(sum((5, 10, 11, 25, 31, 1000)) / 6)
+
+    def test_needs_buckets_on_first_use(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.histogram("h")
+        h = reg.histogram("h", buckets=(1, 2))
+        # Subsequent lookups may omit the bounds.
+        assert reg.histogram("h") is h
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+
+
+class TestSnapshotExport:
+    def test_snapshot_keys_include_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("driver.mmio_writes", dimm=1).inc(7)
+        reg.gauge("occupancy").set(0.5)
+        snap = reg.snapshot()
+        assert snap["driver.mmio_writes{dimm=1}"] == 7
+        assert snap["occupancy"] == 0.5
+
+    def test_collector_folds_into_snapshot(self):
+        reg = MetricsRegistry()
+        state = {"row_hits": 3, "row_misses": 1}
+        reg.register_collector("dram", lambda: dict(state))
+        snap = reg.snapshot()
+        assert snap["dram.row_hits"] == 3
+        state["row_hits"] = 9  # point-in-time: next snapshot sees updates
+        assert reg.snapshot()["dram.row_hits"] == 9
+
+    def test_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.histogram("h", buckets=(1,)).observe(0.5)
+        doc = json.loads(reg.to_json())
+        assert doc["a"] == 2
+        assert doc["h"]["counts"] == [1, 0]
+
+    def test_csv_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        h = reg.histogram("h", buckets=(10,))
+        h.observe(5)
+        h.observe(50)
+        csv = reg.to_csv()
+        assert "metric,value" in csv
+        assert "a,1" in csv
+        assert "h|le=10.0,1" in csv
+        assert "h|le=+inf,1" in csv
+        assert "h|sum,55.0" in csv
+
+
+class TestMerge:
+    def test_counters_sum_gauges_take_latest(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        assert a.gauge("g").value == 9
+
+    def test_histograms_sum_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(10, 20)).observe(5)
+        b.histogram("h", buckets=(10, 20)).observe(15)
+        a.merge(b)
+        h = a.histogram("h")
+        assert h.counts == [1, 1, 0]
+        assert h.total == 2
+
+
+def test_default_registry_is_shared():
+    assert default_registry() is default_registry()

@@ -1,0 +1,98 @@
+"""StatsFacade: the dataclass-shaped view over registry counters."""
+
+import pytest
+
+from repro.core.driver import DriverStats
+from repro.sfm.metrics import SwapStats
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import StatsFacade
+
+
+class _Demo(StatsFacade):
+    _PREFIX = "demo"
+    _FIELDS = {"hits": 0, "misses": 0, "ratio_sum": 0.0}
+
+
+class TestFacadeSurface:
+    def test_defaults_and_kwargs(self):
+        s = _Demo(misses=3)
+        assert s.hits == 0 and s.misses == 3
+
+    def test_positional_follow_declaration_order(self):
+        s = _Demo(1, 2)
+        assert (s.hits, s.misses) == (1, 2)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            _Demo(nonexistent=1)
+
+    def test_duplicate_positional_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            _Demo(1, hits=2)
+
+    def test_increment_and_decrement(self):
+        s = _Demo()
+        s.hits += 2
+        s.hits -= 1
+        assert s.hits == 1
+
+    def test_repr_and_eq(self):
+        assert _Demo(hits=1) == _Demo(hits=1)
+        assert _Demo(hits=1) != _Demo(hits=2)
+        assert "hits=1" in repr(_Demo(hits=1))
+
+    def test_values_live_in_registry(self):
+        reg = MetricsRegistry()
+        s = _Demo(registry=reg, labels={"dimm": 2})
+        s.hits += 5
+        assert reg.counter("demo.hits", dimm=2).value == 5
+        assert reg.snapshot()["demo.hits{dimm=2}"] == 5
+
+    def test_private_registry_by_default(self):
+        a, b = _Demo(), _Demo()
+        a.hits += 1
+        assert b.hits == 0
+        assert a.registry is not b.registry
+
+
+class TestMergeAsDict:
+    def test_as_dict_order(self):
+        assert list(_Demo().as_dict()) == ["hits", "misses", "ratio_sum"]
+
+    def test_merge_sums_fields(self):
+        total = _Demo(hits=1).merge(_Demo(hits=2, misses=3))
+        assert total.as_dict() == {"hits": 3, "misses": 3, "ratio_sum": 0.0}
+
+    def test_merged_classmethod(self):
+        total = _Demo.merged([_Demo(hits=1), _Demo(hits=2), _Demo(misses=1)])
+        assert (total.hits, total.misses) == (3, 1)
+
+    def test_merge_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            SwapStats().merge(DriverStats())
+
+    def test_swap_and_driver_stats_share_the_surface(self):
+        swap = SwapStats(swap_outs=2)
+        driver = DriverStats(mmio_writes=4)
+        assert SwapStats.merged([swap, SwapStats(swap_outs=1)]).swap_outs == 3
+        assert driver.as_dict()["mmio_writes"] == 4
+
+
+class TestExistingCallSites:
+    """The facades must keep the historical dataclass behaviour."""
+
+    def test_swap_stats_properties_still_work(self):
+        stats = SwapStats(
+            bytes_out_uncompressed=8192, bytes_out_compressed=2048
+        )
+        assert stats.mean_compression_ratio == 4.0
+
+    def test_shared_registry_with_labels_keeps_series_apart(self):
+        reg = MetricsRegistry()
+        d0 = DriverStats(registry=reg, labels={"dimm": 0})
+        d1 = DriverStats(registry=reg, labels={"dimm": 1})
+        d0.mmio_writes += 1
+        d1.mmio_writes += 10
+        snap = reg.snapshot()
+        assert snap["driver.mmio_writes{dimm=0}"] == 1
+        assert snap["driver.mmio_writes{dimm=1}"] == 10
