@@ -203,6 +203,48 @@ def _kernel_swap_telemetry_on() -> Callable[[], None]:
     return _swap_path_setup(traced=True)
 
 
+def _tier_pipeline_fixture():
+    from repro.tiering import TierPipeline
+
+    pages = _bench_pages()
+    pipeline = TierPipeline.build(
+        cpu_capacity_bytes=len(pages) * PAGE * 2,
+        xfm_capacity_bytes=len(pages) * PAGE * 2,
+        dfm_capacity_bytes=len(pages) * PAGE * 2,
+    )
+    return pipeline, pages
+
+
+def _kernel_tier_pipeline_store() -> Callable[[], None]:
+    pipeline, pages = _tier_pipeline_fixture()
+
+    def op() -> None:
+        # Steady-state keyed stores: after the first batch every store
+        # replaces the previous copy (invalidate + re-place), which is
+        # what a swap-out-heavy workload does to a warm pipeline.
+        for key, data in enumerate(pages):
+            if not pipeline.store(key, data):
+                raise AssertionError("pipeline store rejected")
+
+    return op
+
+
+def _kernel_tier_pipeline_load() -> Callable[[], None]:
+    pipeline, pages = _tier_pipeline_fixture()
+
+    def op() -> None:
+        # load() is exclusive (a demand fault removes the far copy), so
+        # each batch re-stores first; the store half is identical to the
+        # store kernel, making the delta the pure load-path cost.
+        for key, data in enumerate(pages):
+            pipeline.store(key, data)
+        for key, data in enumerate(pages):
+            if pipeline.load(key) != data:
+                raise AssertionError("pipeline load mismatch")
+
+    return op
+
+
 def telemetry_overhead_ratio(repeats: int = 5) -> float:
     """Cost of the *disabled* telemetry guards on the deflate round-trip.
 
@@ -250,6 +292,61 @@ def telemetry_overhead_ratio(repeats: int = 5) -> float:
     return best_of(guarded) / best_of(plain)
 
 
+def tier_overhead_ratio(repeats: int = 5) -> float:
+    """Cost of TierPipeline bookkeeping on the single-tier zswap path.
+
+    Times a zswap store/load loop over a bare ``SfmBackend`` against the
+    identical loop over a single-CPU-tier ``TierPipeline`` wrapping the
+    same backend class. Both loops are codec-dominated, so the ratio
+    isolates the pipeline's placement/LRU/accounting bookkeeping; CI
+    gates it at < 5% (``run_perf.py tier-guard``). Measured in-process
+    (same machine, same run) like :func:`telemetry_overhead_ratio`.
+    """
+    from repro.sfm.backend import SfmBackend
+    from repro.sfm.zswap import ZswapFrontend
+    from repro.tiering import TierPipeline
+
+    pages = _bench_pages()
+    capacity = len(pages) * PAGE * 4
+
+    def frontend_over(backend) -> ZswapFrontend:
+        return ZswapFrontend(
+            backend,
+            total_ram_bytes=len(pages) * PAGE * 8,
+            max_pool_percent=50,
+        )
+
+    plain_frontend = frontend_over(SfmBackend(capacity_bytes=capacity))
+    piped_frontend = frontend_over(
+        TierPipeline([("cpu-zswap", SfmBackend(capacity_bytes=capacity))])
+    )
+
+    def loop(frontend: ZswapFrontend) -> Callable[[], None]:
+        def op() -> None:
+            # Exclusive loads empty the pool, so every batch is a full
+            # store-all / load-all cycle — the single-tier store path
+            # the gate protects.
+            for offset, data in enumerate(pages):
+                if not frontend.store(0, offset, data):
+                    raise AssertionError("zswap store rejected")
+            for offset, data in enumerate(pages):
+                if frontend.load(0, offset) != data:
+                    raise AssertionError("zswap load mismatch")
+
+        return op
+
+    def best_of(op: Callable[[], None]) -> float:
+        op()  # warm up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            op()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return best_of(loop(piped_frontend)) / best_of(loop(plain_frontend))
+
+
 #: name -> (setup, default inner iterations per timed batch).
 KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "deflate_roundtrip_4k": (_kernel_deflate_roundtrip, 1),
@@ -262,6 +359,8 @@ KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "emulator_window": (_kernel_emulator_window, 1),
     "swap_telemetry_off": (_kernel_swap_telemetry_off, 1),
     "swap_telemetry_on": (_kernel_swap_telemetry_on, 1),
+    "tier_pipeline_store": (_kernel_tier_pipeline_store, 20),
+    "tier_pipeline_load": (_kernel_tier_pipeline_load, 2),
 }
 
 

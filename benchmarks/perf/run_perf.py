@@ -24,12 +24,19 @@ Modes:
     is an in-process ratio (guarded loop vs plain loop on the same
     machine, same run), so the gate can afford to be tight.
 
+``tier-guard``
+    Assert that routing the zswap store/load path through a single-tier
+    ``TierPipeline`` costs < ``--max-overhead`` (default 5%) over the
+    same path on a bare ``SfmBackend``. Same in-process-ratio protocol
+    as ``telemetry-guard``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py run
     PYTHONPATH=src python benchmarks/perf/run_perf.py run --update-baseline
     PYTHONPATH=src python benchmarks/perf/run_perf.py check --inner-scale 0.5
     PYTHONPATH=src python benchmarks/perf/run_perf.py telemetry-guard
+    PYTHONPATH=src python benchmarks/perf/run_perf.py tier-guard
 """
 
 from __future__ import annotations
@@ -153,6 +160,26 @@ def cmd_telemetry_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tier_guard(args: argparse.Namespace) -> int:
+    ratio = min(
+        microbench.tier_overhead_ratio(repeats=args.repeats)
+        for _ in range(args.trials)
+    )
+    overhead = ratio - 1.0
+    print(
+        f"single-tier pipeline overhead on zswap store/load: "
+        f"{overhead * 100:+.2f}% (gate: < {args.max_overhead * 100:.0f}%)"
+    )
+    if overhead > args.max_overhead:
+        print(
+            "tier guard FAILED: TierPipeline bookkeeping must stay "
+            "negligible next to the codec on the single-tier store path"
+        )
+        return 1
+    print("tier guard passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -181,6 +208,15 @@ def main(argv=None) -> int:
     guard.add_argument("--repeats", type=int, default=3)
     guard.add_argument("--trials", type=int, default=3)
     guard.set_defaults(func=cmd_telemetry_guard)
+
+    tier_guard = sub.add_parser(
+        "tier-guard",
+        help="assert single-tier pipeline overhead < --max-overhead",
+    )
+    tier_guard.add_argument("--max-overhead", type=float, default=0.05)
+    tier_guard.add_argument("--repeats", type=int, default=3)
+    tier_guard.add_argument("--trials", type=int, default=3)
+    tier_guard.set_defaults(func=cmd_tier_guard)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,17 +8,42 @@ CPU SFM or XFM. The runtime's cold-scan controller demotes idle pages;
 scans announce themselves to the prefetcher, which uses XFM's
 ``do_offload`` promotion path.
 
-Run:  python examples/far_memory_app.py
+Run:  python examples/far_memory_app.py              # CPU-vs-XFM compare
+      python examples/far_memory_app.py <tier>       # one tier only
+      (tiers: cpu, xfm, xfm-mc, dfm, pipeline — every backend speaks the
+       same FarMemoryTier protocol, so the app code never changes)
 """
 
-from repro import PAGE_SIZE, SfmBackend, XfmBackend
+import sys
+
+from repro import (
+    PAGE_SIZE,
+    DfmBackend,
+    MultiChannelXfmBackend,
+    SfmBackend,
+    TierPipeline,
+    XfmBackend,
+)
 from repro._units import pretty_bytes
-from repro.analysis.report import format_stats
+from repro.analysis.report import format_stats, format_tier_stats
 from repro.sfm.controller import ColdScanController
 from repro.workloads.aifm import FarMemoryRuntime
 from repro.workloads.webfrontend import WebFrontend, WebFrontendConfig
 
 SIMULATED_SECONDS = 90.0
+
+#: Tier name -> zero-arg backend factory (all FarMemoryTier-conformant).
+TIER_FACTORIES = {
+    "cpu": lambda: SfmBackend(capacity_bytes=512 * PAGE_SIZE),
+    "xfm": lambda: XfmBackend(capacity_bytes=512 * PAGE_SIZE),
+    "xfm-mc": lambda: MultiChannelXfmBackend(capacity_bytes=512 * PAGE_SIZE),
+    "dfm": lambda: DfmBackend(capacity_bytes=512 * PAGE_SIZE),
+    "pipeline": lambda: TierPipeline.build(
+        cpu_capacity_bytes=128 * PAGE_SIZE,
+        xfm_capacity_bytes=128 * PAGE_SIZE,
+        dfm_capacity_bytes=256 * PAGE_SIZE,
+    ),
+}
 
 
 def run_app(backend):
@@ -68,7 +93,29 @@ def describe(name, runtime, report):
               f"{backend.stats.offloaded_decompressions}")
 
 
+def run_single_tier(tier: str) -> None:
+    """Run the same app on one named tier (or the 3-tier pipeline)."""
+    print(f"simulating {SIMULATED_SECONDS:.0f}s of web front-end traffic "
+          f"on the {tier!r} tier...")
+    backend = TIER_FACTORIES[tier]()
+    runtime, report = run_app(backend)
+    describe(tier, runtime, report)
+    print()
+    if isinstance(backend, TierPipeline):
+        print(format_tier_stats(backend, title="per-tier counters"))
+    else:
+        print(format_stats(backend.stats, title=f"swap counters ({tier})"))
+
+
 def main() -> None:
+    tier = sys.argv[1] if len(sys.argv) > 1 else None
+    if tier is not None:
+        if tier not in TIER_FACTORIES:
+            raise SystemExit(
+                f"unknown tier {tier!r}; have {', '.join(TIER_FACTORIES)}"
+            )
+        run_single_tier(tier)
+        return
     print(f"simulating {SIMULATED_SECONDS:.0f}s of web front-end traffic "
           "on two far-memory backends...")
     baseline_runtime, baseline_report = run_app(

@@ -40,14 +40,17 @@ from repro.core import (
     XfmEmulator,
 )
 from repro.costmodel import CostParams, MemoryKind, fig3_series
+from repro.dfm import DfmBackend
 from repro.dram import (
     AddressMapping,
     DramDeviceConfig,
     DramTimings,
     RefreshScheduler,
 )
+from repro.core.system import MultiChannelXfmBackend
 from repro.interference import CorunConfig, SfmMode, simulate_corun
 from repro.sfm import PAGE_SIZE, Page, SfmBackend
+from repro.tiering import FarMemoryTier, SwapOutcome, TierPipeline
 from repro.workloads import CORPUS_NAMES, corpus_pages, generate_corpus
 
 __version__ = "1.0.0"
@@ -59,13 +62,16 @@ __all__ = [
     "CorunConfig",
     "CostParams",
     "DeflateCodec",
+    "DfmBackend",
     "DramDeviceConfig",
     "DramTimings",
     "EmulatorConfig",
     "EmulatorReport",
+    "FarMemoryTier",
     "LzFastCodec",
     "MemoryKind",
     "MultiChannelLayout",
+    "MultiChannelXfmBackend",
     "NearMemoryAccelerator",
     "NmaConfig",
     "PAGE_SIZE",
@@ -73,6 +79,8 @@ __all__ = [
     "RefreshScheduler",
     "SfmBackend",
     "SfmMode",
+    "SwapOutcome",
+    "TierPipeline",
     "XfmBackend",
     "XfmDriver",
     "XfmEmulator",

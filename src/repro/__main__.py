@@ -194,7 +194,7 @@ def main(argv: List[str] = None) -> int:
         nargs="*",
         default=["list"],
         help="experiment names, 'list', 'all', 'export <dir>', "
-        "or 'trace <workload>'",
+        "'trace <workload>', or 'tiers'",
     )
     parser.add_argument(
         "--out",
@@ -215,6 +215,27 @@ def main(argv: List[str] = None) -> int:
         from repro.telemetry.runner import WORKLOADS
 
         print(f"     trace workloads: {', '.join(sorted(WORKLOADS))}")
+        print("     python -m repro tiers [--out DIR]"
+              "   # 3-tier demotion/promotion demo")
+        return 0
+    if names and names[0] == "tiers":
+        from pathlib import Path
+
+        from repro.analysis.report import format_tier_stats
+        from repro.telemetry.runner import run_traced
+
+        out_dir = Path(args.out) if args.out else None
+        session, summary = run_traced("tiers", out_dir)
+        pipeline = summary.pop("_pipeline", None)
+        print("tier pipeline demo: cpu-zswap -> xfm -> dfm")
+        for key, value in summary.items():
+            print(f"  {key:24s}: {value}")
+        if pipeline is not None:
+            print()
+            print(format_tier_stats(pipeline, title="per-tier counters"))
+        if out_dir is not None:
+            print(f"  wrote {out_dir / 'trace.json'}")
+            print(f"  wrote {out_dir / 'metrics.json'}")
         return 0
     if names and names[0] == "trace":
         from pathlib import Path
@@ -236,6 +257,8 @@ def main(argv: List[str] = None) -> int:
             session, summary = run_traced(name, out_dir)
             print(f"trace workload: {name}")
             for key, value in summary.items():
+                if key.startswith("_"):
+                    continue
                 print(f"  {key:24s}: {value}")
             print(f"  wrote {out_dir / 'trace.json'}")
             print(f"  wrote {out_dir / 'metrics.json'}")

@@ -58,3 +58,39 @@ def format_stats(stats: Union[object, Sequence], title: str = "") -> str:
         [[name, value] for name, value in stats.as_dict().items()],
         title=title,
     )
+
+
+def format_tier_stats(pipeline, title: str = "") -> str:
+    """Render a :class:`~repro.tiering.pipeline.TierPipeline` as one
+    column per tier (plus a merged total), one row per swap counter and
+    occupancy figure — the per-tier companion of :func:`format_stats`."""
+    names = list(pipeline.tier_names)
+    tiers = list(pipeline.tiers)
+    per_tier = [tier.stats.as_dict() for tier in tiers]
+    rows: List[List] = []
+    for field in per_tier[0]:
+        values = [stats[field] for stats in per_tier]
+        if not any(values):
+            continue
+        rows.append([field] + values + [sum(values)])
+    rows.append(
+        ["stored_pages"]
+        + [tier.stored_pages() for tier in tiers]
+        + [pipeline.stored_pages()]
+    )
+    rows.append(
+        ["used_bytes"]
+        + [tier.used_bytes() for tier in tiers]
+        + [pipeline.used_bytes()]
+    )
+    rows.append(
+        ["capacity_bytes"]
+        + [tier.capacity_bytes for tier in tiers]
+        + [pipeline.capacity_bytes]
+    )
+    rows.append(
+        ["ledger_bytes"]
+        + [sum(tier.ledger.snapshot().values()) for tier in tiers]
+        + [sum(pipeline.ledger.snapshot().values())]
+    )
+    return format_table(["counter"] + names + ["total"], rows, title=title)

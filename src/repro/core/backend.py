@@ -17,9 +17,10 @@ from repro.compression.base import Codec
 from repro.core.driver import XfmDriver
 from repro.core.nma import NearMemoryAccelerator, NmaConfig
 from repro.errors import QueueFullError, SfmError, SpmFullError, ZpoolFullError
-from repro.sfm.backend import SfmBackend, SwapOutcome
+from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import reasons, trace as _trace
+from repro.tiering.protocol import SwapOutcome
 
 
 class XfmBackend(SfmBackend):
@@ -33,6 +34,8 @@ class XfmBackend(SfmBackend):
         cpu_freq_hz: float = 2.6e9,
         row_bytes: int = 8192,
         registry=None,
+        ledger=None,
+        tier: Optional[str] = None,
     ) -> None:
         self.nma = nma if nma is not None else NearMemoryAccelerator(
             NmaConfig(), codec=codec
@@ -42,7 +45,11 @@ class XfmBackend(SfmBackend):
             codec=self.nma.codec,
             cpu_freq_hz=cpu_freq_hz,
             registry=registry,
+            ledger=ledger,
+            tier=tier,
         )
+        if tier is None:
+            self.tier_name = "xfm"
         # Driver counters re-home into the same per-System registry as
         # the swap statistics.
         self.driver = XfmDriver(self.nma, registry=self.registry)
@@ -206,6 +213,10 @@ class XfmBackend(SfmBackend):
     def swap_in(self, page: Page) -> bytes:
         """Drop-in override: demand faults use the CPU path (§6 default)."""
         return self.xfm_swap_in(page, do_offload=False)
+
+    def promote(self, page: Page) -> bytes:
+        """Prefetch-style promotion: the controller asserts offload."""
+        return self.xfm_swap_in(page, do_offload=True)
 
     def xfm_compact(self) -> int:
         """Manually-initiated compaction (host memcpys, §6)."""

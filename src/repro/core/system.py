@@ -23,8 +23,8 @@ from repro.core.driver import XfmDriver
 from repro.core.multichannel import MultiChannelLayout
 from repro.core.nma import NearMemoryAccelerator, NmaConfig
 from repro.errors import ConfigError, QueueFullError, SfmError, SpmFullError, ZpoolFullError
-from repro.sfm.backend import SwapOutcome
 from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.tiering.protocol import SwapOutcome
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.rbtree import RedBlackTree
 from repro.sfm.zpool import Zpool
@@ -49,11 +49,15 @@ class XfmDimm:
         nma_config: NmaConfig,
         codec: Codec,
         registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, object]] = None,
     ) -> "XfmDimm":
         nma = NearMemoryAccelerator(nma_config, codec=codec)
         # Per-DIMM driver counters share the System registry, labelled
         # by DIMM index so the series stay distinguishable.
-        driver = XfmDriver(nma, registry=registry, labels={"dimm": index})
+        driver_labels = {"dimm": index}
+        if labels:
+            driver_labels.update(labels)
+        driver = XfmDriver(nma, registry=registry, labels=driver_labels)
         driver.xfm_paramset(sfm_base=index << 40, sfm_size=region_bytes)
         return cls(
             index=index,
@@ -89,6 +93,9 @@ class MultiChannelXfmBackend:
         interleave_bytes: int = 256,
         nma_config: Optional[NmaConfig] = None,
         cpu_freq_hz: float = 2.6e9,
+        registry: Optional[MetricsRegistry] = None,
+        ledger: Optional[BandwidthLedger] = None,
+        tier: Optional[str] = None,
     ) -> None:
         if num_dimms < 1:
             raise ConfigError("need at least one DIMM")
@@ -102,7 +109,9 @@ class MultiChannelXfmBackend:
         from repro.compression.deflate import DeflateCodec
 
         self._codec_window = max(256, PAGE_SIZE // num_dimms)
-        self.registry = MetricsRegistry()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tier_name = tier if tier is not None else "xfm-mc"
+        labels = {"tier": tier} if tier is not None else {}
         self.dimms: List[XfmDimm] = [
             XfmDimm.build(
                 index=i,
@@ -110,12 +119,13 @@ class MultiChannelXfmBackend:
                 nma_config=config,
                 codec=DeflateCodec(window_size=self._codec_window),
                 registry=self.registry,
+                labels=labels,
             )
             for i in range(num_dimms)
         ]
         self.index = RedBlackTree()
-        self.stats = SwapStats(registry=self.registry)
-        self.ledger = BandwidthLedger()
+        self.stats = SwapStats(registry=self.registry, labels=labels)
+        self.ledger = ledger if ledger is not None else BandwidthLedger()
         self.cpu_freq_hz = cpu_freq_hz
         #: Internal fragmentation accumulated by same-offset placement.
         self.fragmentation_bytes = 0
@@ -130,6 +140,17 @@ class MultiChannelXfmBackend:
 
     def stored_pages(self) -> int:
         return len(self.index)
+
+    def used_bytes(self) -> int:
+        """Slab footprint summed across every DIMM's region."""
+        return sum(
+            dimm.region.used_slabs() * dimm.region.slab_size
+            for dimm in self.dimms
+        )
+
+    def effective_bytes_freed(self) -> int:
+        """Resident bytes released minus pool footprint consumed."""
+        return self.stored_pages() * PAGE_SIZE - self.used_bytes()
 
     def contains(self, vaddr: int) -> bool:
         return vaddr in self.index
@@ -266,6 +287,24 @@ class MultiChannelXfmBackend:
         self.stats.bytes_in_compressed += sum(entry.segment_lengths)
         return data
 
+    def promote(self, page: Page) -> bytes:
+        """Prefetch-style promotion: route decompression through the NMAs."""
+        return self.swap_in(page, do_offload=True)
+
+    def invalidate(self, vaddr: int) -> bool:
+        """Free every DIMM's segment of a striped page without the
+        gather-decompress (swap-slot-freed path)."""
+        if vaddr not in self.index:
+            return False
+        entry: _StripeEntry = self.index.lookup(vaddr)
+        for dimm, handle in zip(self.dimms, entry.handles):
+            dimm.region.free(handle)
+        self.fragmentation_bytes -= entry.slot_bytes - sum(
+            entry.segment_lengths
+        )
+        self.index.delete(vaddr)
+        return True
+
     # -- accounting --------------------------------------------------------------
 
     def per_dimm_occupancy(self) -> Dict[int, float]:
@@ -287,3 +326,16 @@ class MultiChannelXfmBackend:
         self.ledger.record("sfm_cpu", "read", moved)
         self.ledger.record("sfm_cpu", "write", moved)
         return moved
+
+    def swap_latency_s(self, direction: str) -> float:
+        """Single-stripe host (de)compression latency — the per-DIMM
+        window codec over one stripe, at the host clock."""
+        spec = self.dimms[0].nma.codec.spec
+        stripe = PAGE_SIZE // self.num_dimms
+        if direction == "out":
+            cycles = spec.compress_cycles_per_byte * stripe
+        elif direction == "in":
+            cycles = spec.decompress_cycles_per_byte * stripe
+        else:
+            raise ValueError(f"direction must be in/out, got {direction}")
+        return cycles / self.cpu_freq_hz

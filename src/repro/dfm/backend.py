@@ -15,13 +15,14 @@ the paper draws falls out of the accounting:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.dfm.interconnect import CXL_LINK, InterconnectModel
 from repro.errors import ConfigError, SfmError
-from repro.sfm.backend import SwapOutcome
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry.registry import MetricsRegistry
+from repro.tiering.protocol import SwapOutcome
 
 
 class DfmBackend:
@@ -31,16 +32,45 @@ class DfmBackend:
         self,
         capacity_bytes: int,
         link: InterconnectModel = CXL_LINK,
+        registry: Optional[MetricsRegistry] = None,
+        ledger: Optional[BandwidthLedger] = None,
+        tier: str = "dfm",
     ) -> None:
         if capacity_bytes < PAGE_SIZE:
             raise ConfigError("capacity below one page")
         self.link = link
         self.capacity_bytes = capacity_bytes
         self._pool: Dict[int, bytes] = {}
-        self.stats = SwapStats()
-        self.ledger = BandwidthLedger()
-        self.link_energy_j = 0.0
-        self.link_busy_s = 0.0
+        # Counters and link accounting all live in the registry (labelled
+        # by tier), so they reach MetricsRegistry export like every other
+        # backend's — historically these were registry-less attributes
+        # that never appeared in metrics.json.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tier_name = tier
+        self.stats = SwapStats(registry=self.registry, labels={"tier": tier})
+        self.ledger = ledger if ledger is not None else BandwidthLedger()
+        self._link_energy = self.registry.counter(
+            "dfm.link_energy_j", tier=tier
+        )
+        self._link_busy = self.registry.counter("dfm.link_busy_s", tier=tier)
+
+    @property
+    def link_energy_j(self) -> float:
+        """Joules spent on link transfers (registry-backed)."""
+        return self._link_energy.value
+
+    @link_energy_j.setter
+    def link_energy_j(self, value: float) -> None:
+        self._link_energy.set(value)
+
+    @property
+    def link_busy_s(self) -> float:
+        """Seconds the link spent moving pages (registry-backed)."""
+        return self._link_busy.value
+
+    @link_busy_s.setter
+    def link_busy_s(self, value: float) -> None:
+        self._link_busy.set(value)
 
     # -- capacity ------------------------------------------------------------
 
@@ -50,6 +80,10 @@ class DfmBackend:
 
     def stored_pages(self) -> int:
         return len(self._pool)
+
+    def used_bytes(self) -> int:
+        """Every page occupies its full size — no compression gain."""
+        return self.stored_pages() * PAGE_SIZE
 
     def contains(self, vaddr: int) -> bool:
         return vaddr in self._pool
@@ -96,6 +130,15 @@ class DfmBackend:
         self.stats.bytes_in_uncompressed += PAGE_SIZE
         self.stats.bytes_in_compressed += PAGE_SIZE
         return data
+
+    def promote(self, page: Page) -> bytes:
+        """No accelerator on the DFM side; promotion is a demand fetch."""
+        return self.swap_in(page)
+
+    def invalidate(self, vaddr: int) -> bool:
+        """Drop the far copy without a link transfer (the slot-freed
+        path: the far node discards, nothing crosses the wire)."""
+        return self._pool.pop(vaddr, None) is not None
 
     def _account_transfer(self) -> None:
         self.ledger.record("dfm_link", "read", PAGE_SIZE)

@@ -11,7 +11,6 @@ swap-in) — overheads O2/O3 of §3.2 that XFM later removes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.compression.base import Codec
@@ -29,25 +28,15 @@ from repro.sfm.zpool import Zpool
 from repro.telemetry import trace as _trace
 from repro.telemetry.registry import MetricsRegistry
 
+# Canonical home is the tier protocol; re-exported here so historical
+# ``from repro.sfm.backend import SwapOutcome`` imports keep working.
+from repro.tiering.protocol import SwapOutcome
+
+__all__ = ["BLOB_SIZE_BUCKETS", "SfmBackend", "SwapOutcome"]
+
 #: Compressed-blob size histogram bounds (bytes): page fractions the
 #: Fig. 8 ratio sweeps care about.
 BLOB_SIZE_BUCKETS = (256, 512, 1024, 1536, 2048, 3072, 4096)
-
-
-@dataclass(frozen=True)
-class SwapOutcome:
-    """Result of one swap-out attempt."""
-
-    accepted: bool
-    reason: str = "ok"
-    compressed_len: int = 0
-    cpu_cycles: float = 0.0
-
-    @property
-    def ratio(self) -> float:
-        if not self.compressed_len:
-            return 0.0
-        return PAGE_SIZE / self.compressed_len
 
 
 class SfmBackend:
@@ -65,6 +54,8 @@ class SfmBackend:
         cpu_freq_hz: float = 2.6e9,
         page_cache_entries: int = 1024,
         registry: Optional[MetricsRegistry] = None,
+        ledger: Optional[BandwidthLedger] = None,
+        tier: Optional[str] = None,
     ) -> None:
         self.codec = codec if codec is not None else ZstdLikeCodec()
         self.cpu_freq_hz = cpu_freq_hz
@@ -73,11 +64,15 @@ class SfmBackend:
         #: Per-System metrics home: swap counters, driver counters (XFM),
         #: and the blob-size histogram all live here.
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.stats = SwapStats(registry=self.registry)
+        #: Report/registry label; ``tier=None`` keeps the historical
+        #: unlabelled series names (the single-backend case).
+        self.tier_name = tier if tier is not None else "cpu"
+        labels = {"tier": tier} if tier is not None else {}
+        self.stats = SwapStats(registry=self.registry, labels=labels)
         self.blob_sizes = self.registry.histogram(
-            "swap.blob_bytes", buckets=BLOB_SIZE_BUCKETS
+            "swap.blob_bytes", buckets=BLOB_SIZE_BUCKETS, **labels
         )
-        self.ledger = BandwidthLedger()
+        self.ledger = ledger if ledger is not None else BandwidthLedger()
         #: Content-keyed blob cache; ``page_cache_entries=0`` disables it.
         self.page_cache: Optional[DigestPageCache] = (
             DigestPageCache(page_cache_entries) if page_cache_entries else None
@@ -91,6 +86,10 @@ class SfmBackend:
 
     def stored_pages(self) -> int:
         return len(self.index)
+
+    def used_bytes(self) -> int:
+        """Pool footprint: slabs consumed times slab size."""
+        return self.zpool.used_slabs() * self.zpool.slab_size
 
     def effective_bytes_freed(self) -> int:
         """Resident bytes released minus pool footprint consumed — the
@@ -213,10 +212,25 @@ class SfmBackend:
     def _decompress(self, blob: bytes) -> bytes:
         return self.codec.decompress(blob)
 
+    def promote(self, page: Page) -> bytes:
+        """Promotion path; the CPU tier has no accelerator, so this is
+        the demand path."""
+        return self.swap_in(page)
+
     def peek(self, vaddr: int) -> bytes:
         """Decompress a far page without promoting it (diagnostics)."""
         handle = self.index.lookup(vaddr)
         return self._decompress(self.zpool.load(handle))
+
+    def invalidate(self, vaddr: int) -> bool:
+        """Drop the stored copy of ``vaddr`` without decompressing it
+        (swap-slot-freed path); returns False when not held."""
+        if vaddr not in self.index:
+            return False
+        handle = self.index.lookup(vaddr)
+        self.zpool.free(handle)
+        self.index.delete(vaddr)
+        return True
 
     # -- maintenance ------------------------------------------------------------
 

@@ -5,9 +5,12 @@ swap path calls ``store``/``load``/``invalidate`` keyed by (swap type,
 offset), zswap compresses into the zpool, and rejects stores — falling
 through to the real swap device — when the page is incompressible or the
 pool exceeds its ``max_pool_percent`` of RAM. :class:`ZswapFrontend`
-reproduces that contract over any of this repo's backends (baseline CPU,
-XFM, multi-channel XFM), including the accept/reject statistics the
-kernel exposes in ``/sys/kernel/debug/zswap``.
+reproduces that contract over any :class:`~repro.tiering.protocol.
+FarMemoryTier` (baseline CPU, XFM, multi-channel XFM, DFM, or a whole
+:class:`~repro.tiering.pipeline.TierPipeline`), including the
+accept/reject statistics the kernel exposes in
+``/sys/kernel/debug/zswap``. The ``max_pool_percent`` arithmetic lives
+in :class:`~repro.tiering.policy.PoolLimitPolicy`.
 """
 
 from __future__ import annotations
@@ -16,10 +19,11 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
-from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import trace as _trace
 from repro.telemetry.stats import StatsFacade
+from repro.tiering.policy import PoolLimitPolicy
+from repro.tiering.protocol import FarMemoryTier
 
 
 class ZswapStats(StatsFacade):
@@ -44,11 +48,11 @@ class ZswapStats(StatsFacade):
 
 
 class ZswapFrontend:
-    """Frontswap-shaped store/load/invalidate over an SFM backend."""
+    """Frontswap-shaped store/load/invalidate over any far-memory tier."""
 
     def __init__(
         self,
-        backend: SfmBackend,
+        backend: FarMemoryTier,
         total_ram_bytes: int,
         max_pool_percent: int = 20,
         writeback: Optional[Callable[[int, int, bytes], None]] = None,
@@ -57,10 +61,11 @@ class ZswapFrontend:
         zswap's writeback path: on pool-limit pressure the LRU entries are
         decompressed and handed to the backing swap device to make room,
         instead of rejecting the incoming store."""
-        if not 1 <= max_pool_percent <= 100:
-            raise ConfigError("max_pool_percent must be in [1, 100]")
-        if total_ram_bytes < PAGE_SIZE:
-            raise ConfigError("total_ram_bytes too small")
+        # Validates max_pool_percent/total_ram_bytes (raises ConfigError).
+        self.pool_limit = PoolLimitPolicy(
+            total_ram_bytes=total_ram_bytes,
+            max_pool_percent=max_pool_percent,
+        )
         self.backend = backend
         self.total_ram_bytes = total_ram_bytes
         self.max_pool_percent = max_pool_percent
@@ -75,13 +80,13 @@ class ZswapFrontend:
     # -- pool limit --------------------------------------------------------
 
     def pool_limit_bytes(self) -> int:
-        return self.total_ram_bytes * self.max_pool_percent // 100
+        return self.pool_limit.limit_bytes()
 
     def pool_usage_bytes(self) -> int:
-        return self.backend.zpool.used_slabs() * self.backend.zpool.slab_size
+        return self.backend.used_bytes()
 
     def _over_limit(self) -> bool:
-        return self.pool_usage_bytes() >= self.pool_limit_bytes()
+        return self.pool_limit.over_limit(self.pool_usage_bytes())
 
     # -- frontswap ops ---------------------------------------------------------
 
@@ -202,8 +207,7 @@ class ZswapFrontend:
         page = self._pages.pop(key, None)
         if page is not None:
             # Discard without promoting: free the pool entry directly.
-            handle = self.backend.index.delete(page.vaddr)
-            self.backend.zpool.free(handle)
+            self.backend.invalidate(page.vaddr)
             self.stats.stored_pages -= 1
             self.stats.invalidates += 1
 
@@ -219,10 +223,8 @@ class ZswapFrontend:
         if self.writeback is None:
             raise ConfigError("shrink requires a writeback callback")
         written = 0
-        while (
-            self._pages
-            and self.pool_usage_bytes() + target_free_bytes
-            > self.pool_limit_bytes()
+        while self._pages and self.pool_limit.needs_headroom(
+            self.pool_usage_bytes(), target_free_bytes
         ):
             key, page = self._pages.popitem(last=False)  # LRU victim
             data = self.backend.swap_in(page)

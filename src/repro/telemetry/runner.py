@@ -12,6 +12,10 @@ Each workload drives a real slice of the stack inside a
 * ``emulator`` — one Fig. 12 emulation point with an undersized SPM, so
   the per-tRFC pipeline (window spans, enqueues, completions, fallbacks)
   is visible on the timeline.
+* ``tiers``    — the 3-tier pipeline (CPU-zswap -> XFM -> DFM) under
+  pressure: fall-through stores, LRU demotion cascades, upward
+  promotions, and demand loads, all on the ``tiering`` track with
+  per-tier registry counters.
 
 Workload functions take the *entered* session and return a flat summary
 dict (printable key -> value) for the CLI.
@@ -201,9 +205,72 @@ def _emulator_workload(session: TelemetrySession) -> Dict[str, object]:
     }
 
 
+# -- tiering workload --------------------------------------------------------
+
+
+def _tiers_workload(session: TelemetrySession) -> Dict[str, object]:
+    from repro.tiering import LruDemotion, TierPipeline
+
+    # Small upper tiers so the demotion cascade actually fires; the DFM
+    # floor is large enough to absorb everything that sinks.
+    pipeline = TierPipeline.build(
+        cpu_capacity_bytes=16 * 1024,
+        xfm_capacity_bytes=16 * 1024,
+        dfm_capacity_bytes=1024 * 1024,
+        registry=session.registry,
+        demotion=LruDemotion(watermark_fraction=0.5),
+    )
+
+    def _half_page(key: int) -> bytes:
+        """~2:1-compressible page: pattern front, noise tail — big
+        enough compressed to put real pressure on the 16 KiB tiers."""
+        return (_patterned_page(key)[: _PAGE // 2]
+                + _noise_page(key)[: _PAGE // 2])
+
+    stored: Dict[int, bytes] = {}
+    for key in range(40):
+        # Every 5th page is noise: incompressible at both compressed
+        # tiers, so it falls through straight to DFM.
+        data = _noise_page(key) if key % 5 == 4 else _half_page(key)
+        if pipeline.store(key, data):
+            stored[key] = data
+
+    # Hot-set promotion: the oldest keys sank during the cascade; pull
+    # a few back toward tier 0.
+    promoted = sum(
+        1 for key in list(stored)[:4] if pipeline.promote_key(key)
+    )
+
+    mismatches = 0
+    for key, expect in list(stored.items()):
+        if pipeline.load(key) != expect:
+            mismatches += 1
+    if mismatches:
+        raise AssertionError(f"{mismatches} tier round-trip mismatches")
+
+    for name, tier in pipeline.tiers_by_name().items():
+        session.add_stats(f"tier.{name}", tier.stats)
+    session.add_stats("pipeline", pipeline.pipeline_stats)
+    pstats = pipeline.pipeline_stats
+    return {
+        "tiers": "/".join(pipeline.tier_names),
+        "stores": pstats.stores,
+        "store_fallthroughs": pstats.store_fallthroughs,
+        "demotions": pstats.demotions,
+        "promotions": promoted,
+        "loads": pstats.loads + pstats.prefetch_loads,
+        "round_trip_ok": not mismatches,
+        "trace_events": len(session.ring),
+        # For the `python -m repro tiers` per-tier table; CLI printers
+        # skip underscore-prefixed keys.
+        "_pipeline": pipeline,
+    }
+
+
 WORKLOADS: Dict[str, Callable[[TelemetrySession], Dict[str, object]]] = {
     "zswap": _zswap_workload,
     "emulator": _emulator_workload,
+    "tiers": _tiers_workload,
 }
 
 

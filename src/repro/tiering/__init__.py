@@ -1,0 +1,40 @@
+"""Multi-tier far-memory composition (CPU-zswap -> XFM -> DFM).
+
+``FarMemoryTier`` is the structural contract every backend satisfies;
+``TierPipeline`` chains tiers under pluggable admission / demotion /
+promotion policies. See DESIGN.md §8.
+"""
+
+from repro.tiering.pipeline import PipelineStats, TierPipeline
+from repro.tiering.policy import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    CapacityAdmission,
+    DemotionPolicy,
+    LruDemotion,
+    NeverDemote,
+    NeverPromote,
+    PoolLimitPolicy,
+    PromoteOneLevel,
+    PromoteToTop,
+    PromotionPolicy,
+)
+from repro.tiering.protocol import FarMemoryTier, SwapOutcome
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "CapacityAdmission",
+    "DemotionPolicy",
+    "FarMemoryTier",
+    "LruDemotion",
+    "NeverDemote",
+    "NeverPromote",
+    "PipelineStats",
+    "PoolLimitPolicy",
+    "PromoteOneLevel",
+    "PromoteToTop",
+    "PromotionPolicy",
+    "SwapOutcome",
+    "TierPipeline",
+]

@@ -1,0 +1,463 @@
+"""TierPipeline: ordered far-memory tiers under one policy engine.
+
+Composes an ordered list of :class:`~repro.tiering.protocol.
+FarMemoryTier` instances (e.g. CPU-zswap -> XFM -> DFM) into a single
+tier (the composite itself satisfies the protocol, so the AIFM runtime,
+the zswap frontend, and the examples can run over a pipeline unchanged):
+
+* **store fall-through** — a page rejected at tier N (incompressible,
+  pool-full, admission denied) falls through to tier N+1; only when
+  every tier rejects does the pipeline report ``all-tiers-rejected``.
+* **demotion** — after each store the demotion policy is consulted per
+  tier; while a tier sits above its watermark its LRU-coldest entries
+  sink to the next tier down (TierScape's cold-data cascade).
+* **promotion** — loads bring a page back to local DRAM from whichever
+  tier holds it; :meth:`promote_up` additionally lets hot blobs climb
+  toward tier 0 without leaving far memory, destination chosen by the
+  promotion policy.
+
+Accounting: every tier keeps registry-backed ``SwapStats`` (labelled
+``tier=<name>`` when built through :meth:`TierPipeline.build`) plus its
+own :class:`~repro.sfm.metrics.BandwidthLedger`; the pipeline exposes
+the merged ledger/stats view and its own ``tier_pipeline.*`` counters,
+so per-tier counters reconcile 1:1 against per-tier ledger totals.
+Trace spans (``tier_store``/``tier_load``/``tier_demote``/
+``tier_promote`` on the ``tiering`` track) reuse the
+:mod:`repro.telemetry.reasons` codes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, SfmError
+from repro.sfm.metrics import BandwidthLedger, SwapStats
+from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry import reasons, trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import StatsFacade
+from repro.tiering.policy import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    DemotionPolicy,
+    LruDemotion,
+    PromoteToTop,
+    PromotionPolicy,
+)
+from repro.tiering.protocol import FarMemoryTier, SwapOutcome
+from repro.validation.hooks import checkpoint
+
+#: Trace track for pipeline-level events (tier data paths keep their
+#: own cpu/nma tracks; this one shows placement decisions).
+TRACK_TIER = "tiering"
+
+
+class PipelineStats(StatsFacade):
+    """Placement/movement counters of one pipeline (registry-backed)."""
+
+    _PREFIX = "tier_pipeline"
+    _FIELDS = {
+        "stores": 0,
+        # A store that was refused at one tier and moved on to the next.
+        "store_fallthroughs": 0,
+        "store_rejects": 0,
+        "loads": 0,
+        # Loads served through the offload-preferred promote() path.
+        "prefetch_loads": 0,
+        "demotions": 0,
+        "demotion_failures": 0,
+        "promotions": 0,
+        "promotions_blocked": 0,
+        "invalidates": 0,
+        # Pages handed to the spill callback (no tier would hold them).
+        "spills": 0,
+    }
+
+
+def _named(
+    tiers: Sequence[Union[FarMemoryTier, Tuple[str, FarMemoryTier]]],
+) -> List[Tuple[str, FarMemoryTier]]:
+    named: List[Tuple[str, FarMemoryTier]] = []
+    for index, item in enumerate(tiers):
+        if isinstance(item, tuple):
+            name, tier = item
+        else:
+            tier = item
+            name = getattr(tier, "tier_name", None) or f"tier{index}"
+        named.append((str(name), tier))
+    names = [name for name, _ in named]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"tier names must be unique, got {names}")
+    return named
+
+
+class TierPipeline:
+    """An ordered chain of far-memory tiers behaving as one tier."""
+
+    tier_name = "pipeline"
+
+    def __init__(
+        self,
+        tiers: Sequence[Union[FarMemoryTier, Tuple[str, FarMemoryTier]]],
+        admission: Optional[AdmissionPolicy] = None,
+        demotion: Optional[DemotionPolicy] = None,
+        promotion: Optional[PromotionPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        spill: Optional[Callable[[int, bytes], None]] = None,
+    ) -> None:
+        """``spill(vaddr, data)``, when provided, receives pages that no
+        tier would hold during a demotion cascade (the pipeline analogue
+        of zswap's writeback-to-swap-device)."""
+        named = _named(tiers)
+        if not named:
+            raise ConfigError("pipeline needs at least one tier")
+        self.tier_names: List[str] = [name for name, _ in named]
+        self.tiers: List[FarMemoryTier] = [tier for _, tier in named]
+        self.admission = admission if admission is not None else AlwaysAdmit()
+        self.demotion = demotion if demotion is not None else LruDemotion()
+        self.promotion = promotion if promotion is not None else PromoteToTop()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spill = spill
+        self.pipeline_stats = PipelineStats(registry=self.registry)
+        #: vaddr -> index of the tier holding it.
+        self._where: Dict[int, int] = {}
+        #: Per-tier LRU: oldest store first (the demotion victim order).
+        self._lru: List["OrderedDict[int, Page]"] = [
+            OrderedDict() for _ in named
+        ]
+        #: Keyed-API bookkeeping: key -> Page.
+        self._keyed: Dict[int, Page] = {}
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        cpu_capacity_bytes: int,
+        xfm_capacity_bytes: int,
+        dfm_capacity_bytes: int,
+        registry: Optional[MetricsRegistry] = None,
+        **kwargs,
+    ) -> "TierPipeline":
+        """The canonical 3-tier stack: CPU-zswap -> XFM -> DFM, all
+        three homed in one shared registry with ``tier=<name>`` labels.
+        """
+        from repro.core.backend import XfmBackend
+        from repro.dfm.backend import DfmBackend
+        from repro.sfm.backend import SfmBackend
+
+        registry = registry if registry is not None else MetricsRegistry()
+        tiers = [
+            SfmBackend(
+                capacity_bytes=cpu_capacity_bytes,
+                registry=registry,
+                tier="cpu-zswap",
+            ),
+            XfmBackend(
+                capacity_bytes=xfm_capacity_bytes,
+                registry=registry,
+                tier="xfm",
+            ),
+            DfmBackend(
+                capacity_bytes=dfm_capacity_bytes,
+                registry=registry,
+                tier="dfm",
+            ),
+        ]
+        return cls(tiers, registry=registry, **kwargs)
+
+    # -- tier lookup --------------------------------------------------------
+
+    def tier_of(self, vaddr: int) -> Optional[str]:
+        index = self._where.get(vaddr)
+        return None if index is None else self.tier_names[index]
+
+    def tiers_by_name(self) -> Dict[str, FarMemoryTier]:
+        return dict(zip(self.tier_names, self.tiers))
+
+    # -- protocol: capacity -------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(tier.capacity_bytes for tier in self.tiers)
+
+    def stored_pages(self) -> int:
+        return len(self._where)
+
+    def used_bytes(self) -> int:
+        return sum(tier.used_bytes() for tier in self.tiers)
+
+    def effective_bytes_freed(self) -> int:
+        return sum(tier.effective_bytes_freed() for tier in self.tiers)
+
+    def contains(self, vaddr: int) -> bool:
+        return vaddr in self._where
+
+    # -- protocol: accounting views ----------------------------------------
+
+    @property
+    def stats(self) -> SwapStats:
+        """Merged ``SwapStats`` across every tier (fresh facade per
+        access — a read-only reporting view, not a counter home)."""
+        return SwapStats.merged([tier.stats for tier in self.tiers])
+
+    @property
+    def ledger(self) -> BandwidthLedger:
+        """Merged traffic ledger across every tier (fresh per access)."""
+        merged = BandwidthLedger()
+        for tier in self.tiers:
+            for key, count in tier.ledger.snapshot().items():
+                actor, direction = key.rsplit(":", 1)
+                merged.record(actor, direction, count)
+        return merged
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One flat snapshot over the pipeline registry plus any tier
+        that keeps a private registry."""
+        merged = MetricsRegistry()
+        merged.merge(self.registry)
+        for tier in self.tiers:
+            tier_registry = getattr(tier, "registry", None)
+            if tier_registry is not None and tier_registry is not self.registry:
+                merged.merge(tier_registry)
+        return merged.snapshot()
+
+    # -- store: admission + fall-through ------------------------------------
+
+    def swap_out(self, page: Page) -> SwapOutcome:
+        """Place a page at the highest tier that takes it, then let the
+        demotion policy cascade cold entries downward."""
+        outcome, index = self._place(page, start=0)
+        if outcome.accepted:
+            self.pipeline_stats.stores += 1
+            self._rebalance()
+        else:
+            self.pipeline_stats.store_rejects += 1
+        checkpoint(self)
+        return outcome
+
+    def _place(self, page: Page, start: int) -> Tuple[SwapOutcome, int]:
+        """Try tiers ``start..N`` in order; bookkeeps the first accept."""
+        outcome = SwapOutcome(accepted=False, reason="all-tiers-rejected")
+        trace_on = _trace.tracing_enabled()
+        for index in range(start, len(self.tiers)):
+            tier = self.tiers[index]
+            name = self.tier_names[index]
+            if not self.admission.admit(tier):
+                self.pipeline_stats.store_fallthroughs += 1
+                if trace_on:
+                    _trace.instant(
+                        "tier_store", TRACK_TIER,
+                        args={"tier": name, "outcome": "admission_denied",
+                              "vaddr": page.vaddr},
+                    )
+                continue
+            tier_outcome = tier.swap_out(page)
+            if tier_outcome.accepted:
+                self._where[page.vaddr] = index
+                self._lru[index][page.vaddr] = page
+                if trace_on:
+                    _trace.instant(
+                        "tier_store", TRACK_TIER,
+                        args={"tier": name, "outcome": "stored",
+                              "vaddr": page.vaddr,
+                              "compressed_len": tier_outcome.compressed_len},
+                    )
+                return tier_outcome, index
+            self.pipeline_stats.store_fallthroughs += 1
+            if trace_on:
+                _trace.instant(
+                    "tier_store", TRACK_TIER,
+                    args={"tier": name,
+                          "outcome": f"reject_{tier_outcome.reason}",
+                          "vaddr": page.vaddr},
+                )
+            outcome = tier_outcome
+        return (
+            SwapOutcome(accepted=False, reason="all-tiers-rejected",
+                        cpu_cycles=outcome.cpu_cycles),
+            -1,
+        )
+
+    # -- load: promotion to DRAM --------------------------------------------
+
+    def _holding_tier(self, page: Page) -> int:
+        index = self._where.get(page.vaddr)
+        if index is None:
+            raise SfmError(
+                f"page 0x{page.vaddr:x} is not in any pipeline tier"
+            )
+        return index
+
+    def _forget(self, page: Page, index: int) -> None:
+        del self._where[page.vaddr]
+        self._lru[index].pop(page.vaddr, None)
+
+    def swap_in(self, page: Page) -> bytes:
+        """Demand load: fetch from whichever tier holds the page."""
+        index = self._holding_tier(page)
+        self._forget(page, index)
+        data = self.tiers[index].swap_in(page)
+        self.pipeline_stats.loads += 1
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "tier_load", TRACK_TIER,
+                args={"tier": self.tier_names[index],
+                      "reason": reasons.DEMAND_FAULT, "vaddr": page.vaddr},
+            )
+        checkpoint(self)
+        return data
+
+    def promote(self, page: Page) -> bytes:
+        """Prefetch-style load through the holding tier's offload path."""
+        index = self._holding_tier(page)
+        self._forget(page, index)
+        data = self.tiers[index].promote(page)
+        self.pipeline_stats.prefetch_loads += 1
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "tier_load", TRACK_TIER,
+                args={"tier": self.tier_names[index],
+                      "reason": "prefetch", "vaddr": page.vaddr},
+            )
+        checkpoint(self)
+        return data
+
+    def invalidate(self, vaddr: int) -> bool:
+        index = self._where.pop(vaddr, None)
+        if index is None:
+            return False
+        self._lru[index].pop(vaddr, None)
+        self.tiers[index].invalidate(vaddr)
+        self.pipeline_stats.invalidates += 1
+        checkpoint(self)
+        return True
+
+    # -- demotion / upward promotion ----------------------------------------
+
+    def _rebalance(self) -> int:
+        """Apply the demotion policy: while a tier (other than the last)
+        is over pressure, sink its LRU victim one-or-more tiers down."""
+        demoted = 0
+        for index in range(len(self.tiers) - 1):
+            tier = self.tiers[index]
+            while self._lru[index] and self.demotion.should_demote(tier):
+                if not self._demote_victim(index):
+                    break
+                demoted += 1
+        return demoted
+
+    def _demote_victim(self, index: int) -> bool:
+        """Move tier ``index``'s LRU-coldest page to a lower tier."""
+        vaddr, page = next(iter(self._lru[index].items()))
+        self._forget(page, index)
+        data = self.tiers[index].swap_in(page)
+        outcome, new_index = self._place(page, start=index + 1)
+        if outcome.accepted:
+            self.pipeline_stats.demotions += 1
+            if _trace.tracing_enabled():
+                _trace.instant(
+                    "tier_demote", TRACK_TIER,
+                    args={"from": self.tier_names[index],
+                          "to": self.tier_names[new_index], "vaddr": vaddr},
+                )
+            return True
+        # Nothing below would take it: put it back where it was (space
+        # was just freed there), else spill to the backing device.
+        self.pipeline_stats.demotion_failures += 1
+        retry, retry_index = self._place(page, start=index)
+        if retry.accepted:
+            return False
+        if self.spill is not None:
+            self.spill(vaddr, data)
+            self.pipeline_stats.spills += 1
+            return False
+        raise SfmError(
+            f"page 0x{vaddr:x} rejected by every tier during demotion "
+            "and no spill callback is set"
+        )
+
+    def demote_coldest(self, count: int = 1, from_tier: int = 0) -> int:
+        """Explicitly sink up to ``count`` LRU pages out of ``from_tier``
+        (policy-independent; the control-plane analogue of zswap's
+        ``shrink``). Returns pages demoted."""
+        demoted = 0
+        while demoted < count and self._lru[from_tier]:
+            if not self._demote_victim(from_tier):
+                break
+            demoted += 1
+        checkpoint(self)
+        return demoted
+
+    def promote_up(self, vaddr: int) -> Optional[str]:
+        """Raise a hot blob toward the promotion policy's target tier
+        without bringing it to DRAM; returns the tier it landed in (or
+        None when it is not held / already at the target)."""
+        index = self._where.get(vaddr)
+        if index is None:
+            return None
+        target = self.promotion.target_tier(index)
+        if target >= index:
+            self.pipeline_stats.promotions_blocked += 1
+            return self.tier_names[index]
+        page = self._lru[index][vaddr]
+        self._forget(page, index)
+        self.tiers[index].swap_in(page)
+        outcome, new_index = self._place(page, start=target)
+        if not outcome.accepted:
+            raise SfmError(
+                f"page 0x{vaddr:x} rejected by every tier during promotion"
+            )
+        if new_index < index:
+            self.pipeline_stats.promotions += 1
+            if _trace.tracing_enabled():
+                _trace.instant(
+                    "tier_promote", TRACK_TIER,
+                    args={"from": self.tier_names[index],
+                          "to": self.tier_names[new_index], "vaddr": vaddr},
+                )
+        else:
+            self.pipeline_stats.promotions_blocked += 1
+        checkpoint(self)
+        return self.tier_names[new_index]
+
+    # -- keyed convenience API (zswap-shaped) --------------------------------
+
+    def store(self, key: int, data: bytes) -> bool:
+        """Store a page under an integer key (offset-style); re-stores
+        drop the stale copy first, like zswap."""
+        if len(data) != PAGE_SIZE:
+            raise ConfigError(f"store expects a {PAGE_SIZE}-byte page")
+        if key in self._keyed:
+            self.invalidate(self._keyed.pop(key).vaddr)
+            self.pipeline_stats.invalidates -= 1  # internal, not caller-visible
+        page = Page(vaddr=key * PAGE_SIZE, data=data)
+        if self.swap_out(page).accepted:
+            self._keyed[key] = page
+            return True
+        return False
+
+    def load(self, key: int) -> Optional[bytes]:
+        """Exclusive load by key; None when the pipeline never kept it."""
+        page = self._keyed.pop(key, None)
+        if page is None:
+            return None
+        return self.swap_in(page)
+
+    def promote_key(self, key: int) -> Optional[str]:
+        page = self._keyed.get(key)
+        return None if page is None else self.promote_up(page.vaddr)
+
+    def tier_of_key(self, key: int) -> Optional[str]:
+        page = self._keyed.get(key)
+        return None if page is None else self.tier_of(page.vaddr)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> int:
+        return sum(tier.compact() for tier in self.tiers)
+
+    def swap_latency_s(self, direction: str) -> float:
+        """Latency at the top tier (the common-case placement)."""
+        return self.tiers[0].swap_latency_s(direction)

@@ -18,7 +18,9 @@ Each checker takes one live object and raises :class:`InvariantViolation`
 * :func:`check_window_scheduler` — the pending counter matches the
   queued requests, budgets within configured bounds;
 * :func:`check_xfm_module` — after each window the rank must look
-  untouched to the host and the command trace must be time-ordered.
+  untouched to the host and the command trace must be time-ordered;
+* :func:`check_tier_pipeline` — the pipeline's placement map, per-tier
+  LRU lists, keyed index, and the tiers' own ``contains`` all agree.
 
 All checkers are registered with :mod:`repro.validation.hooks` at import
 time, which is what makes ``hooks.checkpoint(obj)`` dispatch to them.
@@ -37,6 +39,7 @@ from repro.core.xfm_module import XfmModule
 from repro.errors import ReproError
 from repro.sfm.rbtree import RedBlackTree
 from repro.sfm.zpool import Zpool
+from repro.tiering.pipeline import TierPipeline
 from repro.validation import hooks
 
 
@@ -249,6 +252,54 @@ def check_xfm_module(module: XfmModule) -> None:
     )
 
 
+# -- tier pipeline -----------------------------------------------------------
+
+
+def check_tier_pipeline(pipeline: TierPipeline) -> None:
+    """Placement bookkeeping must agree with the tiers themselves."""
+    num_tiers = len(pipeline.tiers)
+    for vaddr, index in pipeline._where.items():
+        _require(
+            0 <= index < num_tiers,
+            f"pipeline: vaddr 0x{vaddr:x} mapped to invalid tier {index}",
+        )
+        _require(
+            vaddr in pipeline._lru[index],
+            f"pipeline: vaddr 0x{vaddr:x} mapped to tier {index} but "
+            "missing from that tier's LRU list",
+        )
+        _require(
+            pipeline.tiers[index].contains(vaddr),
+            f"pipeline: tier {pipeline.tier_names[index]} does not hold "
+            f"vaddr 0x{vaddr:x} the placement map assigns to it",
+        )
+    lru_total = sum(len(lru) for lru in pipeline._lru)
+    _require(
+        lru_total == len(pipeline._where),
+        f"pipeline: LRU lists track {lru_total} pages but the placement "
+        f"map holds {len(pipeline._where)}",
+    )
+    for index, lru in enumerate(pipeline._lru):
+        for vaddr in lru:
+            _require(
+                pipeline._where.get(vaddr) == index,
+                f"pipeline: tier {index} LRU lists vaddr 0x{vaddr:x} but "
+                f"the placement map says {pipeline._where.get(vaddr)}",
+            )
+    for key, page in pipeline._keyed.items():
+        _require(
+            page.vaddr in pipeline._where,
+            f"pipeline: keyed entry {key} points at vaddr "
+            f"0x{page.vaddr:x} which no tier holds",
+        )
+    for name, tier in zip(pipeline.tier_names, pipeline.tiers):
+        _require(
+            tier.used_bytes() <= tier.capacity_bytes,
+            f"pipeline: tier {name} uses {tier.used_bytes()} bytes, over "
+            f"its capacity {tier.capacity_bytes}",
+        )
+
+
 # -- registration ------------------------------------------------------------
 
 hooks.register_checker(RedBlackTree, check_rbtree)
@@ -258,3 +309,4 @@ hooks.register_checker(NearMemoryAccelerator, check_nma)
 hooks.register_checker(RegisterFile, check_register_file)
 hooks.register_checker(WindowScheduler, check_window_scheduler)
 hooks.register_checker(XfmModule, check_xfm_module)
+hooks.register_checker(TierPipeline, check_tier_pipeline)

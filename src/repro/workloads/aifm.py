@@ -15,11 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.backend import XfmBackend
 from repro.errors import ConfigError, SfmError
-from repro.sfm.backend import SfmBackend
 from repro.sfm.controller import ColdScanController
 from repro.sfm.page import PAGE_SIZE, Page
+from repro.tiering.protocol import FarMemoryTier
 from repro.workloads.traces import SWAP_IN, SWAP_OUT, SwapTrace
 
 
@@ -42,7 +41,7 @@ class FarMemoryRuntime:
 
     def __init__(
         self,
-        backend: SfmBackend,
+        backend: FarMemoryTier,
         local_capacity_pages: int,
         controller: Optional[ColdScanController] = None,
         prefetcher=None,
@@ -145,16 +144,9 @@ class FarMemoryRuntime:
         self.trace.record(now_s, SWAP_IN, page.vaddr)
 
     def _promote_offloaded(self, page: Page) -> None:
-        """Prefetch promotion: use the backend's offload path when it has
-        one (single-DIMM XFM, multi-channel XFM); otherwise the plain
-        swap-in (baseline CPU, DFM)."""
-        if isinstance(self.backend, XfmBackend):
-            self.backend.xfm_swap_in(page, do_offload=True)
-            return
-        try:
-            self.backend.swap_in(page, do_offload=True)  # type: ignore[call-arg]
-        except TypeError:
-            self.backend.swap_in(page)
+        """Prefetch promotion through the tier's promotion path — the
+        accelerator offload on XFM tiers, a plain swap-in elsewhere."""
+        self.backend.promote(page)
 
     # -- reclaim ------------------------------------------------------------------
 

@@ -174,4 +174,4 @@ class TestRunnerAndCli:
         assert "unknown trace workload" in capsys.readouterr().err
 
     def test_all_workloads_registered(self):
-        assert set(WORKLOADS) == {"zswap", "emulator"}
+        assert set(WORKLOADS) == {"zswap", "emulator", "tiers"}

@@ -1,0 +1,146 @@
+"""FarMemoryTier protocol conformance across every backend.
+
+The tentpole contract: all four concrete backends and the composite
+pipeline satisfy :class:`repro.tiering.protocol.FarMemoryTier`, the
+``SwapOutcome`` import paths collapse to one class, and the DFM
+backend's counters finally reach registry export.
+"""
+
+import pytest
+
+from repro.core.backend import XfmBackend
+from repro.core.system import MultiChannelXfmBackend
+from repro.dfm.backend import DfmBackend
+from repro.sfm.backend import SfmBackend
+from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry.registry import MetricsRegistry
+from repro.tiering import FarMemoryTier, SwapOutcome, TierPipeline
+from repro.workloads.corpus import corpus_pages
+
+TIERS = {
+    "cpu": lambda **kw: SfmBackend(capacity_bytes=128 * PAGE_SIZE, **kw),
+    "xfm": lambda **kw: XfmBackend(capacity_bytes=128 * PAGE_SIZE, **kw),
+    "xfm-mc": lambda **kw: MultiChannelXfmBackend(
+        capacity_bytes=128 * PAGE_SIZE, **kw
+    ),
+    "dfm": lambda **kw: DfmBackend(capacity_bytes=128 * PAGE_SIZE, **kw),
+}
+
+
+@pytest.mark.parametrize("tier", list(TIERS), ids=list(TIERS))
+class TestConformance:
+    def test_isinstance(self, tier):
+        assert isinstance(TIERS[tier](), FarMemoryTier)
+
+    def test_surface_roundtrip(self, tier):
+        backend = TIERS[tier]()
+        page = Page(vaddr=0x4000, data=corpus_pages("json-records", 1)[0])
+        data = page.data
+        outcome = backend.swap_out(page)
+        assert isinstance(outcome, SwapOutcome)
+        assert outcome.accepted
+        assert backend.contains(0x4000)
+        assert backend.stored_pages() == 1
+        assert backend.used_bytes() > 0
+        assert backend.swap_in(page) == data
+        assert not backend.contains(0x4000)
+        assert backend.stored_pages() == 0
+
+    def test_promote_returns_data(self, tier):
+        backend = TIERS[tier]()
+        page = Page(vaddr=0x8000, data=corpus_pages("server-log", 1)[0])
+        data = page.data
+        assert backend.swap_out(page).accepted
+        assert backend.promote(page) == data
+        assert not backend.contains(0x8000)
+
+    def test_invalidate_frees_without_load(self, tier):
+        backend = TIERS[tier]()
+        page = Page(vaddr=0xC000, data=corpus_pages("json-records", 1)[0])
+        assert backend.swap_out(page).accepted
+        used = backend.used_bytes()
+        assert backend.invalidate(0xC000)
+        assert not backend.contains(0xC000)
+        assert backend.stored_pages() == 0
+        assert backend.used_bytes() < used or used == 0
+        # Second invalidate of the same vaddr is a no-op, not an error.
+        assert not backend.invalidate(0xC000)
+        # A load after invalidate cannot resurrect the page.
+        assert backend.stats.swap_ins == 0
+
+    def test_tier_label_separates_shared_registry(self, tier):
+        registry = MetricsRegistry()
+        backend = TIERS[tier](registry=registry, tier=f"{tier}-a")
+        page = Page(vaddr=0, data=corpus_pages("json-records", 1)[0])
+        assert backend.swap_out(page).accepted
+        snapshot = registry.snapshot()
+        key = f"swap.swap_outs{{tier={tier}-a}}"
+        assert snapshot[key] == 1
+
+    def test_shared_ledger_kwarg(self, tier):
+        from repro.sfm.metrics import BandwidthLedger
+
+        ledger = BandwidthLedger()
+        backend = TIERS[tier](ledger=ledger)
+        assert backend.ledger is ledger
+        page = Page(vaddr=0, data=corpus_pages("json-records", 1)[0])
+        backend.swap_out(page)
+        assert sum(ledger.snapshot().values()) > 0
+
+
+class TestSwapOutcomeUnification:
+    def test_single_class_across_import_paths(self):
+        from repro.core import backend as core_backend
+        from repro.core import system as core_system
+        from repro.dfm import backend as dfm_backend
+        from repro.sfm import backend as sfm_backend
+        from repro.tiering import protocol
+
+        assert sfm_backend.SwapOutcome is protocol.SwapOutcome
+        assert core_backend.SwapOutcome is protocol.SwapOutcome
+        assert core_system.SwapOutcome is protocol.SwapOutcome
+        assert dfm_backend.SwapOutcome is protocol.SwapOutcome
+
+    def test_ratio_property(self):
+        outcome = SwapOutcome(accepted=True, compressed_len=PAGE_SIZE // 4)
+        assert outcome.ratio == 4.0
+        assert SwapOutcome(accepted=False).ratio == 0.0
+
+
+class TestDfmRegistryBugfix:
+    """DfmBackend counters historically never reached MetricsRegistry."""
+
+    def test_counters_and_link_accounting_exported(self):
+        registry = MetricsRegistry()
+        backend = DfmBackend(capacity_bytes=16 * PAGE_SIZE, registry=registry)
+        page = Page(vaddr=0, data=b"\xAB" * PAGE_SIZE)
+        assert backend.swap_out(page).accepted
+        assert backend.swap_in(page) == b"\xAB" * PAGE_SIZE
+        snapshot = registry.snapshot()
+        assert snapshot["swap.swap_outs{tier=dfm}"] == 1
+        assert snapshot["swap.swap_ins{tier=dfm}"] == 1
+        assert snapshot["dfm.link_energy_j{tier=dfm}"] > 0
+        assert snapshot["dfm.link_busy_s{tier=dfm}"] > 0
+        # Attribute surface still works, including augmented assignment.
+        assert backend.link_energy_j == snapshot["dfm.link_energy_j{tier=dfm}"]
+        backend.link_energy_j += 1.0
+        assert registry.snapshot()["dfm.link_energy_j{tier=dfm}"] == (
+            snapshot["dfm.link_energy_j{tier=dfm}"] + 1.0
+        )
+
+    def test_default_registry_is_private_but_present(self):
+        backend = DfmBackend(capacity_bytes=16 * PAGE_SIZE)
+        page = Page(vaddr=0, data=b"\x11" * PAGE_SIZE)
+        backend.swap_out(page)
+        assert backend.registry.snapshot()["swap.swap_outs{tier=dfm}"] == 1
+
+
+def test_pipeline_is_a_tier():
+    pipeline = TierPipeline.build(
+        cpu_capacity_bytes=32 * PAGE_SIZE,
+        xfm_capacity_bytes=32 * PAGE_SIZE,
+        dfm_capacity_bytes=32 * PAGE_SIZE,
+    )
+    assert isinstance(pipeline, FarMemoryTier)
+    assert pipeline.capacity_bytes == 96 * PAGE_SIZE
+    assert pipeline.tier_names == ["cpu-zswap", "xfm", "dfm"]
