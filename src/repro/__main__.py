@@ -199,7 +199,28 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="output directory for 'trace' (default: trace-out)",
+        help="output directory for 'trace'/'chaos' (default: trace-out)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed for 'chaos'"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=400, help="operation count for 'chaos'"
+    )
+    parser.add_argument(
+        "--profile",
+        default="transient",
+        help="fault profile for 'chaos' (transient|full)",
+    )
+    parser.add_argument(
+        "--validation",
+        action="store_true",
+        help="run 'chaos' with the validation invariant checkers on",
+    )
+    parser.add_argument(
+        "--fail-on-loss",
+        action="store_true",
+        help="exit nonzero if the chaos campaign lost or corrupted data",
     )
     args = parser.parse_args(argv)
     names = args.experiments or ["list"]
@@ -217,7 +238,38 @@ def main(argv: List[str] = None) -> int:
         print(f"     trace workloads: {', '.join(sorted(WORKLOADS))}")
         print("     python -m repro tiers [--out DIR]"
               "   # 3-tier demotion/promotion demo")
+        print("     python -m repro chaos [--seed N] [--ops N]"
+              " [--profile P] [--out DIR]   # seeded fault campaign")
         return 0
+    if names and names[0] == "chaos":
+        from pathlib import Path
+
+        from repro.resilience.chaos import (
+            ChaosConfig,
+            format_report,
+            run_chaos,
+        )
+
+        config = ChaosConfig(
+            seed=args.seed,
+            ops=args.ops,
+            profile=args.profile,
+            validate=args.validation,
+        )
+        out_dir = Path(args.out) if args.out else None
+        report = run_chaos(config, out_dir)
+        print(format_report(report))
+        if out_dir is not None:
+            print(f"  wrote {out_dir / 'chaos_report.json'}")
+            print(f"  wrote {out_dir / 'trace.json'}")
+            print(f"  wrote {out_dir / 'metrics.json'}")
+        verdict = report["verdict"]
+        clean = verdict["clean"] and verdict["all_detections_accounted"]
+        if args.fail_on_loss:
+            recovery = report["recovery"]
+            clean = clean and not recovery["data_loss_events"]
+            clean = clean and not recovery["poison_pages"]
+        return 0 if clean else 1
     if names and names[0] == "tiers":
         from pathlib import Path
 

@@ -16,7 +16,16 @@ from typing import Optional
 from repro.compression.base import Codec
 from repro.core.driver import XfmDriver
 from repro.core.nma import NearMemoryAccelerator, NmaConfig
-from repro.errors import QueueFullError, SfmError, SpmFullError, ZpoolFullError
+from repro.errors import (
+    CorruptedBlobError,
+    DeviceFault,
+    QueueFullError,
+    SfmError,
+    SpmFullError,
+    ZpoolFullError,
+)
+from repro.resilience.integrity import content_digest
+from repro.resilience.retry import retry_with_backoff
 from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import reasons, trace as _trace
@@ -64,13 +73,53 @@ class XfmBackend(SfmBackend):
     def _count_fallback_reason(self, exc: Exception) -> str:
         """Map a submit failure to its reason code and bump the
         matching per-reason counter."""
+        if isinstance(exc, DeviceFault):
+            self.stats.fallbacks_device_fault += 1
+            return reasons.DEVICE_FAULT
         if isinstance(exc, SpmFullError):
             self.stats.fallbacks_spm_full += 1
             return reasons.SPM_FULL
         self.stats.fallbacks_queue_full += 1
         return reasons.QUEUE_FULL
 
+    def _read_staged_verified(self, entry_id: int, expected_digest: bytes):
+        """Read a staged SPM payload back, digest-verified with bounded
+        re-reads (SPM read flips are transient). Raises
+        :class:`DeviceFault` when the retries are exhausted — the caller
+        recovers through the CPU path, so a flipped bit never escapes."""
+
+        def read_once() -> bytes:
+            staged = self.nma.spm.read_payload(entry_id)
+            if staged is None or content_digest(staged) != expected_digest:
+                self.stats.corruptions_detected += 1
+                raise DeviceFault("SPM readback failed its digest check")
+            return staged
+
+        detected_before = self.stats.corruptions_detected
+        staged = retry_with_backoff(
+            read_once, on_retry=self._count_transient_retry
+        )
+        if self.stats.corruptions_detected > detected_before:
+            self.stats.corruptions_recovered += 1
+        return staged
+
     # -- swap-out: offload with CPU fallback ---------------------------------
+
+    def _fallback_compress(self, page: Page, exc: Exception) -> SwapOutcome:
+        """Degrade a failed offload to the baseline CPU swap-out."""
+        self.stats.cpu_fallback_compressions += 1
+        reason = self._count_fallback_reason(exc)
+        if _trace.tracing_enabled():
+            _trace.fallback(reason, "compress", vaddr=page.vaddr)
+        return super().swap_out(page)
+
+    def _fallback_decompress(self, page: Page, exc: Exception) -> bytes:
+        """Degrade a failed offload to the baseline CPU swap-in."""
+        self.stats.cpu_fallback_decompressions += 1
+        reason = self._count_fallback_reason(exc)
+        if _trace.tracing_enabled():
+            _trace.fallback(reason, "decompress", vaddr=page.vaddr)
+        return super().swap_in(page)
 
     def xfm_swap_out(self, page: Page) -> SwapOutcome:
         """Offload compression to the NMA; falls back to the CPU when the
@@ -80,28 +129,61 @@ class XfmBackend(SfmBackend):
         if page.data is None:
             raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
         try:
-            request = self.driver.submit_compress(
-                source_row=self._row_of(page.vaddr),
-                input_bytes=PAGE_SIZE,
+            # The doorbell may be transiently lost (DeviceFault): bounded
+            # retries re-ring it; exhaustion degrades to the CPU path.
+            request = retry_with_backoff(
+                lambda: self.driver.submit_compress(
+                    source_row=self._row_of(page.vaddr),
+                    input_bytes=PAGE_SIZE,
+                ),
+                on_retry=self._count_transient_retry,
             )
-        except (SpmFullError, QueueFullError) as exc:
-            self.stats.cpu_fallback_compressions += 1
-            reason = self._count_fallback_reason(exc)
-            if _trace.tracing_enabled():
-                _trace.fallback(reason, "compress", vaddr=page.vaddr)
-            return super().swap_out(page)
+        except (SpmFullError, QueueFullError, DeviceFault) as exc:
+            if isinstance(exc, DeviceFault):
+                self.stats.device_faults += 1
+            return self._fallback_compress(page, exc)
 
         # Device side: stage, compress, write back — all on-DIMM.
         self.nma.pop_request()
-        entry = self.nma.spm.admit(PAGE_SIZE)
-        blob = self.nma.compress_page(page.data)
+        try:
+            entry = self.nma.spm.admit(PAGE_SIZE)
+        except SpmFullError as exc:
+            # The device-side staging admit can lose a race the driver's
+            # lazy bound did not see.
+            self.driver.notify_release(PAGE_SIZE)
+            return self._fallback_compress(page, exc)
+        try:
+            blob = retry_with_backoff(
+                lambda: self.nma.compress_page(page.data),
+                on_retry=self._count_transient_retry,
+            )
+        except DeviceFault as exc:
+            self.stats.device_faults += 1
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            return self._fallback_compress(page, exc)
         self.ledger.record("nma", "read", PAGE_SIZE)
         if len(blob) > int(PAGE_SIZE * self.max_stored_fraction):
             self.nma.spm.release(entry.entry_id)
             self.driver.notify_release(PAGE_SIZE)
             self.stats.rejected += 1
             return SwapOutcome(accepted=False, reason="incompressible")
-        self.nma.spm.complete(entry.entry_id, output_bytes=len(blob))
+        # The blob is staged in the SPM before the pool writeback; the
+        # readback is digest-verified (SPM bit flips happen *here*).
+        self.nma.spm.complete(
+            entry.entry_id, output_bytes=len(blob), payload=blob
+        )
+        try:
+            blob = self._read_staged_verified(
+                entry.entry_id, content_digest(blob)
+            )
+        except DeviceFault as exc:
+            # Persistent readback corruption: the page is still resident
+            # in host memory, so the CPU path recovers it loss-free.
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            self.stats.corruptions_recovered += 1
+            return self._fallback_compress(page, exc)
         try:
             handle = self.zpool.store(blob)
         except ZpoolFullError:
@@ -113,6 +195,7 @@ class XfmBackend(SfmBackend):
         self.nma.spm.release(entry.entry_id)
         self.driver.notify_release(PAGE_SIZE)
 
+        self._record_integrity(handle, blob, page.data)
         self.index.insert(page.vaddr, handle)
         page.swapped = True
         page.data = None
@@ -157,34 +240,68 @@ class XfmBackend(SfmBackend):
         handle = self.index.lookup(page.vaddr)
         blob_len = self.zpool.entry(handle).length
         try:
-            request = self.driver.submit_decompress(
-                source_row=self._row_of(page.vaddr),
-                input_bytes=blob_len,
-                dest_row=self._row_of(page.vaddr),
+            request = retry_with_backoff(
+                lambda: self.driver.submit_decompress(
+                    source_row=self._row_of(page.vaddr),
+                    input_bytes=blob_len,
+                    dest_row=self._row_of(page.vaddr),
+                ),
+                on_retry=self._count_transient_retry,
             )
-        except (SpmFullError, QueueFullError) as exc:
-            self.stats.cpu_fallback_decompressions += 1
-            reason = self._count_fallback_reason(exc)
-            if _trace.tracing_enabled():
-                _trace.fallback(reason, "decompress", vaddr=page.vaddr)
-            return super().swap_in(page)
+        except (SpmFullError, QueueFullError, DeviceFault) as exc:
+            if isinstance(exc, DeviceFault):
+                self.stats.device_faults += 1
+            return self._fallback_decompress(page, exc)
 
         self.nma.pop_request()
-        blob = self.zpool.load(handle)
+        try:
+            # Verified read: corruption is detected (and poisoned when
+            # unrecoverable) before the accelerator touches the blob.
+            blob = self._load_verified(handle, page.vaddr)
+        except CorruptedBlobError:
+            self.driver.notify_release(PAGE_SIZE)
+            raise
         self.ledger.record("nma", "read", len(blob))
-        entry = self.nma.spm.admit(PAGE_SIZE)
-        data = self.nma.decompress_blob(blob)
+        try:
+            entry = self.nma.spm.admit(PAGE_SIZE)
+        except SpmFullError as exc:
+            self.driver.notify_release(PAGE_SIZE)
+            return self._fallback_decompress(page, exc)
+        try:
+            data = retry_with_backoff(
+                lambda: self.nma.decompress_blob(blob),
+                on_retry=self._count_transient_retry,
+            )
+        except DeviceFault as exc:
+            self.stats.device_faults += 1
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            return self._fallback_decompress(page, exc)
         if len(data) != PAGE_SIZE:
             raise SfmError(
                 f"decompressed page is {len(data)} bytes, expected {PAGE_SIZE}"
             )
-        self.nma.spm.complete(entry.entry_id)
+        # The decompressed page stages in the SPM before its writeback;
+        # verify the readback just like the compress direction.
+        self.nma.spm.complete(entry.entry_id, payload=data)
+        try:
+            data = self._read_staged_verified(
+                entry.entry_id, content_digest(data)
+            )
+        except DeviceFault as exc:
+            # The blob is still intact in the pool: the CPU path decodes
+            # it again, loss-free.
+            self.nma.spm.release(entry.entry_id)
+            self.driver.notify_release(PAGE_SIZE)
+            self.stats.corruptions_recovered += 1
+            return self._fallback_decompress(page, exc)
         self.ledger.record("nma", "write", PAGE_SIZE)
         self.nma.spm.release(entry.entry_id)
         self.driver.notify_release(PAGE_SIZE)
 
         self.zpool.free(handle)
         self.index.delete(page.vaddr)
+        self._integrity.pop(handle, None)
         page.swapped = False
         page.data = data
         self.stats.swap_ins += 1

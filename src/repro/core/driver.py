@@ -15,7 +15,13 @@ from typing import Optional
 
 from repro.core.nma import NearMemoryAccelerator, OffloadRequest
 from repro.core.registers import Registers
-from repro.errors import ConfigError, SpmFullError
+from repro.errors import (
+    ConfigError,
+    DeviceFault,
+    QueueFullError,
+    SpmFullError,
+)
+from repro.resilience import faults as _faults
 from repro.telemetry import trace as _trace
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.stats import StatsFacade
@@ -34,6 +40,11 @@ class DriverStats(StatsFacade):
         "capacity_syncs": 0,
         "submissions": 0,
         "rejected_submissions": 0,
+        # Resilience: doorbells the device never saw / stalls observed.
+        "device_faults": 0,
+        # Register reads whose value failed the driver's sanity check
+        # and were re-read (injected ``driver.reg_corruption``).
+        "corrupt_register_reads": 0,
     }
 
 
@@ -83,17 +94,63 @@ class XfmDriver:
 
     def _mmio_read(self, register: Registers) -> int:
         self.stats.mmio_reads += 1
-        return self.nma.registers.mmio_read(int(register))
+        value = self.nma.registers.mmio_read(int(register))
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.DRIVER_REG_CORRUPTION)
+            if event is not None:
+                # XOR in a guaranteed-high bit so the corruption lands
+                # outside any register's legal range — detectable by the
+                # sanity checks, deterministic per (seed, site, seq).
+                value ^= event.salt | (1 << 62)
+        return value
 
     def _mmio_write(self, register: Registers, value: int) -> None:
         self.stats.mmio_writes += 1
         self.nma.registers.mmio_write(int(register), value)
 
     def sp_capacity(self) -> int:
-        """Read the SP_Capacity_Register (free SPM bytes)."""
-        return self._mmio_read(Registers.SP_CAPACITY)
+        """Read the SP_Capacity_Register (free SPM bytes).
+
+        The value is sanity-checked against the SPM's physical capacity:
+        a corrupted read is counted, re-read once, and raises
+        :class:`~repro.errors.DeviceFault` if still implausible rather
+        than letting a garbage capacity steer placement.
+        """
+        capacity = self.nma.spm.capacity_bytes
+        free = self._mmio_read(Registers.SP_CAPACITY)
+        if not 0 <= free <= capacity:
+            self.stats.corrupt_register_reads += 1
+            free = self._mmio_read(Registers.SP_CAPACITY)
+            if not 0 <= free <= capacity:
+                self.stats.device_faults += 1
+                raise DeviceFault(
+                    f"SP_Capacity_Register read implausible twice "
+                    f"(0x{free:x} vs capacity {capacity})"
+                )
+        return free
 
     # -- offload submission ----------------------------------------------------------
+
+    def _check_submit_faults(self) -> None:
+        """Injected submit-path failures, evaluated before any state is
+        reserved so nothing needs unwinding:
+
+        - ``driver.lost_doorbell`` — the MMIO doorbell write never
+          reached the device: transient :class:`DeviceFault`, the caller
+          retries.
+        - ``driver.spm_full`` / ``driver.queue_full`` — forced resource
+          exhaustion independent of actual occupancy, so the per-reason
+          CPU-fallback accounting can be exercised at will.
+        """
+        if _faults.fire(_faults.DRIVER_LOST_DOORBELL) is not None:
+            self.stats.device_faults += 1
+            raise DeviceFault("doorbell write lost before the device saw it")
+        if _faults.fire(_faults.DRIVER_SPM_FULL) is not None:
+            self.stats.rejected_submissions += 1
+            raise SpmFullError("injected SPM exhaustion")
+        if _faults.fire(_faults.DRIVER_QUEUE_FULL) is not None:
+            self.stats.rejected_submissions += 1
+            raise QueueFullError("injected Compress_Request_Queue exhaustion")
 
     def submit_compress(
         self, source_row: int, input_bytes: int, dest_row: Optional[int] = None
@@ -104,6 +161,8 @@ class XfmDriver:
         the scratchpad truly has no room, or
         :class:`~repro.errors.QueueFullError` when the CRQ is full.
         """
+        if _faults.injection_enabled():
+            self._check_submit_faults()
         self._reserve_spm(input_bytes)
         request = self.nma.submit(
             is_compress=True,
@@ -134,6 +193,8 @@ class XfmDriver:
         The SPM reservation is the *output* page size — decompression
         inflates, so the staging buffer must hold the result.
         """
+        if _faults.injection_enabled():
+            self._check_submit_faults()
         self._reserve_spm(output_bytes)
         request = self.nma.submit(
             is_compress=False,

@@ -26,7 +26,8 @@ from repro.compression.base import Codec
 from repro.compression.deflate import DeflateCodec
 from repro.core.registers import RegisterFile, Registers
 from repro.core.spm import ScratchpadMemory, SpmEntry, SpmTag
-from repro.errors import ConfigError, QueueFullError
+from repro.errors import ConfigError, DeviceFault, QueueFullError
+from repro.resilience import faults as _faults
 from repro.validation.hooks import checkpoint
 
 FPGA_PROTOTYPE_COMPRESS_GBPS = 1.4
@@ -93,6 +94,10 @@ class NearMemoryAccelerator:
         #: Engine-nanoseconds of PENDING work left per entry id.
         self._work_left_ns: dict = {}
         self.completed_ops = 0
+        #: Completions the device lost (injected ``nma.drop_completion``
+        #: faults); the entry stays PENDING and finishes on a later
+        #: advance — observable as a stall, never as corruption.
+        self.dropped_completions = 0
         self._sync_registers()
 
     # -- Compress_Request_Queue -----------------------------------------------
@@ -171,6 +176,14 @@ class NearMemoryAccelerator:
             left -= spend
             budget -= spend
             if left <= 1e-9:
+                if _faults.injection_enabled():
+                    event = _faults.fire(_faults.NMA_DROP_COMPLETION)
+                    if event is not None:
+                        # Completion lost: leave the entry PENDING with
+                        # no residual work so the next advance retires it.
+                        self.dropped_completions += 1
+                        self._work_left_ns[entry.entry_id] = 0.0
+                        continue
                 del self._work_left_ns[entry.entry_id]
                 out = (
                     output_bytes_of(entry) if output_bytes_of else None
@@ -191,10 +204,23 @@ class NearMemoryAccelerator:
     # -- functional mode ---------------------------------------------------------
 
     def compress_page(self, data: bytes) -> bytes:
-        """Run the real codec on real bytes (functional backend path)."""
+        """Run the real codec on real bytes (functional backend path).
+
+        Raises :class:`~repro.errors.DeviceFault` when the injected
+        ``nma.timeout`` site fires — the engine stalled past its
+        deadline; the caller retries or falls back to the CPU.
+        """
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.NMA_TIMEOUT)
+            if event is not None:
+                raise DeviceFault("NMA compress engine stalled (timeout)")
         return self.codec.compress(data)
 
     def decompress_blob(self, blob: bytes) -> bytes:
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.NMA_TIMEOUT)
+            if event is not None:
+                raise DeviceFault("NMA decompress engine stalled (timeout)")
         return self.codec.decompress(blob)
 
     # -- register mirror -----------------------------------------------------------

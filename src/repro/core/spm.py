@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError, SpmFullError
+from repro.resilience import faults as _faults
 from repro.validation.hooks import checkpoint
 
 
@@ -126,6 +127,23 @@ class ScratchpadMemory:
         entry.tag = SpmTag.COMPLETED
         checkpoint(self)
         return entry
+
+    def read_payload(self, entry_id: int) -> Optional[bytes]:
+        """Read a staged payload back out of the scratchpad.
+
+        This is the SPM's fault-injection surface: with injection active
+        the ``spm.read_flip`` site may flip one bit of the returned copy
+        (the stored entry itself is untouched — SPM read disturbs are
+        transient, so a re-read can heal). Callers that stage real bytes
+        must verify the readback against an integrity digest.
+        """
+        entry = self._get(entry_id)
+        data = entry.payload
+        if data is not None and _faults.injection_enabled():
+            event = _faults.fire(_faults.SPM_READ_FLIP)
+            if event is not None:
+                data = _faults.corrupt_bytes(data, event.salt)
+        return data
 
     def release(self, entry_id: int) -> SpmEntry:
         """Free an entry after its writeback (or after fallback cleanup)."""

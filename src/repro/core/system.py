@@ -22,7 +22,14 @@ from repro.compression.base import Codec
 from repro.core.driver import XfmDriver
 from repro.core.multichannel import MultiChannelLayout
 from repro.core.nma import NearMemoryAccelerator, NmaConfig
-from repro.errors import ConfigError, QueueFullError, SfmError, SpmFullError, ZpoolFullError
+from repro.errors import (
+    ConfigError,
+    DeviceFault,
+    QueueFullError,
+    SfmError,
+    SpmFullError,
+    ZpoolFullError,
+)
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.tiering.protocol import SwapOutcome
 from repro.sfm.page import PAGE_SIZE, Page
@@ -176,11 +183,15 @@ class MultiChannelXfmBackend:
                 segments.append(dimm.nma.compress_page(stripe))
                 self.ledger.record("nma", "read", len(stripe))
                 dimm.driver.notify_release(len(stripe))
-            except (SpmFullError, QueueFullError) as exc:
+            except (SpmFullError, QueueFullError, DeviceFault) as exc:
                 # CPU fallback for this stripe (rare; accounted as host
                 # work + channel traffic).
                 self.stats.cpu_fallback_compressions += 1
-                if isinstance(exc, SpmFullError):
+                if isinstance(exc, DeviceFault):
+                    self.stats.device_faults += 1
+                    self.stats.fallbacks_device_fault += 1
+                    reason = reasons.DEVICE_FAULT
+                elif isinstance(exc, SpmFullError):
                     self.stats.fallbacks_spm_full += 1
                     reason = reasons.SPM_FULL
                 else:
@@ -249,7 +260,27 @@ class MultiChannelXfmBackend:
         ):
             blob = dimm.region.load(handle)[:length]
             if do_offload:
-                stripes.append(dimm.nma.decompress_blob(blob))
+                try:
+                    stripes.append(dimm.nma.decompress_blob(blob))
+                except DeviceFault:
+                    # Stalled engine: this stripe decodes on the host.
+                    self.stats.device_faults += 1
+                    self.stats.cpu_fallback_decompressions += 1
+                    self.stats.fallbacks_device_fault += 1
+                    if _trace.tracing_enabled():
+                        _trace.fallback(
+                            reasons.DEVICE_FAULT,
+                            "decompress",
+                            vaddr=page.vaddr,
+                            dimm=dimm.index,
+                        )
+                    stripes.append(dimm.nma.codec.decompress(blob))
+                    self.stats.cpu_decompress_cycles += (
+                        dimm.nma.codec.spec.decompress_cycles_per_byte
+                        * length
+                    )
+                    self.ledger.record("sfm_cpu", "read", length)
+                    continue
                 self.ledger.record("nma", "read", length)
                 self.ledger.record(
                     "nma", "write", PAGE_SIZE // self.num_dimms
@@ -337,5 +368,5 @@ class MultiChannelXfmBackend:
         elif direction == "in":
             cycles = spec.decompress_cycles_per_byte * stripe
         else:
-            raise ValueError(f"direction must be in/out, got {direction}")
+            raise ConfigError(f"direction must be in/out, got {direction}")
         return cycles / self.cpu_freq_hz

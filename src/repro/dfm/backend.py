@@ -18,7 +18,14 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.dfm.interconnect import CXL_LINK, InterconnectModel
-from repro.errors import ConfigError, SfmError
+from repro.errors import (
+    ConfigError,
+    DeviceFault,
+    SfmError,
+    TierUnavailableError,
+)
+from repro.resilience import faults as _faults
+from repro.resilience.retry import retry_with_backoff
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry.registry import MetricsRegistry
@@ -104,8 +111,15 @@ class DfmBackend:
         if self.stored_pages() >= self.capacity_pages:
             self.stats.rejected += 1
             return SwapOutcome(accepted=False, reason="pool-full")
+        try:
+            self._link_transfer()
+        except DeviceFault:
+            # Retries exhausted: nothing was written, the page stays
+            # resident — report a rejection so a pipeline can route the
+            # store to another tier instead of crashing.
+            self.stats.rejected += 1
+            return SwapOutcome(accepted=False, reason="link-error")
         self._pool[page.vaddr] = page.data
-        self._account_transfer()
         page.swapped = True
         page.data = None
         self.stats.swap_outs += 1
@@ -114,16 +128,24 @@ class DfmBackend:
         return SwapOutcome(accepted=True, compressed_len=PAGE_SIZE)
 
     def swap_in(self, page: Page) -> bytes:
-        """Fetch a page back over the link."""
+        """Fetch a page back over the link.
+
+        Raises :class:`~repro.errors.TierUnavailableError` when link
+        retries are exhausted — the page is *still stored* and the call
+        can be repeated once the link recovers.
+        """
         if not page.swapped:
             raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
+        if page.vaddr not in self._pool:
+            raise SfmError(f"page 0x{page.vaddr:x} missing from far pool")
         try:
-            data = self._pool.pop(page.vaddr)
-        except KeyError:
-            raise SfmError(
-                f"page 0x{page.vaddr:x} missing from far pool"
-            ) from None
-        self._account_transfer()
+            self._link_transfer()
+        except DeviceFault as exc:
+            raise TierUnavailableError(
+                f"{self.link.name} link down fetching page "
+                f"0x{page.vaddr:x} (retries exhausted)"
+            ) from exc
+        data = self._pool.pop(page.vaddr)
         page.swapped = False
         page.data = data
         self.stats.swap_ins += 1
@@ -140,6 +162,28 @@ class DfmBackend:
         path: the far node discards, nothing crosses the wire)."""
         return self._pool.pop(vaddr, None) is not None
 
+    def _link_transfer(self) -> None:
+        """One page crossing the link, with transient-error retry.
+
+        The ``dfm.link_error`` site aborts a transfer; the bounded
+        retry re-drives it with simulated-time backoff. Only the
+        successful transfer is accounted (an aborted one moved nothing
+        usable)."""
+        retry_with_backoff(self._attempt_transfer, on_retry=self._count_retry)
+
+    def _attempt_transfer(self) -> None:
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.DFM_LINK_ERROR)
+            if event is not None:
+                self.stats.device_faults += 1
+                raise DeviceFault(
+                    f"transient link error on {self.link.name}"
+                )
+        self._account_transfer()
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats.transient_retries += 1
+
     def _account_transfer(self) -> None:
         self.ledger.record("dfm_link", "read", PAGE_SIZE)
         self.link_energy_j += self.link.transfer_energy_j(PAGE_SIZE)
@@ -150,7 +194,7 @@ class DfmBackend:
     def swap_latency_s(self, direction: str) -> float:
         """One link round trip either way; no CPU (de)compression."""
         if direction not in ("in", "out"):
-            raise ValueError(f"direction must be in/out, got {direction}")
+            raise ConfigError(f"direction must be in/out, got {direction}")
         return self.link.page_swap_latency_s(PAGE_SIZE)
 
     def compact(self) -> int:

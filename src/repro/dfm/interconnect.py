@@ -11,6 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.resilience import faults as _faults
+
+#: Latency-spike multiplier when the fault spec does not set one.
+DEFAULT_SPIKE_FACTOR = 10.0
 
 
 @dataclass(frozen=True)
@@ -30,8 +34,20 @@ class InterconnectModel:
             raise ConfigError(f"{self.name}: bad link parameters")
 
     def transfer_time_ns(self, num_bytes: int) -> float:
-        """Latency + serialization for one transfer."""
-        return self.access_latency_ns + num_bytes / self.bandwidth_gbps
+        """Latency + serialization for one transfer.
+
+        The ``dfm.latency_spike`` injection site multiplies the time by
+        the fault spec's ``magnitude`` (default
+        :data:`DEFAULT_SPIKE_FACTOR`) — a congested or retraining link,
+        degraded service rather than failure.
+        """
+        time_ns = self.access_latency_ns + num_bytes / self.bandwidth_gbps
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.DFM_LATENCY_SPIKE)
+            if event is not None:
+                factor = event.spec.magnitude or DEFAULT_SPIKE_FACTOR
+                time_ns *= factor
+        return time_ns
 
     def transfer_energy_j(self, num_bytes: int) -> float:
         return num_bytes * self.pj_per_byte * 1e-12

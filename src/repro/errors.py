@@ -59,3 +59,35 @@ class MmioError(XfmError):
 
 class ConfigError(ReproError):
     """A model was constructed with inconsistent or out-of-range parameters."""
+
+
+class DeviceFault(ReproError):
+    """A (possibly transient) hardware-level failure: a lost doorbell, an
+    accelerator stall/timeout, or a far-memory link error.
+
+    Transient by contract: callers are expected to retry (see
+    :func:`repro.resilience.retry.retry_with_backoff`) before degrading
+    to a fallback path or reporting the device unavailable.
+    """
+
+
+class CorruptedBlobError(SfmError):
+    """A stored blob failed its integrity check and could not be
+    recovered by re-reading — the page's contents are lost (poisoned).
+
+    Carries ``vaddr`` when the failing page is known, so poison-page
+    accounting can report *which* page was lost to the caller.
+    """
+
+    def __init__(self, message: str, vaddr: int = -1) -> None:
+        super().__init__(message)
+        self.vaddr = vaddr
+
+
+class TierUnavailableError(ReproError):
+    """A far-memory tier is (temporarily) unreachable: retries against a
+    faulting device were exhausted, or its circuit breaker is open.
+
+    Unlike :class:`CorruptedBlobError` the stored data still exists —
+    the operation may succeed once the tier recovers.
+    """

@@ -1,0 +1,54 @@
+"""Deterministic fault injection and the machinery that survives it.
+
+The package mirrors the layering of :mod:`repro.validation`:
+
+- :mod:`repro.resilience.faults` — zero-cost-when-disabled injection
+  hooks (`injection_enabled()` / `fire()`) with seeded per-site
+  schedules so campaigns replay exactly.
+- :mod:`repro.resilience.retry` — bounded retry with simulated-time
+  backoff for transient :class:`~repro.errors.DeviceFault` conditions.
+- :mod:`repro.resilience.integrity` — per-blob content digests backing
+  verified recovery on swap-in.
+- :mod:`repro.resilience.breaker` — the per-tier closed/open/half-open
+  circuit breaker used by :class:`~repro.tiering.pipeline.TierPipeline`.
+- :mod:`repro.resilience.chaos` — the ``python -m repro chaos`` campaign
+  harness (imported lazily; it pulls in the tiering stack).
+"""
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    corrupt_bytes,
+    fault_injection,
+    fire,
+    injection_enabled,
+    set_injector,
+)
+from repro.resilience.integrity import BlobRecord, content_digest
+from repro.resilience.retry import BackoffPolicy, retry_with_backoff
+
+__all__ = [
+    "BackoffPolicy",
+    "BlobRecord",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "content_digest",
+    "corrupt_bytes",
+    "fault_injection",
+    "fire",
+    "injection_enabled",
+    "retry_with_backoff",
+    "set_injector",
+]

@@ -1,0 +1,344 @@
+"""Seeded chaos campaigns over the 3-tier pipeline.
+
+``python -m repro chaos`` drives the canonical CPU-zswap -> XFM -> DFM
+:class:`~repro.tiering.pipeline.TierPipeline` through a store/load/
+promote mix while a :class:`~repro.resilience.faults.FaultInjector`
+fires faults at every device-model injection site. A shadow copy of
+every stored page is kept host-side, so the campaign can prove the
+resilience layer's core claim: **no silent corruption** — every
+injected corruption is either detected-and-recovered or surfaced as an
+explicit poison/data-loss event, never returned as wrong bytes.
+
+Everything is deterministic in the campaign seed (op mix, page
+contents, fault schedule, simulated clock), so the emitted
+``chaos_report.json`` is byte-identical across runs with the same
+arguments — the report itself is a regression artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigError,
+    CorruptedBlobError,
+    SfmError,
+    TierUnavailableError,
+)
+from repro.resilience import faults as _faults
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sfm.page import PAGE_SIZE
+from repro.telemetry import trace as _trace
+from repro.telemetry.session import TelemetrySession
+from repro.tiering.pipeline import TierPipeline
+from repro.tiering.policy import LruDemotion
+from repro.validation.hooks import validation
+
+#: Simulated nanoseconds between workload operations (keeps trace
+#: timestamps, and therefore reports, deterministic).
+_OP_TICK_NS = 1_000.0
+
+#: Recoverable-only schedule: every fault here must be healed by
+#: retry/fallback with zero data loss (the CI smoke gate).
+TRANSIENT_PROFILE: Tuple[FaultSpec, ...] = (
+    FaultSpec(_faults.DFM_LINK_ERROR, probability=0.05),
+    FaultSpec(_faults.DFM_LATENCY_SPIKE, probability=0.03, magnitude=8.0),
+    FaultSpec(_faults.NMA_TIMEOUT, probability=0.03),
+    FaultSpec(_faults.NMA_DROP_COMPLETION, probability=0.02),
+    FaultSpec(_faults.DRIVER_LOST_DOORBELL, probability=0.02),
+    FaultSpec(_faults.DRIVER_REG_CORRUPTION, probability=0.01),
+    FaultSpec(_faults.DRIVER_SPM_FULL, probability=0.03),
+    FaultSpec(_faults.DRIVER_QUEUE_FULL, probability=0.03),
+    FaultSpec(_faults.SPM_READ_FLIP, probability=0.02),
+    FaultSpec(_faults.ZPOOL_READ_CORRUPTION, probability=0.03),
+)
+
+#: Full schedule: adds persistent media corruption, so poison/data-loss
+#: events are expected — but every one must still be *detected*.
+FULL_PROFILE: Tuple[FaultSpec, ...] = TRANSIENT_PROFILE + (
+    FaultSpec(_faults.ZPOOL_MEDIA_CORRUPTION, probability=0.02),
+)
+
+PROFILES: Dict[str, Tuple[FaultSpec, ...]] = {
+    "transient": TRANSIENT_PROFILE,
+    "full": FULL_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One campaign's knobs (all deterministic inputs)."""
+
+    seed: int = 0
+    ops: int = 400
+    profile: str = "transient"
+    #: Tier capacities sized so demotion cascades + DFM traffic happen.
+    cpu_capacity_bytes: int = 16 * 1024
+    xfm_capacity_bytes: int = 16 * 1024
+    dfm_capacity_bytes: int = 256 * 1024
+    #: Check breaker states / drain quarantined tiers every N ops.
+    health_check_every: int = 32
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ConfigError(
+                f"unknown chaos profile {self.profile!r}; "
+                f"have {sorted(PROFILES)}"
+            )
+        if self.ops <= 0:
+            raise ConfigError("ops must be positive")
+
+
+def _page_for(seed: int, key: int) -> bytes:
+    """Deterministic page content: compressible pattern keyed by
+    (seed, key), with every 5th page incompressible noise so stores
+    exercise the fall-through path."""
+    if key % 5 == 4:
+        state = ((seed * 1_000_003 + key) * 2654435761 + 1) & 0xFFFFFFFF
+        out = bytearray(PAGE_SIZE)
+        for i in range(PAGE_SIZE):
+            state ^= (state << 13) & 0xFFFFFFFF
+            state ^= state >> 17
+            state ^= (state << 5) & 0xFFFFFFFF
+            out[i] = state & 0xFF
+        return bytes(out)
+    unit = bytes([(seed + key * 7 + j) % 251 for j in range(64)])
+    return (unit * (PAGE_SIZE // len(unit)))[:PAGE_SIZE]
+
+
+def run_chaos(
+    config: ChaosConfig,
+    out_dir: Optional[object] = None,
+) -> Dict[str, object]:
+    """Run one seeded campaign; returns the (JSON-ready) report dict.
+
+    When ``out_dir`` is set, the telemetry session writes
+    ``trace.json``/``metrics.json`` there and the report lands next to
+    them as ``chaos_report.json``.
+    """
+    plan = FaultPlan(seed=config.seed, specs=PROFILES[config.profile])
+    injector = FaultInjector(plan)
+    session = TelemetrySession(out_dir=out_dir)
+    with session, validation(config.validate), \
+            _faults.fault_injection(injector):
+        report = _drive_campaign(config, injector, session)
+    if out_dir is not None:
+        path = Path(out_dir) / "chaos_report.json"
+        path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report
+
+
+def _drive_campaign(
+    config: ChaosConfig,
+    injector: FaultInjector,
+    session: TelemetrySession,
+) -> Dict[str, object]:
+    #: Pages no tier would hold fall back to the "real swap device".
+    swap_device: Dict[int, bytes] = {}
+
+    pipeline = TierPipeline.build(
+        cpu_capacity_bytes=config.cpu_capacity_bytes,
+        xfm_capacity_bytes=config.xfm_capacity_bytes,
+        dfm_capacity_bytes=config.dfm_capacity_bytes,
+        registry=session.registry,
+        demotion=LruDemotion(watermark_fraction=0.5),
+        spill=lambda vaddr, data: swap_device.__setitem__(vaddr, data),
+        breaker_config=BreakerConfig(),
+    )
+
+    #: Host-side shadow of every page the pipeline accepted — ground
+    #: truth for the silent-corruption check.
+    shadow: Dict[int, bytes] = {}
+    rng = random.Random(config.seed)
+
+    counters = {
+        "stores": 0,
+        "stores_accepted": 0,
+        "stores_rejected": 0,
+        "loads": 0,
+        "loads_ok": 0,
+        "loads_from_spill": 0,
+        "promotes": 0,
+        "tier_unavailable_errors": 0,
+        "data_loss_errors": 0,
+        "silent_corruptions": 0,
+        "drains_triggered": 0,
+    }
+    next_key = 0
+
+    def do_store() -> None:
+        nonlocal next_key
+        key = next_key
+        next_key += 1
+        data = _page_for(config.seed, key)
+        counters["stores"] += 1
+        if pipeline.store(key, data):
+            shadow[key] = data
+            counters["stores_accepted"] += 1
+        else:
+            counters["stores_rejected"] += 1
+
+    def do_load() -> None:
+        if not shadow:
+            return
+        key = rng.choice(sorted(shadow))
+        expect = shadow.pop(key)
+        counters["loads"] += 1
+        try:
+            data = pipeline.load(key)
+        except TierUnavailableError:
+            # Transient: the key is still mapped; retry next time.
+            shadow[key] = expect
+            counters["tier_unavailable_errors"] += 1
+            return
+        except CorruptedBlobError:
+            # Explicit, detected loss — the opposite of silent.
+            counters["data_loss_errors"] += 1
+            return
+        except SfmError:
+            # The page was spilled to the backing device mid-cascade.
+            data = swap_device.get(key * PAGE_SIZE)
+            counters["loads_from_spill"] += 1
+        if data == expect:
+            counters["loads_ok"] += 1
+        else:
+            counters["silent_corruptions"] += 1
+
+    def do_promote() -> None:
+        if not shadow:
+            return
+        key = rng.choice(sorted(shadow))
+        counters["promotes"] += 1
+        try:
+            pipeline.promote_key(key)
+        except CorruptedBlobError:
+            shadow.pop(key, None)
+            counters["data_loss_errors"] += 1
+
+    for op in range(config.ops):
+        _trace.advance_clock_ns(_OP_TICK_NS)
+        roll = rng.random()
+        if roll < 0.55:
+            do_store()
+        elif roll < 0.9:
+            do_load()
+        else:
+            do_promote()
+        if (op + 1) % config.health_check_every == 0:
+            for name, state in pipeline.breaker_states().items():
+                if state == "open":
+                    counters["drains_triggered"] += 1
+                    pipeline.drain_tier(name, limit=8)
+
+    # Final sweep: everything the shadow says we own must come back
+    # intact or fail *loudly*.
+    for key in sorted(shadow):
+        expect = shadow[key]
+        counters["loads"] += 1
+        try:
+            data = pipeline.load(key)
+        except TierUnavailableError:
+            counters["tier_unavailable_errors"] += 1
+            continue
+        except CorruptedBlobError:
+            counters["data_loss_errors"] += 1
+            continue
+        except SfmError:
+            data = swap_device.get(key * PAGE_SIZE)
+            counters["loads_from_spill"] += 1
+        if data == expect:
+            counters["loads_ok"] += 1
+        else:
+            counters["silent_corruptions"] += 1
+
+    for name, tier in pipeline.tiers_by_name().items():
+        session.add_stats(f"tier.{name}", tier.stats)
+    session.add_stats("pipeline", pipeline.pipeline_stats)
+
+    merged = pipeline.stats
+    pstats = pipeline.pipeline_stats
+    detected = merged.corruptions_detected
+    recovered = merged.corruptions_recovered
+    report: Dict[str, object] = {
+        "schema": 1,
+        "config": {
+            "seed": config.seed,
+            "ops": config.ops,
+            "profile": config.profile,
+            "validation": config.validate,
+        },
+        "faults": {
+            "total_fires": injector.total_fires,
+            "by_site": injector.summary(),
+        },
+        "workload": dict(sorted(counters.items())),
+        "recovery": {
+            "corruptions_detected": detected,
+            "corruptions_recovered": recovered,
+            "poison_pages": merged.poison_pages,
+            "device_faults": merged.device_faults,
+            "transient_retries": merged.transient_retries,
+            "cpu_fallbacks_device_fault": merged.fallbacks_device_fault,
+            "data_loss_events": pstats.data_loss_events,
+            "quarantine_skips": pstats.quarantine_skips,
+            "tier_errors": pstats.tier_errors,
+            "drained_pages": pstats.drained_pages,
+            "spill_callback_errors": pstats.spill_callback_errors,
+        },
+        "breakers": {
+            name: breaker.snapshot()
+            for name, breaker in zip(pipeline.tier_names, pipeline.breakers)
+        },
+        "verdict": {
+            "silent_corruptions": counters["silent_corruptions"],
+            # Every detection must be accounted for: recovered, or
+            # surfaced as an explicit poison/loss.
+            "all_detections_accounted": bool(
+                detected
+                <= recovered + merged.poison_pages + pstats.data_loss_events
+            ),
+            "clean": bool(counters["silent_corruptions"] == 0),
+        },
+    }
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a campaign report for the CLI."""
+    lines: List[str] = []
+    cfg = report["config"]
+    lines.append(
+        f"chaos campaign: seed={cfg['seed']} ops={cfg['ops']} "
+        f"profile={cfg['profile']}"
+    )
+    faults = report["faults"]
+    lines.append(f"  faults fired: {faults['total_fires']}")
+    for site, count in faults["by_site"].items():
+        lines.append(f"    {site:24s}: {count}")
+    for section in ("workload", "recovery"):
+        lines.append(f"  {section}:")
+        for key, value in report[section].items():
+            lines.append(f"    {key:24s}: {value}")
+    lines.append("  breakers:")
+    for name, snap in report["breakers"].items():
+        lines.append(
+            f"    {name:12s}: state={snap['state']} "
+            f"error_rate={snap['error_rate']} "
+            f"transitions={snap['transitions']}"
+        )
+    verdict = report["verdict"]
+    lines.append(
+        f"  verdict: clean={verdict['clean']} "
+        f"silent_corruptions={verdict['silent_corruptions']} "
+        f"all_detections_accounted={verdict['all_detections_accounted']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Bounded retry with simulated-time backoff.
+
+Transient :class:`~repro.errors.DeviceFault` conditions (lost doorbells,
+link errors, NMA stalls) are retried a bounded number of times; between
+attempts the backoff delay is charged to the telemetry simulated clock
+(:func:`repro.telemetry.trace.advance_clock_ns`) — no wall-clock sleeps,
+so tests and chaos campaigns stay fast and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ConfigError, DeviceFault
+from repro.telemetry import trace as _trace
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: attempt N waits ``base_delay_ns *
+    multiplier**(N-1)`` simulated nanoseconds before retrying."""
+
+    max_attempts: int = 3
+    base_delay_ns: float = 1_000.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay_ns < 0 or self.multiplier < 1.0:
+            raise ConfigError("backoff delay/multiplier out of range")
+
+    def delay_ns(self, attempt: int) -> float:
+        """Backoff charged after failed attempt ``attempt`` (1-based)."""
+        return self.base_delay_ns * self.multiplier ** (attempt - 1)
+
+
+DEFAULT_POLICY = BackoffPolicy()
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    policy: BackoffPolicy = DEFAULT_POLICY,
+    retry_on: Tuple[Type[BaseException], ...] = (DeviceFault,),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` up to ``policy.max_attempts`` times.
+
+    Exceptions matching ``retry_on`` trigger a retry after advancing the
+    simulated clock by the policy's backoff; anything else propagates
+    immediately. ``on_retry(attempt, exc)`` is invoked before each
+    retry (attempt is the 1-based attempt that just failed) so callers
+    can count transient retries. The final failure re-raises.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            _trace.advance_clock_ns(policy.delay_ns(attempt))

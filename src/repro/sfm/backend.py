@@ -11,11 +11,19 @@ swap-in) — overheads O2/O3 of §3.2 that XFM later removes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.compression.base import Codec
 from repro.compression.zstd_like import ZstdLikeCodec
-from repro.errors import SfmError, ZpoolFullError
+from repro.errors import (
+    ConfigError,
+    CorruptedBlobError,
+    CorruptStreamError,
+    SfmError,
+    ZpoolFullError,
+)
+from repro.resilience.integrity import BlobRecord, content_digest
+from repro.resilience.retry import retry_with_backoff
 from repro.sfm.digest_cache import (
     DIGEST_CYCLES_PER_BYTE,
     DigestPageCache,
@@ -77,6 +85,10 @@ class SfmBackend:
         self.page_cache: Optional[DigestPageCache] = (
             DigestPageCache(page_cache_entries) if page_cache_entries else None
         )
+        #: handle -> integrity record; checked on every swap-in so a
+        #: corrupted blob is detected before (and after) decompression
+        #: instead of returning garbage.
+        self._integrity: Dict[int, BlobRecord] = {}
 
     # -- capacity ------------------------------------------------------------
 
@@ -158,6 +170,7 @@ class SfmBackend:
                 accepted=False, reason="pool-full", cpu_cycles=cycles
             )
         self.ledger.record("sfm_cpu", "write", len(blob))
+        self._record_integrity(handle, blob, page.data)
         self.index.insert(page.vaddr, handle)
         page.swapped = True
         page.data = None
@@ -172,20 +185,111 @@ class SfmBackend:
     def _compress(self, data: bytes) -> bytes:
         return self.codec.compress(data)
 
+    # -- verified recovery -------------------------------------------------------
+
+    def _record_integrity(
+        self, handle: int, blob: bytes, page_data: bytes
+    ) -> None:
+        self._integrity[handle] = BlobRecord(
+            blob_digest=content_digest(blob),
+            page_digest=content_digest(page_data),
+        )
+
+    def _load_verified(self, handle: int, vaddr: int) -> bytes:
+        """Load a blob and check it against its integrity record.
+
+        A digest mismatch is *detected* corruption: re-reads (bounded,
+        backed-off) heal transient read corruption and count as
+        *recovered*; persistent media corruption exhausts the retries,
+        poisons the page, and raises :class:`CorruptedBlobError` — an
+        explicit data-loss report, never silent garbage.
+        """
+        record = self._integrity.get(handle)
+        blob = self.zpool.load(handle)
+        if record is None or record.blob_ok(blob):
+            return blob
+        self.stats.corruptions_detected += 1
+
+        def reread() -> bytes:
+            data = self.zpool.load(handle)
+            if not record.blob_ok(data):
+                raise CorruptedBlobError(
+                    f"blob for page 0x{vaddr:x} failed its digest check",
+                    vaddr=vaddr,
+                )
+            return data
+
+        try:
+            blob = retry_with_backoff(
+                reread,
+                retry_on=(CorruptedBlobError,),
+                on_retry=self._count_transient_retry,
+            )
+        except CorruptedBlobError:
+            self._poison(handle, vaddr)
+            raise
+        self.stats.corruptions_recovered += 1
+        return blob
+
+    def _count_transient_retry(
+        self, attempt: int, exc: BaseException
+    ) -> None:
+        self.stats.transient_retries += 1
+
+    def _poison(self, handle: int, vaddr: int) -> None:
+        """Unrecoverable corruption: drop the blob and its index entry,
+        account the loss, and leave the caller an explicit error."""
+        self.stats.poison_pages += 1
+        self.zpool.free(handle)
+        if vaddr in self.index:
+            self.index.delete(vaddr)
+        self._integrity.pop(handle, None)
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "poison_page",
+                _trace.TRACK_CPU,
+                args={"vaddr": vaddr},
+            )
+
     # -- swap-in path (decompression) ---------------------------------------------
 
     def swap_in(self, page: Page) -> bytes:
-        """Decompress ``page`` back into local memory and return its data."""
+        """Decompress ``page`` back into local memory and return its data.
+
+        Raises :class:`~repro.errors.CorruptedBlobError` when the stored
+        blob fails verified recovery — the page is poisoned (dropped
+        from the pool) and the caller must treat its contents as lost.
+        """
         if not page.swapped:
             raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
         handle = self.index.lookup(page.vaddr)
-        blob = self.zpool.load(handle)
+        blob = self._load_verified(handle, page.vaddr)
         self.ledger.record("sfm_cpu", "read", len(blob))
-        data = self._decompress(blob)
+        record = self._integrity.get(handle)
+        try:
+            data = self._decompress(blob)
+        except CorruptStreamError:
+            # The blob digest matched yet the stream is bad — recorded
+            # corruption (stored corrupt): poison, report explicitly.
+            self.stats.corruptions_detected += 1
+            self._poison(handle, page.vaddr)
+            raise CorruptedBlobError(
+                f"stored blob for page 0x{page.vaddr:x} does not decode",
+                vaddr=page.vaddr,
+            ) from None
         if len(data) != PAGE_SIZE:
             raise SfmError(
                 f"decompressed page is {len(data)} bytes, "
                 f"expected {PAGE_SIZE}"
+            )
+        if record is not None and not record.page_ok(data):
+            # The codec tolerated a flipped bit (e.g. in a literal run):
+            # caught by the end-to-end page digest.
+            self.stats.corruptions_detected += 1
+            self._poison(handle, page.vaddr)
+            raise CorruptedBlobError(
+                f"page 0x{page.vaddr:x} decoded to different contents",
+                vaddr=page.vaddr,
             )
         cycles = self.codec.spec.decompress_cycles_per_byte * PAGE_SIZE
         self.stats.cpu_decompress_cycles += cycles
@@ -202,6 +306,7 @@ class SfmBackend:
         self.ledger.record("sfm_cpu", "write", PAGE_SIZE)
         self.zpool.free(handle)
         self.index.delete(page.vaddr)
+        self._integrity.pop(handle, None)
         page.swapped = False
         page.data = data
         self.stats.swap_ins += 1
@@ -230,6 +335,7 @@ class SfmBackend:
         handle = self.index.lookup(vaddr)
         self.zpool.free(handle)
         self.index.delete(vaddr)
+        self._integrity.pop(handle, None)
         return True
 
     # -- maintenance ------------------------------------------------------------
@@ -249,5 +355,5 @@ class SfmBackend:
         elif direction == "in":
             cycles = self.codec.spec.decompress_cycles_per_byte * PAGE_SIZE
         else:
-            raise ValueError(f"direction must be in/out, got {direction}")
+            raise ConfigError(f"direction must be in/out, got {direction}")
         return cycles / self.cpu_freq_hz

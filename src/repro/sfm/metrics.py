@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro._units import SECONDS_PER_MINUTE
+from repro.errors import ConfigError
 from repro.telemetry.stats import StatsFacade
 
 
@@ -46,13 +47,25 @@ class SwapStats(StatsFacade):
         "digest_cache_hits": 0,
         "digest_cache_misses": 0,
         # Per-reason fallback ledger (repro.telemetry.reasons codes).
-        # Invariant: the three sum to cpu_fallback_compressions +
+        # Invariant: these sum to cpu_fallback_compressions +
         # cpu_fallback_decompressions, and each trace ``cpu_fallback``
         # event carries exactly one of the codes — the reconciliation
         # the `python -m repro trace` acceptance test checks.
         "fallbacks_spm_full": 0,
         "fallbacks_queue_full": 0,
         "fallbacks_demand": 0,
+        "fallbacks_device_fault": 0,
+        # Resilience accounting (repro.resilience): transient device
+        # faults observed, bounded-retry attempts spent on them, and the
+        # verified-recovery ledger — a detection is an integrity-digest
+        # mismatch; it either becomes a recovery (re-read or CPU-path
+        # fallback succeeded) or a poison page (data explicitly lost,
+        # surfaced as CorruptedBlobError, never returned as garbage).
+        "device_faults": 0,
+        "transient_retries": 0,
+        "corruptions_detected": 0,
+        "corruptions_recovered": 0,
+        "poison_pages": 0,
     }
 
     @property
@@ -120,7 +133,7 @@ class BandwidthLedger:
     def record(self, actor: str, direction: str, num_bytes: int) -> None:
         """Add ``num_bytes`` of traffic for (actor, direction)."""
         if direction not in ("read", "write"):
-            raise ValueError(f"direction must be read/write, got {direction}")
+            raise ConfigError(f"direction must be read/write, got {direction}")
         key = f"{actor}:{direction}"
         self._bytes[key] = self._bytes.get(key, 0) + num_bytes
 

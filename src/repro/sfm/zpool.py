@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, EntryNotFoundError, ZpoolFullError
+from repro.resilience import faults as _faults
 from repro.sfm.page import PAGE_SIZE
 from repro.validation.hooks import checkpoint
 
@@ -184,12 +185,29 @@ class Zpool:
         return None
 
     def load(self, handle: int) -> bytes:
-        """Read a stored blob without freeing it."""
+        """Read a stored blob without freeing it.
+
+        Two injection sites live here: ``zpool.media_corruption`` flips
+        a bit in the backing slab itself (persistent — every re-read
+        sees it; the page is lost and must be poisoned), while
+        ``zpool.read_corruption`` flips a bit only in the returned copy
+        (transient — a re-read heals it).
+        """
         slab_index, offset, length = self._lookup(handle)
         slab = self._slabs[slab_index]
         assert slab is not None
         self.loads += 1
-        return bytes(slab.buffer[offset : offset + length])
+        data = bytes(slab.buffer[offset : offset + length])
+        if _faults.injection_enabled():
+            event = _faults.fire(_faults.ZPOOL_MEDIA_CORRUPTION)
+            if event is not None:
+                data = _faults.corrupt_bytes(data, event.salt)
+                slab.buffer[offset : offset + length] = data
+            else:
+                event = _faults.fire(_faults.ZPOOL_READ_CORRUPTION)
+                if event is not None:
+                    data = _faults.corrupt_bytes(data, event.salt)
+        return data
 
     def free(self, handle: int) -> int:
         """Release a blob; returns its length. Empty slabs are returned to

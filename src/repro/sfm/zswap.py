@@ -18,7 +18,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    CorruptedBlobError,
+    TierUnavailableError,
+)
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import trace as _trace
 from repro.telemetry.stats import StatsFacade
@@ -40,6 +44,9 @@ class ZswapStats(StatsFacade):
         # Entries evicted to the backing swap device to admit new stores
         # (zswap's writeback path).
         "written_back": 0,
+        # Entries lost to unrecoverable backend corruption — surfaced to
+        # the caller as CorruptedBlobError, never as a silent miss.
+        "poison_pages": 0,
     }
 
     @property
@@ -183,7 +190,21 @@ class ZswapFrontend:
         if page is None:
             return None
         start_ns = _trace.clock_ns() if trace_on else 0.0
-        data = self.backend.swap_in(page)
+        try:
+            data = self.backend.swap_in(page)
+        except TierUnavailableError:
+            # Transient: the backend still holds the page; re-map the
+            # key so the kernel's retry finds it.
+            self._pages[key] = page
+            self._pages.move_to_end(key, last=False)  # keep LRU position
+            raise
+        except CorruptedBlobError:
+            # The backend detected unrecoverable corruption and poisoned
+            # the entry; the page is gone — propagate the explicit error
+            # (the caller falls back to the real swap device's copy).
+            self.stats.stored_pages -= 1
+            self.stats.poison_pages += 1
+            raise
         self.stats.loads += 1
         self.stats.stored_pages -= 1
         if trace_on:
@@ -227,7 +248,20 @@ class ZswapFrontend:
             self.pool_usage_bytes(), target_free_bytes
         ):
             key, page = self._pages.popitem(last=False)  # LRU victim
-            data = self.backend.swap_in(page)
+            try:
+                data = self.backend.swap_in(page)
+            except TierUnavailableError:
+                # Backend unreachable: put the victim back at the LRU
+                # head and stop shrinking for now (retryable).
+                self._pages[key] = page
+                self._pages.move_to_end(key, last=False)
+                break
+            except CorruptedBlobError:
+                # Entry lost to corruption: its pool space is already
+                # freed (poisoned), so it made headroom — keep going.
+                self.stats.stored_pages -= 1
+                self.stats.poison_pages += 1
+                continue
             self.writeback(key[0], key[1], data)
             self.stats.written_back += 1
             self.stats.stored_pages -= 1

@@ -23,5 +23,11 @@ BUDGET_EXHAUSTED = "budget_exhausted"
 #: and ``SwapStats.cpu_fallback_decompressions`` reconcile exactly.
 DEMAND_FAULT = "demand_fault"
 
+#: The device path failed outright (lost doorbell, NMA stall, SPM
+#: readback corruption) and bounded retries were exhausted — the CPU
+#: path is the recovery, not just the overflow valve.
+DEVICE_FAULT = "device_fault"
+
 #: Every code a fallback event may carry.
-ALL_REASONS = (SPM_FULL, QUEUE_FULL, BUDGET_EXHAUSTED, DEMAND_FAULT)
+ALL_REASONS = (SPM_FULL, QUEUE_FULL, BUDGET_EXHAUSTED, DEMAND_FAULT,
+               DEVICE_FAULT)

@@ -29,9 +29,19 @@ Trace spans (``tier_store``/``tier_load``/``tier_demote``/
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ConfigError, SfmError
+from repro.errors import (
+    ConfigError,
+    CorruptedBlobError,
+    SfmError,
+    TierUnavailableError,
+)
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import reasons, trace as _trace
@@ -72,7 +82,25 @@ class PipelineStats(StatsFacade):
         "invalidates": 0,
         # Pages handed to the spill callback (no tier would hold them).
         "spills": 0,
+        # Spill callbacks that raised: counted, never allowed to desync
+        # the pipeline's bookkeeping mid-cascade.
+        "spill_callback_errors": 0,
+        # Store attempts routed around a quarantined (breaker-open) tier.
+        "quarantine_skips": 0,
+        # Tier operations that raised (TierUnavailable/CorruptedBlob),
+        # i.e. the breakers' failure feed.
+        "tier_errors": 0,
+        # Pages whose contents were lost to unrecoverable corruption —
+        # always surfaced as CorruptedBlobError, never silent.
+        "data_loss_events": 0,
+        # Pages relocated out of a quarantined tier by drain_tier().
+        "drained_pages": 0,
     }
+
+#: SwapOutcome rejection reasons that indicate a *failing* tier (feed
+#: the circuit breaker) rather than a full/ineligible one (normal
+#: capacity control flow).
+FAILURE_REASONS = frozenset({"link-error", "device-fault"})
 
 
 def _named(
@@ -105,10 +133,13 @@ class TierPipeline:
         promotion: Optional[PromotionPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
         spill: Optional[Callable[[int, bytes], None]] = None,
+        breaker_config: Optional[BreakerConfig] = None,
     ) -> None:
         """``spill(vaddr, data)``, when provided, receives pages that no
         tier would hold during a demotion cascade (the pipeline analogue
-        of zswap's writeback-to-swap-device)."""
+        of zswap's writeback-to-swap-device). ``breaker_config`` tunes
+        the per-tier circuit breakers (closed/open/half-open health
+        tracking; see :mod:`repro.resilience.breaker`)."""
         named = _named(tiers)
         if not named:
             raise ConfigError("pipeline needs at least one tier")
@@ -120,6 +151,17 @@ class TierPipeline:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spill = spill
         self.pipeline_stats = PipelineStats(registry=self.registry)
+        #: Per-tier health breakers; an OPEN breaker quarantines its
+        #: tier (stores route around it, cool-down ticks per skipped
+        #: operation, then a half-open probe re-tests it).
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                name,
+                config=breaker_config,
+                on_transition=self._on_breaker_transition,
+            )
+            for name in self.tier_names
+        ]
         #: vaddr -> index of the tier holding it.
         self._where: Dict[int, int] = {}
         #: Per-tier LRU: oldest store first (the demotion victim order).
@@ -128,6 +170,27 @@ class TierPipeline:
         ]
         #: Keyed-API bookkeeping: key -> Page.
         self._keyed: Dict[int, Page] = {}
+        #: vaddrs lost to unrecoverable corruption: a later access gets
+        #: an explicit CorruptedBlobError instead of a lookup miss.
+        self._poisoned: Set[int] = set()
+
+    def _on_breaker_transition(
+        self, breaker: CircuitBreaker, old: BreakerState, new: BreakerState
+    ) -> None:
+        self.registry.counter(
+            "tier_breaker.transitions", tier=breaker.name, to=new.value
+        ).inc()
+        if _trace.tracing_enabled():
+            _trace.instant(
+                "tier_breaker", TRACK_TIER,
+                args={"tier": breaker.name, "from": old.value,
+                      "to": new.value,
+                      "error_rate": round(breaker.error_rate(), 4)},
+            )
+
+    def _record_tier_error(self, index: int) -> None:
+        self.breakers[index].record_failure()
+        self.pipeline_stats.tier_errors += 1
 
     # -- construction helpers ----------------------------------------------
 
@@ -228,6 +291,8 @@ class TierPipeline:
     def swap_out(self, page: Page) -> SwapOutcome:
         """Place a page at the highest tier that takes it, then let the
         demotion policy cascade cold entries downward."""
+        # A fresh store of a vaddr supersedes any earlier poison marker.
+        self._poisoned.discard(page.vaddr)
         outcome, index = self._place(page, start=0)
         if outcome.accepted:
             self.pipeline_stats.stores += 1
@@ -237,13 +302,33 @@ class TierPipeline:
         checkpoint(self)
         return outcome
 
-    def _place(self, page: Page, start: int) -> Tuple[SwapOutcome, int]:
-        """Try tiers ``start..N`` in order; bookkeeps the first accept."""
+    def _place(
+        self, page: Page, start: int, skip: Optional[int] = None
+    ) -> Tuple[SwapOutcome, int]:
+        """Try tiers ``start..N`` in order; bookkeeps the first accept.
+
+        A tier whose breaker refuses the operation (OPEN, cooling down)
+        is routed around like a rejection; ``skip`` excludes one tier
+        outright (used by :meth:`drain_tier` to keep relocations out of
+        the tier being drained).
+        """
         outcome = SwapOutcome(accepted=False, reason="all-tiers-rejected")
         trace_on = _trace.tracing_enabled()
         for index in range(start, len(self.tiers)):
+            if index == skip:
+                continue
             tier = self.tiers[index]
             name = self.tier_names[index]
+            if not self.breakers[index].allow():
+                self.pipeline_stats.quarantine_skips += 1
+                self.pipeline_stats.store_fallthroughs += 1
+                if trace_on:
+                    _trace.instant(
+                        "tier_store", TRACK_TIER,
+                        args={"tier": name, "outcome": "quarantined",
+                              "vaddr": page.vaddr},
+                    )
+                continue
             if not self.admission.admit(tier):
                 self.pipeline_stats.store_fallthroughs += 1
                 if trace_on:
@@ -253,8 +338,17 @@ class TierPipeline:
                               "vaddr": page.vaddr},
                     )
                 continue
-            tier_outcome = tier.swap_out(page)
+            try:
+                tier_outcome = tier.swap_out(page)
+            except TierUnavailableError:
+                # Treat an outright-unreachable tier as a failing reject
+                # and keep falling through.
+                self._record_tier_error(index)
+                tier_outcome = SwapOutcome(
+                    accepted=False, reason="device-fault"
+                )
             if tier_outcome.accepted:
+                self.breakers[index].record_success()
                 self._where[page.vaddr] = index
                 self._lru[index][page.vaddr] = page
                 if trace_on:
@@ -265,6 +359,8 @@ class TierPipeline:
                               "compressed_len": tier_outcome.compressed_len},
                     )
                 return tier_outcome, index
+            if tier_outcome.reason in FAILURE_REASONS:
+                self.breakers[index].record_failure()
             self.pipeline_stats.store_fallthroughs += 1
             if trace_on:
                 _trace.instant(
@@ -283,6 +379,15 @@ class TierPipeline:
     # -- load: promotion to DRAM --------------------------------------------
 
     def _holding_tier(self, page: Page) -> int:
+        if page.vaddr in self._poisoned:
+            # The page was lost to unrecoverable corruption earlier;
+            # surface that explicitly rather than as a lookup miss.
+            self._poisoned.discard(page.vaddr)
+            raise CorruptedBlobError(
+                f"page 0x{page.vaddr:x} was lost to unrecoverable "
+                "corruption (poisoned)",
+                vaddr=page.vaddr,
+            )
         index = self._where.get(page.vaddr)
         if index is None:
             raise SfmError(
@@ -294,11 +399,33 @@ class TierPipeline:
         del self._where[page.vaddr]
         self._lru[index].pop(page.vaddr, None)
 
+    def _fetch(self, page: Page, index: int, demand: bool) -> bytes:
+        """Load from tier ``index``; bookkeeping drops the mapping only
+        after the tier actually handed the data back. A transient
+        :class:`TierUnavailableError` leaves the page in place (the
+        call can simply be repeated); an unrecoverable
+        :class:`CorruptedBlobError` drops it and counts a data loss —
+        never a silent miss."""
+        tier = self.tiers[index]
+        try:
+            data = tier.swap_in(page) if demand else tier.promote(page)
+        except TierUnavailableError:
+            self._record_tier_error(index)
+            raise
+        except CorruptedBlobError:
+            self._record_tier_error(index)
+            self.pipeline_stats.data_loss_events += 1
+            self._forget(page, index)
+            checkpoint(self)
+            raise
+        self.breakers[index].record_success()
+        self._forget(page, index)
+        return data
+
     def swap_in(self, page: Page) -> bytes:
         """Demand load: fetch from whichever tier holds the page."""
         index = self._holding_tier(page)
-        self._forget(page, index)
-        data = self.tiers[index].swap_in(page)
+        data = self._fetch(page, index, demand=True)
         self.pipeline_stats.loads += 1
         if _trace.tracing_enabled():
             _trace.instant(
@@ -312,8 +439,7 @@ class TierPipeline:
     def promote(self, page: Page) -> bytes:
         """Prefetch-style load through the holding tier's offload path."""
         index = self._holding_tier(page)
-        self._forget(page, index)
-        data = self.tiers[index].promote(page)
+        data = self._fetch(page, index, demand=False)
         self.pipeline_stats.prefetch_loads += 1
         if _trace.tracing_enabled():
             _trace.instant(
@@ -351,8 +477,24 @@ class TierPipeline:
     def _demote_victim(self, index: int) -> bool:
         """Move tier ``index``'s LRU-coldest page to a lower tier."""
         vaddr, page = next(iter(self._lru[index].items()))
+        try:
+            data = self.tiers[index].swap_in(page)
+        except TierUnavailableError:
+            # Source tier unreachable right now: leave the victim where
+            # it is and stop this tier's cascade for this round.
+            self._record_tier_error(index)
+            return False
+        except CorruptedBlobError:
+            # The tier detected unrecoverable corruption and poisoned
+            # the blob itself; account the loss, mark the vaddr so a
+            # later access gets an explicit error, keep cascading.
+            self._record_tier_error(index)
+            self.pipeline_stats.data_loss_events += 1
+            self._forget(page, index)
+            self._poisoned.add(vaddr)
+            return True
+        self.breakers[index].record_success()
         self._forget(page, index)
-        data = self.tiers[index].swap_in(page)
         outcome, new_index = self._place(page, start=index + 1)
         if outcome.accepted:
             self.pipeline_stats.demotions += 1
@@ -370,13 +512,23 @@ class TierPipeline:
         if retry.accepted:
             return False
         if self.spill is not None:
-            self.spill(vaddr, data)
-            self.pipeline_stats.spills += 1
+            self._spill_page(vaddr, data)
             return False
         raise SfmError(
             f"page 0x{vaddr:x} rejected by every tier during demotion "
             "and no spill callback is set"
         )
+
+    def _spill_page(self, vaddr: int, data: bytes) -> None:
+        """Hand a page to the spill callback; a callback that raises is
+        counted and swallowed so one broken sink cannot desync the
+        pipeline's bookkeeping mid-cascade."""
+        try:
+            self.spill(vaddr, data)
+        except Exception:
+            self.pipeline_stats.spill_callback_errors += 1
+        else:
+            self.pipeline_stats.spills += 1
 
     def demote_coldest(self, count: int = 1, from_tier: int = 0) -> int:
         """Explicitly sink up to ``count`` LRU pages out of ``from_tier``
@@ -402,8 +554,23 @@ class TierPipeline:
             self.pipeline_stats.promotions_blocked += 1
             return self.tier_names[index]
         page = self._lru[index][vaddr]
+        try:
+            self.tiers[index].swap_in(page)
+        except TierUnavailableError:
+            # Holding tier unreachable: the blob stays put; the
+            # promotion is merely blocked, not an error for the caller.
+            self._record_tier_error(index)
+            self.pipeline_stats.promotions_blocked += 1
+            return self.tier_names[index]
+        except CorruptedBlobError:
+            self._record_tier_error(index)
+            self.pipeline_stats.data_loss_events += 1
+            self._forget(page, index)
+            self._poisoned.add(vaddr)
+            checkpoint(self)
+            raise
+        self.breakers[index].record_success()
         self._forget(page, index)
-        self.tiers[index].swap_in(page)
         outcome, new_index = self._place(page, start=target)
         if not outcome.accepted:
             raise SfmError(
@@ -439,11 +606,19 @@ class TierPipeline:
         return False
 
     def load(self, key: int) -> Optional[bytes]:
-        """Exclusive load by key; None when the pipeline never kept it."""
+        """Exclusive load by key; None when the pipeline never kept it.
+
+        A transient :class:`TierUnavailableError` keeps the key mapped
+        (retry later); a :class:`CorruptedBlobError` drops it — the
+        data is gone and the caller was told so explicitly."""
         page = self._keyed.pop(key, None)
         if page is None:
             return None
-        return self.swap_in(page)
+        try:
+            return self.swap_in(page)
+        except TierUnavailableError:
+            self._keyed[key] = page
+            raise
 
     def promote_key(self, key: int) -> Optional[str]:
         page = self._keyed.get(key)
@@ -452,6 +627,83 @@ class TierPipeline:
     def tier_of_key(self, key: int) -> Optional[str]:
         page = self._keyed.get(key)
         return None if page is None else self.tier_of(page.vaddr)
+
+    # -- tier health / drain -------------------------------------------------
+
+    def breaker_states(self) -> Dict[str, str]:
+        """tier name -> breaker state (``closed``/``open``/``half_open``)."""
+        return {b.name: b.state.value for b in self.breakers}
+
+    def health(self) -> Dict[str, object]:
+        """One snapshot of per-tier breaker health plus the pipeline's
+        resilience counters (for the chaos report / operators)."""
+        return {
+            "tiers": {b.name: b.snapshot() for b in self.breakers},
+            "poisoned_pages": len(self._poisoned),
+            "tier_errors": self.pipeline_stats.tier_errors,
+            "data_loss_events": self.pipeline_stats.data_loss_events,
+            "quarantine_skips": self.pipeline_stats.quarantine_skips,
+            "drained_pages": self.pipeline_stats.drained_pages,
+            "spill_callback_errors":
+                self.pipeline_stats.spill_callback_errors,
+        }
+
+    def drain_tier(self, name: str, limit: Optional[int] = None) -> int:
+        """Relocate resident pages out of tier ``name`` into the other
+        tiers (typically after its breaker opened), up to ``limit``
+        pages. Returns pages successfully moved.
+
+        The drain stops early if the tier goes unreachable mid-way
+        (pages still marked resident there, retryable); corrupted
+        pages are poisoned — later accesses raise
+        :class:`CorruptedBlobError` — never lost silently. No breaker
+        success is recorded for the drain reads themselves, so a
+        half-open probe's verdict stays owned by real traffic."""
+        if name not in self.tier_names:
+            raise ConfigError(f"unknown tier {name!r}")
+        origin = self.tier_names.index(name)
+        moved = 0
+        trace_on = _trace.tracing_enabled()
+        while self._lru[origin] and (limit is None or moved < limit):
+            vaddr, page = next(iter(self._lru[origin].items()))
+            try:
+                data = self.tiers[origin].swap_in(page)
+            except TierUnavailableError:
+                self._record_tier_error(origin)
+                break
+            except CorruptedBlobError:
+                self._record_tier_error(origin)
+                self.pipeline_stats.data_loss_events += 1
+                self._forget(page, origin)
+                self._poisoned.add(vaddr)
+                continue
+            self._forget(page, origin)
+            outcome, new_index = self._place(page, start=0, skip=origin)
+            if outcome.accepted:
+                moved += 1
+                self.pipeline_stats.drained_pages += 1
+                if trace_on:
+                    _trace.instant(
+                        "tier_drain", TRACK_TIER,
+                        args={"from": name,
+                              "to": self.tier_names[new_index],
+                              "vaddr": vaddr},
+                    )
+                continue
+            # No other tier would hold it: spill if we can, otherwise
+            # put it back where it came from (space was just freed).
+            if self.spill is not None:
+                self._spill_page(vaddr, data)
+                continue
+            restore, _ = self._place(page, start=origin)
+            if not restore.accepted:
+                raise SfmError(
+                    f"page 0x{vaddr:x} rejected everywhere during drain "
+                    f"of tier {name!r} and no spill callback is set"
+                )
+            break
+        checkpoint(self)
+        return moved
 
     # -- maintenance ---------------------------------------------------------
 

@@ -33,7 +33,11 @@ class SwapOutcome:
     Rejections (``accepted=False``) are control-plane signals, not
     errors: ``reason`` is ``"incompressible"`` or ``"pool-full"`` for
     single tiers, and the pipeline adds ``"all-tiers-rejected"`` when a
-    page fell through every tier.
+    page fell through every tier. Two *failure* reasons signal a broken
+    (not merely full) tier and feed the pipeline's circuit breakers:
+    ``"link-error"`` (DFM link retries exhausted; nothing was written)
+    and ``"device-fault"`` (the tier raised TierUnavailableError).
+    Either way the page stays resident — a rejection never loses data.
     """
 
     accepted: bool

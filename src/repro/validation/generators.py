@@ -233,3 +233,33 @@ def gen_offload_batch(
                     )
                 )
     return batch
+
+
+def gen_fault_plan(
+    rng: random.Random,
+    max_sites: int = 6,
+    max_probability: float = 0.15,
+) -> "FaultPlan":
+    """A seeded :class:`~repro.resilience.faults.FaultPlan`: a random
+    subset of injection sites with moderate probabilities, so a fuzzed
+    chaos run sees several distinct fault kinds without drowning the
+    workload. The plan seed itself is drawn from ``rng``, keeping the
+    whole campaign reproducible from one case seed."""
+    from repro.resilience.faults import ALL_SITES, FaultPlan, FaultSpec
+
+    count = rng.randint(1, min(max_sites, len(ALL_SITES)))
+    sites = rng.sample(ALL_SITES, count)
+    specs = tuple(
+        FaultSpec(
+            site=site,
+            probability=round(rng.uniform(0.01, max_probability), 4),
+            skip_calls=rng.choice((0, 0, 0, 5, 20)),
+            max_fires=rng.choice((0, 0, 1, 4)),
+            magnitude=(
+                round(rng.uniform(2.0, 16.0), 2)
+                if site == "dfm.latency_spike" else 0.0
+            ),
+        )
+        for site in sorted(sites)
+    )
+    return FaultPlan(seed=rng.getrandbits(32), specs=specs)

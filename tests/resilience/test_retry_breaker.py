@@ -1,0 +1,185 @@
+"""retry_with_backoff (simulated-time backoff) and the circuit breaker."""
+
+import pytest
+
+from repro.errors import ConfigError, DeviceFault
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.retry import BackoffPolicy, retry_with_backoff
+from repro.telemetry import trace as _trace
+
+
+class TestRetry:
+    def test_succeeds_first_try(self):
+        assert retry_with_backoff(lambda: 42) == 42
+
+    def test_recovers_after_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise DeviceFault("transient")
+            return "ok"
+
+        policy = BackoffPolicy(max_attempts=3, base_delay_ns=1000)
+        assert retry_with_backoff(flaky, policy=policy) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_reraises(self):
+        def broken():
+            raise DeviceFault("permanent")
+
+        policy = BackoffPolicy(max_attempts=3, base_delay_ns=10)
+        with pytest.raises(DeviceFault):
+            retry_with_backoff(broken, policy=policy)
+
+    def test_backoff_advances_simulated_clock(self):
+        """Backoff is simulated time (trace clock), never a wall sleep."""
+        calls = []
+
+        def flaky():
+            calls.append(_trace.clock_ns())
+            if len(calls) < 3:
+                raise DeviceFault("transient")
+
+        _trace.set_clock_ns(0.0)
+        policy = BackoffPolicy(
+            max_attempts=3, base_delay_ns=1000, multiplier=2.0
+        )
+        retry_with_backoff(flaky, policy=policy)
+        # attempt 1 @0, +1000 -> attempt 2, +2000 -> attempt 3.
+        assert calls == [0.0, 1000.0, 3000.0]
+
+    def test_unlisted_exception_propagates_immediately(self):
+        attempts = []
+
+        def wrong_kind():
+            attempts.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(wrong_kind)
+        assert len(attempts) == 1
+
+    def test_on_retry_called_per_retry(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise DeviceFault("transient")
+
+        retry_with_backoff(
+            flaky,
+            policy=BackoffPolicy(max_attempts=3, base_delay_ns=1),
+            on_retry=lambda attempt, exc: seen.append(attempt),
+        )
+        assert seen == [1, 2]
+
+    def test_policy_validated(self):
+        with pytest.raises(ConfigError):
+            BackoffPolicy(max_attempts=0)
+
+
+class TestBreaker:
+    def _breaker(self, **kwargs):
+        defaults = dict(
+            failure_threshold=3,
+            window=8,
+            error_rate_threshold=0.5,
+            cooldown_ops=4,
+            probes_to_close=2,
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker("t", config=BreakerConfig(**defaults))
+
+    def test_starts_closed_and_allows(self):
+        breaker = self._breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip_open(self):
+        breaker = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_error_rate_trips_with_interleaved_successes(self):
+        breaker = self._breaker(failure_threshold=100)
+        for _ in range(4):
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_then_half_open_probe_closes(self):
+        breaker = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        # Cooldown: the first cooldown_ops allow() calls are refused.
+        refused = [breaker.allow() for _ in range(4)]
+        assert refused == [False, False, False, True]
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(4):
+            breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # A fresh full cooldown applies again.
+        assert [breaker.allow() for _ in range(4)] == [
+            False, False, False, True,
+        ]
+
+    def test_transition_callback_and_counts(self):
+        seen = []
+        breaker = CircuitBreaker(
+            "dfm",
+            config=BreakerConfig(
+                failure_threshold=2, cooldown_ops=1, probes_to_close=1
+            ),
+            on_transition=lambda b, old, new: seen.append(
+                (old.value, new.value)
+            ),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert breaker.transitions["open"] == 1
+        assert breaker.transitions["closed"] == 1
+
+    def test_snapshot_shape(self):
+        breaker = self._breaker()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert set(snap) == {
+            "state", "error_rate", "consecutive_failures", "transitions",
+        }

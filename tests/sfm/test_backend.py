@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compression import LzFastCodec
-from repro.errors import SfmError
+from repro.errors import ConfigError, SfmError
 from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
 
@@ -108,7 +108,7 @@ class TestAccounting:
         out = backend.swap_latency_s("out")
         into = backend.swap_latency_s("in")
         assert out > into > 0
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             backend.swap_latency_s("sideways")
 
     def test_compact_charges_traffic(self, backend, json_pages):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.sfm.metrics import (
     BandwidthLedger,
     SwapStats,
@@ -96,7 +97,7 @@ class TestBandwidthLedger:
         assert ledger.channel_bytes() == 30
 
     def test_direction_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             BandwidthLedger().record("app", "sideways", 1)
 
     def test_bandwidth(self):

@@ -1,0 +1,68 @@
+"""Error-hygiene lint: the device/backends layers raise typed errors.
+
+The resilience layer's recovery logic dispatches on the
+:mod:`repro.errors` hierarchy (``DeviceFault`` retries, ``SfmError``
+surfaces, ``CorruptedBlobError`` poisons, ...). A bare builtin raise in
+those layers would silently bypass every one of those contracts, so
+this test greps them out of existence. Builtins stay allowed elsewhere
+(e.g. compression codecs predate the hierarchy and raise ``ValueError``
+for malformed arguments by design).
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Layers whose raises must come from repro.errors.
+LINTED_DIRS = ("core", "sfm", "dfm", "tiering")
+
+#: Builtin exception types forbidden as `raise X(...)` in linted dirs.
+FORBIDDEN = ("ValueError", "RuntimeError", "Exception", "KeyError",
+             "TypeError", "IOError", "OSError")
+
+_RAISE = re.compile(
+    r"^\s*raise\s+(?:" + "|".join(FORBIDDEN) + r")\b"
+)
+
+
+def _linted_files():
+    for directory in LINTED_DIRS:
+        yield from sorted((SRC / directory).rglob("*.py"))
+
+
+def test_linted_layers_exist():
+    files = list(_linted_files())
+    assert len(files) >= 8, "lint scope unexpectedly small"
+
+
+def test_no_builtin_raises_in_device_layers():
+    offenders = []
+    for path in _linted_files():
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _RAISE.match(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "builtin exceptions raised in device layers (use repro.errors):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_resilience_error_types_are_wired():
+    """The three error types the resilience layer dispatches on exist
+    and sit in the right places in the hierarchy."""
+    from repro.errors import (
+        CorruptedBlobError,
+        DeviceFault,
+        ReproError,
+        SfmError,
+        TierUnavailableError,
+    )
+
+    assert issubclass(DeviceFault, ReproError)
+    assert issubclass(TierUnavailableError, ReproError)
+    assert issubclass(CorruptedBlobError, SfmError)
+    # CorruptedBlobError carries the poisoned vaddr for reporting.
+    assert CorruptedBlobError("x", vaddr=0x123).vaddr == 0x123
