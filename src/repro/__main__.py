@@ -184,6 +184,127 @@ _DESCRIPTIONS = {
 }
 
 
+def _cmd_replay(targets: List[str], args) -> int:
+    """``python -m repro replay <scenario|--trace-file>``: replay a swap
+    trace against a backend config. Exit 0 clean, 1 on digest mismatches
+    or missing pages, 2 on usage errors."""
+    from pathlib import Path
+
+    from repro.errors import ScenarioError
+    from repro.scenarios.format import ScenarioTrace
+    from repro.scenarios.replayer import TraceReplayer, format_report
+    from repro.scenarios.zoo import SCENARIOS, load_scenario
+    from repro.telemetry.session import TelemetrySession
+    from repro.tiering.factory import TIER_KINDS, make_tier
+    from repro.validation.hooks import validation
+
+    if args.backend not in TIER_KINDS:
+        print(
+            f"unknown backend {args.backend!r} "
+            f"(have: {', '.join(TIER_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.trace_file is not None:
+            trace = ScenarioTrace.load(args.trace_file)
+        else:
+            if len(targets) != 1 or targets[0] not in SCENARIOS:
+                print(
+                    "replay needs one scenario name "
+                    f"(have: {', '.join(sorted(SCENARIOS))}) "
+                    "or --trace-file PATH",
+                    file=sys.stderr,
+                )
+                return 2
+            trace = load_scenario(targets[0])
+    except ScenarioError as exc:
+        print(f"unusable trace: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    session = TelemetrySession(out_dir=out_dir)
+    with session, validation(args.validation):
+        target = make_tier(args.backend, registry=session.registry)
+        report = TraceReplayer(
+            trace,
+            target,
+            backend_name=args.backend,
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+            session=session,
+        ).run()
+    print(format_report(report))
+    if out_dir is not None:
+        print(f"  wrote {out_dir / 'trace.json'}")
+        print(f"  wrote {out_dir / 'metrics.json'}")
+    return 0 if report.clean else 1
+
+
+def _cmd_record(targets: List[str], args) -> int:
+    """``python -m repro record <scenario>``: re-record a zoo scenario
+    from a live pipeline run and save the trace artifact."""
+    from pathlib import Path
+
+    from repro.scenarios.format import trace_fingerprint
+    from repro.scenarios.zoo import (
+        ARTIFACT_SUFFIX,
+        SCENARIOS,
+        build_scenario,
+    )
+
+    if len(targets) != 1 or targets[0] not in SCENARIOS:
+        print(
+            "record needs one scenario name "
+            f"(have: {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+    name = targets[0]
+    trace = build_scenario(name, seed=args.seed)
+    if args.trace_file is not None:
+        path = Path(args.trace_file)
+    else:
+        out_base = Path(args.out) if args.out else Path("trace-out")
+        path = out_base / (name + ARTIFACT_SUFFIX)
+    trace.save(path)
+    print(f"recorded scenario: {name}")
+    print(f"  events      : {len(trace)}")
+    print(f"  unique pages: {len(trace.pages)}")
+    print(f"  fingerprint : {trace_fingerprint(trace)}")
+    print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_ingest(targets: List[str], args) -> int:
+    """``python -m repro ingest <dir>``: page-ify a file tree into a
+    digest-verified per-domain corpus."""
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.scenarios.ingest import IngestConfig, ingest_tree
+
+    if len(targets) != 1:
+        print("ingest needs exactly one root directory", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else Path("corpus-out")
+    try:
+        manifest = ingest_tree(
+            targets[0],
+            out_dir,
+            IngestConfig(max_file_bytes=args.max_file_kib * 1024),
+        )
+    except ConfigError as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"ingested corpus: {manifest.root_label}")
+    for domain, pages in manifest.summary().items():
+        print(f"  {domain:10s}: {pages} pages")
+    print(f"  total      : {manifest.total_pages()} pages "
+          f"({manifest.page_size} B each)")
+    print(f"  wrote {out_dir / 'manifest.json'}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -194,7 +315,8 @@ def main(argv: List[str] = None) -> int:
         nargs="*",
         default=["list"],
         help="experiment names, 'list', 'all', 'export <dir>', "
-        "'trace <workload>', or 'tiers'",
+        "'trace <workload>', 'tiers', 'chaos', 'replay <scenario>', "
+        "'record <scenario>', or 'ingest <dir>'",
     )
     parser.add_argument(
         "--out",
@@ -215,7 +337,35 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--validation",
         action="store_true",
-        help="run 'chaos' with the validation invariant checkers on",
+        help="run 'chaos'/'replay' with the validation checkers on",
+    )
+    parser.add_argument(
+        "--backend",
+        default="pipeline",
+        help="replay target config (cpu|xfm|xfm-mc|dfm|pipeline)",
+    )
+    parser.add_argument(
+        "--fault-profile",
+        default=None,
+        help="replay under a chaos fault profile (transient|full)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault-plan seed for --fault-profile",
+    )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        help="replay/record: explicit trace artifact path "
+        "(default: the shipped zoo artifact / <out>/<name>.trace.jsonl.gz)",
+    )
+    parser.add_argument(
+        "--max-file-kib",
+        type=int,
+        default=512,
+        help="ingest: skip files larger than this (KiB)",
     )
     parser.add_argument(
         "--fail-on-loss",
@@ -240,7 +390,23 @@ def main(argv: List[str] = None) -> int:
               "   # 3-tier demotion/promotion demo")
         print("     python -m repro chaos [--seed N] [--ops N]"
               " [--profile P] [--out DIR]   # seeded fault campaign")
+        from repro.scenarios.zoo import SCENARIOS
+
+        print("     python -m repro replay <scenario> [--backend B]"
+              " [--fault-profile P] [--out DIR]   # replay a swap trace")
+        print(f"     replay scenarios: {', '.join(sorted(SCENARIOS))}"
+              " (or --trace-file PATH)")
+        print("     python -m repro record <scenario> [--seed N]"
+              " [--out DIR]   # re-record a zoo trace artifact")
+        print("     python -m repro ingest <dir> [--out DIR]"
+              " [--max-file-kib N]   # page-ify a file tree")
         return 0
+    if names and names[0] == "replay":
+        return _cmd_replay(names[1:], args)
+    if names and names[0] == "record":
+        return _cmd_record(names[1:], args)
+    if names and names[0] == "ingest":
+        return _cmd_ingest(names[1:], args)
     if names and names[0] == "chaos":
         from pathlib import Path
 

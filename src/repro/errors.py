@@ -91,3 +91,20 @@ class TierUnavailableError(ReproError):
     Unlike :class:`CorruptedBlobError` the stored data still exists —
     the operation may succeed once the tier recovers.
     """
+
+
+class ScenarioError(ReproError):
+    """A scenario artifact (swap trace or ingested corpus) is unusable."""
+
+
+class TraceFormatError(ScenarioError):
+    """A swap-trace file is truncated, corrupt, or schema-invalid."""
+
+
+class TraceVersionError(TraceFormatError):
+    """A swap-trace file declares a format version this code can't read."""
+
+
+class ManifestError(ScenarioError):
+    """A corpus manifest is corrupt, schema-invalid, or inconsistent
+    with its page files."""

@@ -70,6 +70,16 @@ PROFILES: Dict[str, Tuple[FaultSpec, ...]] = {
 }
 
 
+def fault_plan_for(profile: str, seed: int = 0) -> FaultPlan:
+    """Seeded :class:`FaultPlan` for a named profile (shared by the
+    chaos campaign and the scenario replayer's chaos-replay mode)."""
+    if profile not in PROFILES:
+        raise ConfigError(
+            f"unknown chaos profile {profile!r}; have {sorted(PROFILES)}"
+        )
+    return FaultPlan(seed=seed, specs=PROFILES[profile])
+
+
 @dataclass(frozen=True)
 class ChaosConfig:
     """One campaign's knobs (all deterministic inputs)."""
@@ -122,7 +132,7 @@ def run_chaos(
     ``trace.json``/``metrics.json`` there and the report lands next to
     them as ``chaos_report.json``.
     """
-    plan = FaultPlan(seed=config.seed, specs=PROFILES[config.profile])
+    plan = fault_plan_for(config.profile, config.seed)
     injector = FaultInjector(plan)
     session = TelemetrySession(out_dir=out_dir)
     with session, validation(config.validate), \

@@ -1,0 +1,318 @@
+"""Offline corpus ingestion: page-ify a real file tree for benchmarks.
+
+The compression results in this repo historically came from synthetic
+corpora (:mod:`repro.workloads.corpus`). This pipeline turns any local
+text/source/JSON tree — this repository's own source tree is the first
+corpus — into the artifact the benchmarks consume:
+
+``gather``  — walk the tree deterministically (sorted paths, VCS/cache
+directories skipped, oversized files skipped), ``extract`` — read each
+file's bytes and classify it into a *domain* by suffix (source / text /
+json / config / web), ``chunk`` — split into 4 KiB pages, zero-padding
+the final partial page, ``manifest`` — write one ``manifest.json`` plus
+one ``<domain>.pages.gz`` per domain, every page blake2b-digested.
+
+Determinism is a contract: ingesting the same tree twice yields
+byte-identical manifests and page files (gzip mtime pinned to zero, all
+orderings sorted, no wall-clock anywhere), which the determinism tests
+enforce. Loads are strict — schema drift, digest mismatches, or a pages
+file that disagrees with its manifest raise
+:class:`~repro.errors.ManifestError`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, ManifestError
+from repro.scenarios.format import digest_hex
+from repro.sfm.page import PAGE_SIZE
+
+#: Bumped only for changes an old reader would misinterpret.
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Suffix -> domain classification. Files outside this map are skipped:
+#: the corpus targets the byte classes the paper compresses, not
+#: arbitrary binaries.
+DOMAIN_BY_SUFFIX: Dict[str, str] = {
+    ".py": "source", ".c": "source", ".h": "source", ".rs": "source",
+    ".go": "source", ".java": "source", ".sh": "source",
+    ".md": "text", ".txt": "text", ".rst": "text",
+    ".json": "json", ".jsonl": "json",
+    ".toml": "config", ".yml": "config", ".yaml": "config",
+    ".cfg": "config", ".ini": "config",
+    ".html": "web", ".css": "web", ".js": "web", ".xml": "web",
+    ".csv": "tabular",
+}
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({
+    ".git", "__pycache__", ".pytest_cache", ".hypothesis", ".benchmarks",
+    ".claude", ".tox", ".venv", "node_modules", ".mypy_cache",
+    ".ruff_cache", "egg-info",
+})
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Knobs of one ingestion run (all deterministic inputs)."""
+
+    page_size: int = PAGE_SIZE
+    #: Files larger than this are skipped (keeps artifacts small and
+    #: excludes generated blobs).
+    max_file_bytes: int = 512 * 1024
+    #: Optional whitelist; None means every domain in DOMAIN_BY_SUFFIX.
+    domains: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ConfigError("page_size must be positive")
+        if self.max_file_bytes <= 0:
+            raise ConfigError("max_file_bytes must be positive")
+
+
+@dataclass
+class DomainCorpus:
+    """One domain's ingested pages plus their provenance."""
+
+    domain: str
+    #: (relative posix path, file size in bytes, pages contributed).
+    files: List[Tuple[str, int, int]] = field(default_factory=list)
+    page_digests: List[str] = field(default_factory=list)
+    pages: List[bytes] = field(default_factory=list)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_digests)
+
+
+def classify(path: Path) -> Optional[str]:
+    """Domain of one file, or None when it is not corpus material."""
+    return DOMAIN_BY_SUFFIX.get(path.suffix.lower())
+
+
+def gather_files(root: Path, config: IngestConfig) -> List[Path]:
+    """Deterministic file walk: sorted, filtered, bounded."""
+    if not root.is_dir():
+        raise ConfigError(f"ingest root {root} is not a directory")
+    out: List[Path] = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or path.is_symlink():
+            continue
+        relative = path.relative_to(root)
+        if any(
+            part in SKIP_DIRS or part.endswith(".egg-info")
+            for part in relative.parts[:-1]
+        ):
+            continue
+        domain = classify(path)
+        if domain is None:
+            continue
+        if config.domains is not None and domain not in config.domains:
+            continue
+        if path.stat().st_size > config.max_file_bytes:
+            continue
+        out.append(path)
+    return out
+
+
+def chunk_pages(data: bytes, page_size: int) -> List[bytes]:
+    """Split into fixed pages, zero-padding the final partial one."""
+    if not data:
+        return []
+    pages = []
+    for start in range(0, len(data), page_size):
+        page = data[start : start + page_size]
+        if len(page) < page_size:
+            page = page + bytes(page_size - len(page))
+        pages.append(page)
+    return pages
+
+
+def ingest_tree(
+    root: Union[str, Path],
+    out_dir: Union[str, Path],
+    config: Optional[IngestConfig] = None,
+) -> "CorpusManifest":
+    """Run the full gather -> extract -> chunk -> manifest pipeline."""
+    config = config if config is not None else IngestConfig()
+    root = Path(root)
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+
+    domains: Dict[str, DomainCorpus] = {}
+    for path in gather_files(root, config):
+        domain = classify(path)
+        data = path.read_bytes()
+        pages = chunk_pages(data, config.page_size)
+        if not pages:
+            continue
+        corpus = domains.setdefault(domain, DomainCorpus(domain=domain))
+        corpus.files.append(
+            (path.relative_to(root).as_posix(), len(data), len(pages))
+        )
+        for page in pages:
+            corpus.page_digests.append(digest_hex(page))
+            corpus.pages.append(page)
+
+    manifest = CorpusManifest(
+        page_size=config.page_size,
+        root_label=root.name or str(root),
+        domains=domains,
+    )
+    manifest.save(target)
+    return manifest
+
+
+@dataclass
+class CorpusManifest:
+    """The per-domain manifest + page files of one ingested tree."""
+
+    page_size: int
+    root_label: str
+    domains: Dict[str, DomainCorpus]
+    #: Directory the manifest was saved to / loaded from.
+    base_dir: Optional[Path] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": MANIFEST_VERSION,
+            "page_size": self.page_size,
+            "root_label": self.root_label,
+            "domains": {
+                name: {
+                    "pages_file": f"{name}.pages.gz",
+                    "num_pages": corpus.num_pages,
+                    "files": [list(item) for item in corpus.files],
+                    "page_digests": corpus.page_digests,
+                    # One digest over the ordered page digests: the
+                    # cheap whole-domain identity CI compares.
+                    "digest": digest_hex(
+                        "".join(corpus.page_digests).encode("ascii")
+                    ),
+                }
+                for name, corpus in sorted(self.domains.items())
+            },
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, out_dir: Union[str, Path]) -> Path:
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        manifest_path = target / MANIFEST_NAME
+        manifest_path.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        for name, corpus in sorted(self.domains.items()):
+            with open(target / f"{name}.pages.gz", "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", mode="wb", fileobj=raw, mtime=0
+                ) as fh:
+                    for page in corpus.pages:
+                        fh.write(page)
+        self.base_dir = target
+        return manifest_path
+
+    @classmethod
+    def load(cls, base_dir: Union[str, Path]) -> "CorpusManifest":
+        base = Path(base_dir)
+        manifest_path = base / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ManifestError(f"no {MANIFEST_NAME} in {base}")
+        try:
+            doc = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"{manifest_path} is corrupt JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("schema") != MANIFEST_VERSION:
+            raise ManifestError(
+                f"{manifest_path}: unsupported schema "
+                f"{doc.get('schema')!r} (expected {MANIFEST_VERSION})"
+            )
+        try:
+            domains: Dict[str, DomainCorpus] = {}
+            for name, entry in doc["domains"].items():
+                domains[name] = DomainCorpus(
+                    domain=name,
+                    files=[tuple(item) for item in entry["files"]],
+                    page_digests=list(entry["page_digests"]),
+                )
+            manifest = cls(
+                page_size=int(doc["page_size"]),
+                root_label=str(doc["root_label"]),
+                domains=domains,
+                base_dir=base,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"{manifest_path}: malformed manifest: {exc}"
+            ) from exc
+        for name, entry in doc["domains"].items():
+            if entry["num_pages"] != len(domains[name].page_digests):
+                raise ManifestError(
+                    f"{manifest_path}: domain {name!r} declares "
+                    f"{entry['num_pages']} pages but lists "
+                    f"{len(domains[name].page_digests)} digests"
+                )
+        return manifest
+
+    def load_pages(self, domain: str) -> List[bytes]:
+        """Read and digest-verify one domain's pages from disk."""
+        if self.base_dir is None:
+            raise ManifestError(
+                "manifest has no base_dir; save() or load() it first"
+            )
+        try:
+            corpus = self.domains[domain]
+        except KeyError:
+            raise ManifestError(
+                f"manifest has no domain {domain!r}; "
+                f"have {sorted(self.domains)}"
+            ) from None
+        path = self.base_dir / f"{domain}.pages.gz"
+        try:
+            with gzip.open(path, "rb") as fh:
+                blob = fh.read()
+        except (OSError, EOFError) as exc:
+            raise ManifestError(
+                f"pages file {path} unreadable: {exc}"
+            ) from exc
+        expected = corpus.num_pages * self.page_size
+        if len(blob) != expected:
+            raise ManifestError(
+                f"{path}: {len(blob)} bytes on disk, manifest expects "
+                f"{expected}"
+            )
+        pages = [
+            blob[i * self.page_size : (i + 1) * self.page_size]
+            for i in range(corpus.num_pages)
+        ]
+        for index, (page, digest) in enumerate(
+            zip(pages, corpus.page_digests)
+        ):
+            if digest_hex(page) != digest:
+                raise ManifestError(
+                    f"{path}: page {index} does not match its manifest "
+                    "digest"
+                )
+        corpus.pages = pages
+        return pages
+
+    def total_pages(self) -> int:
+        return sum(corpus.num_pages for corpus in self.domains.values())
+
+    def summary(self) -> Dict[str, int]:
+        """domain -> page count (for CLI output and quick assertions)."""
+        return {
+            name: corpus.num_pages
+            for name, corpus in sorted(self.domains.items())
+        }

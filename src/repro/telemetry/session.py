@@ -47,6 +47,7 @@ class TelemetrySession:
             registry if registry is not None else MetricsRegistry()
         )
         self._stats: Dict[str, StatsFacade] = {}
+        self._annotations: Dict[str, object] = {}
         self._was_enabled = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -68,6 +69,12 @@ class TelemetrySession:
         """Include a stats facade in ``metrics.json`` under ``name``."""
         self._stats[name] = stats
 
+    def annotate(self, key: str, value: object) -> None:
+        """Attach a free-form JSON-serialisable block to
+        ``metrics.json`` under ``annotations.<key>`` (replay reports,
+        campaign verdicts, run provenance, ...)."""
+        self._annotations[key] = value
+
     def metrics_document(self) -> Dict[str, object]:
         doc: Dict[str, object] = {
             "schema": 1,
@@ -76,6 +83,8 @@ class TelemetrySession:
                 name: stats.as_dict() for name, stats in self._stats.items()
             },
         }
+        if self._annotations:
+            doc["annotations"] = dict(self._annotations)
         doc["trace"] = {
             "events": len(self.ring),
             "dropped": self.ring.dropped,

@@ -5,6 +5,7 @@
 promotion policies. See DESIGN.md §8.
 """
 
+from repro.tiering.factory import TIER_KINDS, make_tier
 from repro.tiering.pipeline import PipelineStats, TierPipeline
 from repro.tiering.policy import (
     AdmissionPolicy,
@@ -36,5 +37,7 @@ __all__ = [
     "PromoteToTop",
     "PromotionPolicy",
     "SwapOutcome",
+    "TIER_KINDS",
     "TierPipeline",
+    "make_tier",
 ]

@@ -597,8 +597,11 @@ class TierPipeline:
         if len(data) != PAGE_SIZE:
             raise ConfigError(f"store expects a {PAGE_SIZE}-byte page")
         if key in self._keyed:
-            self.invalidate(self._keyed.pop(key).vaddr)
-            self.pipeline_stats.invalidates -= 1  # internal, not caller-visible
+            if self.invalidate(self._keyed.pop(key).vaddr):
+                # Internal drop, not caller-visible; only un-count it
+                # when a copy was actually held (the page may have been
+                # invalidated through the protocol API already).
+                self.pipeline_stats.invalidates -= 1
         page = Page(vaddr=key * PAGE_SIZE, data=data)
         if self.swap_out(page).accepted:
             self._keyed[key] = page

@@ -1,0 +1,198 @@
+"""Corpus ingestion: deterministic artifacts, strict typed loads."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ManifestError
+from repro.scenarios.ingest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    CorpusManifest,
+    IngestConfig,
+    chunk_pages,
+    classify,
+    gather_files,
+    ingest_tree,
+)
+from repro.sfm.page import PAGE_SIZE
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A small mixed-domain source tree with things that must be skipped."""
+    root = tmp_path / "corpus"
+    (root / "pkg").mkdir(parents=True)
+    (root / "pkg" / "mod.py").write_text("def f():\n    return 42\n" * 200)
+    (root / "README.md").write_text("# corpus\n" + "lorem ipsum " * 500)
+    (root / "data.json").write_text(json.dumps({"k": list(range(500))}))
+    (root / "table.csv").write_text("a,b,c\n" + "1,2,3\n" * 900)
+    # Must all be skipped:
+    (root / ".git").mkdir()
+    (root / ".git" / "config.py").write_text("never = True\n")
+    (root / "__pycache__").mkdir()
+    (root / "__pycache__" / "mod.py").write_text("cached = True\n")
+    (root / "blob.bin").write_bytes(bytes(64))  # unknown suffix
+    (root / "huge.txt").write_text("x" * (8 * 1024 + 1))
+    return root
+
+
+SMALL = IngestConfig(max_file_bytes=8 * 1024)
+
+
+class TestGatherAndChunk:
+    def test_gather_is_sorted_and_filtered(self, tree):
+        files = gather_files(tree, SMALL)
+        names = [p.relative_to(tree).as_posix() for p in files]
+        assert names == sorted(names)
+        assert names == [
+            "README.md", "data.json", "pkg/mod.py", "table.csv"
+        ]  # .git/, __pycache__/, blob.bin, oversized huge.txt all out
+
+    def test_gather_rejects_non_directory(self, tmp_path):
+        with pytest.raises(ConfigError):
+            gather_files(tmp_path / "missing", SMALL)
+
+    def test_classify(self, tree):
+        assert classify(tree / "pkg" / "mod.py") == "source"
+        assert classify(tree / "blob.bin") is None
+
+    def test_chunk_pads_final_page_with_zeros(self):
+        pages = chunk_pages(b"x" * (PAGE_SIZE + 7), PAGE_SIZE)
+        assert [len(p) for p in pages] == [PAGE_SIZE, PAGE_SIZE]
+        assert pages[1] == b"x" * 7 + bytes(PAGE_SIZE - 7)
+        assert chunk_pages(b"", PAGE_SIZE) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            IngestConfig(page_size=0)
+        with pytest.raises(ConfigError):
+            IngestConfig(max_file_bytes=-1)
+
+
+class TestDeterminismAndRoundTrip:
+    def test_double_ingest_is_byte_identical(self, tree, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        ingest_tree(tree, a, SMALL)
+        ingest_tree(tree, b, SMALL)
+        a_files = sorted(p.name for p in a.iterdir())
+        assert a_files == sorted(p.name for p in b.iterdir())
+        for name in a_files:
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+
+    def test_manifest_round_trip(self, tree, tmp_path):
+        out = tmp_path / "out"
+        written = ingest_tree(tree, out, SMALL)
+        loaded = CorpusManifest.load(out)
+        assert loaded.page_size == written.page_size
+        assert loaded.root_label == "corpus"
+        assert loaded.summary() == written.summary()
+        assert set(loaded.summary()) == {"source", "text", "json", "tabular"}
+        assert loaded.total_pages() == written.total_pages() > 0
+        for domain, corpus in written.domains.items():
+            assert loaded.domains[domain].page_digests == (
+                corpus.page_digests
+            )
+            assert loaded.domains[domain].files == corpus.files
+
+    def test_load_pages_verifies_every_digest(self, tree, tmp_path):
+        out = tmp_path / "out"
+        written = ingest_tree(tree, out, SMALL)
+        loaded = CorpusManifest.load(out)
+        for domain in loaded.summary():
+            pages = loaded.load_pages(domain)
+            assert pages == written.domains[domain].pages
+            assert all(len(p) == PAGE_SIZE for p in pages)
+
+    def test_domain_whitelist(self, tree, tmp_path):
+        config = IngestConfig(
+            max_file_bytes=8 * 1024, domains=("source",)
+        )
+        manifest = ingest_tree(tree, tmp_path / "out", config)
+        assert set(manifest.summary()) == {"source"}
+
+
+class TestTypedLoadErrors:
+    @pytest.fixture()
+    def out(self, tree, tmp_path):
+        target = tmp_path / "out"
+        ingest_tree(tree, target, SMALL)
+        return target
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError):
+            CorpusManifest.load(tmp_path)
+
+    def test_corrupt_manifest_json(self, out):
+        (out / MANIFEST_NAME).write_text("{broken")
+        with pytest.raises(ManifestError, match="corrupt JSON"):
+            CorpusManifest.load(out)
+
+    def test_wrong_schema_version(self, out):
+        doc = json.loads((out / MANIFEST_NAME).read_text())
+        doc["schema"] = MANIFEST_VERSION + 1
+        (out / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ManifestError, match="schema"):
+            CorpusManifest.load(out)
+
+    def test_malformed_domain_entry(self, out):
+        doc = json.loads((out / MANIFEST_NAME).read_text())
+        del doc["domains"]["source"]["files"]
+        (out / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ManifestError, match="malformed"):
+            CorpusManifest.load(out)
+
+    def test_num_pages_digest_count_mismatch(self, out):
+        doc = json.loads((out / MANIFEST_NAME).read_text())
+        doc["domains"]["source"]["num_pages"] += 1
+        (out / MANIFEST_NAME).write_text(json.dumps(doc))
+        with pytest.raises(ManifestError, match="declares"):
+            CorpusManifest.load(out)
+
+    def test_truncated_pages_file(self, out):
+        loaded = CorpusManifest.load(out)
+        path = out / "source.pages.gz"
+        with gzip.open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as fh:
+                fh.write(blob[: -PAGE_SIZE])
+        with pytest.raises(ManifestError, match="bytes on disk"):
+            loaded.load_pages("source")
+
+    def test_corrupted_page_bytes(self, out):
+        loaded = CorpusManifest.load(out)
+        path = out / "source.pages.gz"
+        with gzip.open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[10] ^= 0xFF
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as fh:
+                fh.write(bytes(blob))
+        with pytest.raises(ManifestError, match="does not match"):
+            loaded.load_pages("source")
+
+    def test_unknown_domain(self, out):
+        with pytest.raises(ManifestError, match="no domain"):
+            CorpusManifest.load(out).load_pages("holograms")
+
+    def test_unsaved_manifest_has_no_pages(self):
+        manifest = CorpusManifest(
+            page_size=PAGE_SIZE, root_label="x", domains={}
+        )
+        with pytest.raises(ManifestError, match="base_dir"):
+            manifest.load_pages("source")
+
+
+def test_repo_source_tree_is_ingestible(tmp_path):
+    """The repo's own src/ tree — the first shipped corpus — ingests
+    with at least a source domain and verifiable pages."""
+    import repro
+
+    src_root = __import__("pathlib").Path(repro.__file__).parents[1]
+    manifest = ingest_tree(src_root, tmp_path / "out")
+    assert "source" in manifest.summary()
+    assert manifest.total_pages() > 50
+    loaded = CorpusManifest.load(tmp_path / "out")
+    assert loaded.load_pages("source")  # digest-verified read

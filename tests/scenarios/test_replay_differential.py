@@ -1,0 +1,160 @@
+"""Differential replay: every shipped scenario against every target.
+
+The acceptance matrix of the scenario zoo: each checked-in trace
+artifact replays against all four flat backends plus the 3-tier
+pipeline, and on every target
+
+* every load returns byte-identical page contents (digest-verified by
+  the replayer: ``digest_mismatches == 0`` and ``missing_pages == 0``),
+* two replays of the same trace against the same config produce
+  identical stats (full report dict compared), and
+* the target's registry counters reconcile 1:1 with its bandwidth
+  ledger, exactly like the tiering acceptance tests.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios.format import OP_STORE
+from repro.scenarios.replayer import TraceReplayer, replay_trace
+from repro.scenarios.zoo import SCENARIOS, load_scenario
+from repro.sfm.page import PAGE_SIZE
+from repro.tiering import TIER_KINDS, make_tier
+
+SCENARIO_NAMES = sorted(SCENARIOS)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """Load each shipped artifact once for the whole matrix."""
+    return {name: load_scenario(name) for name in SCENARIO_NAMES}
+
+
+@pytest.mark.parametrize("backend", TIER_KINDS)
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+class TestDifferentialMatrix:
+    def test_replay_is_clean_and_reconciles(
+        self, traces, scenario, backend
+    ):
+        trace = traces[scenario]
+        target = make_tier(backend)
+        report = replay_trace(trace, target, backend_name=backend)
+
+        # Byte-identical page contents on every load, no page ever
+        # falls off the world.
+        assert report.digest_mismatches == 0, (scenario, backend)
+        assert report.missing_pages == 0, (scenario, backend)
+        assert report.clean
+        assert report.events == len(trace)
+        assert report.stores == trace.count(OP_STORE)
+        assert report.bytes_moved > 0
+
+        # Ledger <-> counter reconciliation, per concrete tier.
+        tiers = (
+            target.tiers if backend == "pipeline" else [target]
+        )
+        for tier in tiers:
+            _reconcile(tier)
+
+
+def _reconcile(tier):
+    """Registry byte counters must match ledger totals 1:1."""
+    stats = tier.stats
+    if tier.tier_name == "dfm":
+        assert tier.ledger.total("dfm_link") == (
+            stats.bytes_out_uncompressed + stats.bytes_in_uncompressed
+        )
+        assert tier.ledger.total("dfm_link") == (
+            (stats.swap_outs + stats.swap_ins) * PAGE_SIZE
+        )
+        return
+    moved = (
+        stats.bytes_out_uncompressed
+        + stats.bytes_out_compressed
+        + stats.bytes_in_uncompressed
+        + stats.bytes_in_compressed
+    )
+    ledger_total = tier.ledger.total("sfm_cpu") + tier.ledger.total("nma")
+    assert ledger_total == moved, tier.tier_name
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+@pytest.mark.parametrize("backend", ["dfm", "pipeline"])
+def test_replay_stats_are_deterministic(traces, scenario, backend):
+    """Two replays of one trace against one config: identical reports
+    (counters, bytes moved, AMAT, per-tier breakdowns — everything)."""
+    trace = traces[scenario]
+    first = replay_trace(
+        trace, make_tier(backend), backend_name=backend
+    ).as_dict()
+    second = replay_trace(
+        trace, make_tier(backend), backend_name=backend
+    ).as_dict()
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_chaos_replay_transient_faults_heal(traces):
+    """Replaying under the transient fault profile must never corrupt
+    or lose data — faults heal via retry/fallback (the chaos gate
+    applied to recorded workloads)."""
+    report = replay_trace(
+        traces["chaos-soak"],
+        make_tier("pipeline"),
+        backend_name="pipeline",
+        fault_profile="transient",
+        fault_seed=5,
+    )
+    assert report.digest_mismatches == 0
+    assert report.data_loss_events == 0
+    assert report.missing_pages == 0
+
+
+def test_chaos_replay_is_deterministic_in_fault_seed(traces):
+    kwargs = dict(
+        backend_name="dfm", fault_profile="transient", fault_seed=11
+    )
+    first = replay_trace(
+        traces["chaos-soak"], make_tier("dfm"), **kwargs
+    ).as_dict()
+    second = replay_trace(
+        traces["chaos-soak"], make_tier("dfm"), **kwargs
+    ).as_dict()
+    assert first == second
+
+
+def test_replayer_exports_into_telemetry_session(traces, tmp_path):
+    """A session-attached replay lands gauges + an annotation block in
+    metrics.json."""
+    from repro.telemetry.session import TelemetrySession
+
+    session = TelemetrySession(out_dir=tmp_path)
+    with session:
+        target = make_tier("dfm", registry=session.registry)
+        TraceReplayer(
+            traces["kv-cache"],
+            target,
+            backend_name="dfm",
+            session=session,
+        ).run()
+    doc = json.loads((tmp_path / "metrics.json").read_text())
+    assert doc["annotations"]["replay"]["scenario"] == "kv-cache"
+    assert doc["annotations"]["replay"]["clean"] is True
+    assert "replay_target" in doc["stats"]
+
+
+@pytest.mark.slow
+def test_soak_replay_across_all_backends_repeatedly(traces):
+    """Long soak: the chaos-soak trace replayed three times per target,
+    clean every time (exercises allocator/compaction paths that only
+    show up under sustained reuse)."""
+    for backend in TIER_KINDS:
+        for _ in range(3):
+            report = replay_trace(
+                traces["chaos-soak"],
+                make_tier(backend),
+                backend_name=backend,
+            )
+            assert report.clean, backend

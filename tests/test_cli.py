@@ -5,6 +5,14 @@ import pytest
 from repro.__main__ import EXPERIMENTS, main
 
 
+def _report_field(out: str, key: str) -> str:
+    """Value of one ``key : value`` line in a rendered replay report."""
+    for line in out.splitlines():
+        if ":" in line and line.split(":")[0].strip() == key:
+            return line.split(":", 1)[1].strip()
+    raise AssertionError(f"no {key!r} line in output:\n{out}")
+
+
 class TestCli:
     def test_list_is_default(self, capsys):
         assert main([]) == 0
@@ -42,3 +50,104 @@ class TestCli:
         assert written == {
             "fig1.csv", "fig3.json", "fig8.csv", "fig11.json", "fig12.csv",
         }
+
+
+class TestReplayCli:
+    def test_replay_shipped_scenario_exits_clean(self, capsys):
+        assert main(["replay", "kv-cache", "--backend", "dfm"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out and "kv-cache" in out
+        assert "amat" in out
+
+    def test_replay_writes_telemetry_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        assert main(
+            ["replay", "web-session", "--out", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(out_dir / "trace.json") in out
+        assert str(out_dir / "metrics.json") in out
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "metrics.json").exists()
+
+    def test_replay_with_validation_checkers(self, capsys):
+        assert main(
+            ["replay", "kv-cache", "--backend", "cpu", "--validation"]
+        ) == 0
+        assert _report_field(capsys.readouterr().out, "clean") == "True"
+
+    def test_chaos_replay_smoke(self, capsys):
+        # Transient faults heal: replay stays clean under injection.
+        assert main(
+            ["replay", "chaos-soak", "--fault-profile", "transient",
+             "--fault-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert _report_field(out, "clean") == "True"
+        assert _report_field(out, "data_loss_events") == "0"
+
+    def test_replay_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["replay", "nope"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_replay_unknown_backend_is_usage_error(self, capsys):
+        assert main(["replay", "kv-cache", "--backend", "floppy"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_replay_unreadable_trace_file_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.trace.jsonl.gz"
+        bad.write_bytes(b"not a trace")
+        assert main(["replay", "--trace-file", str(bad)]) == 2
+        assert "unusable trace" in capsys.readouterr().err
+
+
+class TestRecordCli:
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "kv.trace.jsonl.gz"
+        assert main(
+            ["record", "kv-cache", "--trace-file", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert path.exists()
+        assert "fingerprint" in out and str(path) in out
+        assert main(
+            ["replay", "--trace-file", str(path), "--backend", "pipeline"]
+        ) == 0
+
+    def test_record_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["record", "mystery"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+
+class TestIngestCli:
+    def test_ingest_writes_manifest(self, tmp_path, capsys):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "a.py").write_text("x = 1\n" * 400)
+        (root / "b.md").write_text("words " * 600)
+        out_dir = tmp_path / "corpus"
+        assert main(["ingest", str(root), "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "source" in out and "text" in out
+        assert str(out_dir / "manifest.json") in out
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "source.pages.gz").exists()
+
+    def test_ingest_missing_root_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["ingest", str(tmp_path / "absent"),
+             "--out", str(tmp_path / "o")]
+        ) == 2
+        assert "ingest failed" in capsys.readouterr().err
+
+    def test_ingest_needs_exactly_one_root(self, capsys):
+        assert main(["ingest"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_list_mentions_scenario_commands(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out and "record" in out and "ingest" in out
+        assert "kv-cache" in out

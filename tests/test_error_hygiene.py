@@ -15,7 +15,7 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: Layers whose raises must come from repro.errors.
-LINTED_DIRS = ("core", "sfm", "dfm", "tiering")
+LINTED_DIRS = ("core", "sfm", "dfm", "tiering", "scenarios")
 
 #: Builtin exception types forbidden as `raise X(...)` in linted dirs.
 FORBIDDEN = ("ValueError", "RuntimeError", "Exception", "KeyError",
@@ -66,3 +66,19 @@ def test_resilience_error_types_are_wired():
     assert issubclass(CorruptedBlobError, SfmError)
     # CorruptedBlobError carries the poisoned vaddr for reporting.
     assert CorruptedBlobError("x", vaddr=0x123).vaddr == 0x123
+
+
+def test_scenario_error_types_are_wired():
+    """Trace/manifest readers raise one catchable family."""
+    from repro.errors import (
+        ManifestError,
+        ReproError,
+        ScenarioError,
+        TraceFormatError,
+        TraceVersionError,
+    )
+
+    assert issubclass(ScenarioError, ReproError)
+    assert issubclass(TraceFormatError, ScenarioError)
+    assert issubclass(TraceVersionError, TraceFormatError)
+    assert issubclass(ManifestError, ScenarioError)

@@ -21,6 +21,10 @@ _EXPECTED_MARKERS = {
     "zswap_frontend.py": ["same_filled_pages", "swapoff"],
     "far_memory_app.py": ["swap trace written", "XFM kept"],
     "trace_replay.py": ["time compression", "refresh budget saturate"],
+    "scenario_replay.py": [
+        "backend-portable replay",
+        "deterministic across replays",
+    ],
 }
 
 
