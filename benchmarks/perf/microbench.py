@@ -85,6 +85,38 @@ def _kernel_lz77_tokenize() -> Callable[[], None]:
     return op
 
 
+def _kernel_lz77_tokenize_batch() -> Callable[[], None]:
+    """The page-batch tokenizer entry the batch codec API drives: one
+    call amortizes scratch allocation and dispatch over all pages."""
+    matcher = Lz77Matcher(window_size=4096)
+    pages = _bench_pages()
+
+    def op() -> None:
+        matcher.tokenize_packed_batch(pages)
+
+    return op
+
+
+def _kernel_deflate_static_table() -> Callable[[], None]:
+    """Mode-3 deflate: corpus-trained tables, batch compress + decode.
+
+    This is the static-table store path end to end — no per-page table
+    build, pre-rendered header, batch API — against the same page mix
+    the dynamic round-trip kernel times."""
+    from repro.compression.deflate import train_static_tables
+
+    pages = _bench_pages()
+    tables = train_static_tables(pages, domain="bench", window_size=4096)
+    codec = DeflateCodec(window_size=4096, static_tables=tables)
+
+    def op() -> None:
+        blobs = codec.compress_batch(pages)
+        if codec.decompress_batch(blobs) != pages:
+            raise AssertionError("static-table round-trip mismatch")
+
+    return op
+
+
 def _kernel_lz77_detokenize() -> Callable[[], None]:
     import repro.compression.lz77 as lz77mod
 
@@ -245,6 +277,33 @@ def _kernel_tier_pipeline_load() -> Callable[[], None]:
     return op
 
 
+def _kernel_tier_demote_batch() -> Callable[[], None]:
+    """Demotion cascade with batched placement: fill a top tier, then
+    sink every page one tier down via ``demote_coldest`` — the path that
+    routes whole victim batches through the codec's batch API."""
+    from repro.sfm.backend import SfmBackend
+    from repro.sfm.page import Page
+    from repro.tiering import TierPipeline
+
+    pages = _bench_pages()
+
+    def op() -> None:
+        top = SfmBackend(
+            capacity_bytes=len(pages) * PAGE * 2, page_cache_entries=0
+        )
+        bottom = SfmBackend(
+            capacity_bytes=len(pages) * PAGE * 4, page_cache_entries=0
+        )
+        pipeline = TierPipeline([("cpu-zswap", top), ("xfm", bottom)])
+        for i, data in enumerate(pages):
+            if not pipeline.swap_out(Page(vaddr=i * PAGE, data=data)).accepted:
+                raise AssertionError("store rejected")
+        if pipeline.demote_coldest(count=len(pages)) != len(pages):
+            raise AssertionError("demotion incomplete")
+
+    return op
+
+
 def telemetry_overhead_ratio(repeats: int = 5) -> float:
     """Cost of the *disabled* telemetry guards on the deflate round-trip.
 
@@ -353,6 +412,8 @@ KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "zstd_like_roundtrip_4k": (_kernel_zstd_like_roundtrip, 1),
     "lzfast_roundtrip_4k": (_kernel_lzfast_roundtrip, 2),
     "lz77_tokenize_4k": (_kernel_lz77_tokenize, 2),
+    "lz77_tokenize_batch_4k": (_kernel_lz77_tokenize_batch, 2),
+    "deflate_static_table_4k": (_kernel_deflate_static_table, 2),
     "lz77_detokenize_4k": (_kernel_lz77_detokenize, 5),
     "huffman_encode_4k": (_kernel_huffman_encode, 2),
     "huffman_decode_4k": (_kernel_huffman_decode, 1),
@@ -361,6 +422,7 @@ KERNELS: Dict[str, Tuple[Callable[[], Callable[[], None]], int]] = {
     "swap_telemetry_on": (_kernel_swap_telemetry_on, 1),
     "tier_pipeline_store": (_kernel_tier_pipeline_store, 20),
     "tier_pipeline_load": (_kernel_tier_pipeline_load, 2),
+    "tier_demote_batch": (_kernel_tier_demote_batch, 1),
 }
 
 

@@ -79,14 +79,53 @@ def _measure(args: argparse.Namespace) -> dict:
     return results
 
 
+def _report_deltas(fresh: dict, previous: dict) -> None:
+    """Per-kernel deltas vs the *previous committed baseline* — the
+    numbers a reviewer of a perf PR actually needs. (The pinned
+    ``reference`` section answers a different question: cumulative
+    speedup since the pre-overhaul seed.)"""
+    if not previous:
+        print("no previous baseline to diff against", file=sys.stderr)
+        return
+    width = max(len(name) for name in fresh)
+    print(
+        f"{'kernel'.ljust(width)}  previous(s/op)  fresh(s/op)   delta",
+        file=sys.stderr,
+    )
+    for name, record in sorted(fresh.items()):
+        base = previous.get(name)
+        if base is None:
+            print(f"{name.ljust(width)}  (new kernel)", file=sys.stderr)
+            continue
+        ratio = record["seconds_per_op"] / base["seconds_per_op"]
+        print(
+            f"{name.ljust(width)}  {base['seconds_per_op']:.6f}"
+            f"        {record['seconds_per_op']:.6f}"
+            f"     {(ratio - 1.0) * 100:+6.1f}%",
+            file=sys.stderr,
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     results = _measure(args)
     payload = {"schema": 1, "kernels": results}
+    baseline_path = Path(args.baseline)
+    doc = _load(baseline_path) if baseline_path.exists() else {}
+    previous = doc.get("baseline", {}).get("kernels", {})
+    _report_deltas(results, previous)
     if args.update_baseline:
-        baseline_path = Path(args.baseline)
-        doc = _load(baseline_path) if baseline_path.exists() else {}
         doc["schema"] = 1
         doc["baseline"] = {"kernels": results}
+        if previous:
+            doc["delta_vs_previous_baseline"] = {
+                name: round(
+                    results[name]["seconds_per_op"]
+                    / previous[name]["seconds_per_op"],
+                    3,
+                )
+                for name in results
+                if name in previous
+            }
         reference = doc.get("reference", {}).get("kernels", {})
         if reference:
             doc["speedup_vs_reference"] = {
@@ -180,6 +219,81 @@ def cmd_tier_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch_guard(args: argparse.Namespace) -> int:
+    """Assert the page-batch codec API is genuinely batched end to end.
+
+    Three checks, all on the process-wide ``batch_stats`` telemetry:
+    every registered hot-path codec's ``compress_batch``/
+    ``decompress_batch`` must be a real batched implementation (zero
+    trips through the base-class scalar adapter); the multi-channel
+    backend's swap path must route stripes through it (``multichannel``
+    site); and the tier pipeline's demotion cascade must route victim
+    batches through it (``tier_demote`` site)."""
+    from repro.compression import DeflateCodec, LzFastCodec, ZstdLikeCodec
+    from repro.compression.base import batch_stats
+
+    pages = microbench._bench_pages()
+    failures = []
+    for codec in (DeflateCodec(window_size=4096), LzFastCodec(), ZstdLikeCodec()):
+        batch_stats.reset()
+        blobs = codec.compress_batch(pages)
+        if codec.decompress_batch(blobs) != pages:
+            failures.append(f"{codec.name}: batch round-trip mismatch")
+        if (
+            batch_stats.compress_scalar_fallback_calls
+            or not batch_stats.compress_batch_calls
+        ):
+            failures.append(
+                f"{codec.name}: compress_batch fell back to the scalar "
+                "adapter"
+            )
+        if (
+            batch_stats.decompress_scalar_fallback_calls
+            or not batch_stats.decompress_batch_calls
+        ):
+            failures.append(
+                f"{codec.name}: decompress_batch fell back to the scalar "
+                "adapter"
+            )
+
+    from repro.sfm.page import PAGE_SIZE, Page
+    from repro.tiering.factory import make_tier
+
+    batch_stats.reset()
+    mc = make_tier("xfm-mc")
+    for i, data in enumerate(pages):
+        page = Page(vaddr=i * PAGE_SIZE, data=data)
+        if mc.swap_out(page).accepted:
+            mc.swap_in(page)
+    mc_pages = batch_stats.site_pages.get("multichannel", 0)
+    if not mc_pages:
+        failures.append(
+            "multichannel swap path recorded no batched pages "
+            "(site 'multichannel' empty)"
+        )
+
+    batch_stats.reset()
+    microbench.KERNELS["tier_demote_batch"][0]()()
+    demote_pages = batch_stats.site_pages.get("tier_demote", 0)
+    if not demote_pages:
+        failures.append(
+            "tier demotion cascade recorded no batched pages "
+            "(site 'tier_demote' empty)"
+        )
+
+    print(
+        f"batch sites: multichannel={mc_pages} pages, "
+        f"tier_demote={demote_pages} pages"
+    )
+    if failures:
+        print(f"batch guard FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("batch guard passed: no scalar fallbacks on the batch API")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -217,6 +331,12 @@ def main(argv=None) -> int:
     tier_guard.add_argument("--repeats", type=int, default=3)
     tier_guard.add_argument("--trials", type=int, default=3)
     tier_guard.set_defaults(func=cmd_tier_guard)
+
+    batch_guard = sub.add_parser(
+        "batch-guard",
+        help="assert the page-batch codec API never falls back to scalar",
+    )
+    batch_guard.set_defaults(func=cmd_batch_guard)
 
     args = parser.parse_args(argv)
     return args.func(args)

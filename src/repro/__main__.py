@@ -305,6 +305,78 @@ def _cmd_ingest(targets: List[str], args) -> int:
     return 0
 
 
+def _cmd_codectune(targets: List[str], args) -> int:
+    """``python -m repro codectune [<dir>]``: train per-domain static
+    Huffman tables (auto-tuned matcher parameters) and persist them.
+
+    ``<dir>`` is either an already-ingested corpus directory (containing
+    ``manifest.json``) or a raw file tree, which is ingested into a
+    temporary directory first. Defaults to this repository's own
+    ``src/`` tree — the first corpus the paper-style static tables are
+    trained on."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.compression.static_tables import (
+        DEFAULT_TABLES_PATH,
+        StaticTableRegistry,
+    )
+    from repro.compression.tuning import make_tuner
+    from repro.errors import ConfigError, ManifestError
+    from repro.scenarios.ingest import (
+        MANIFEST_NAME,
+        CorpusManifest,
+        IngestConfig,
+        ingest_tree,
+    )
+
+    if len(targets) > 1:
+        print("codectune takes at most one corpus directory", file=sys.stderr)
+        return 2
+    root = Path(targets[0]) if targets else Path(__file__).resolve().parents[1]
+    out_path = Path(args.out) if args.out else DEFAULT_TABLES_PATH
+    choices: dict = {}
+    registry = StaticTableRegistry()
+    try:
+        if (root / MANIFEST_NAME).exists():
+            manifest = CorpusManifest.load(root)
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                manifest = ingest_tree(
+                    root,
+                    tmp,
+                    IngestConfig(max_file_bytes=args.max_file_kib * 1024),
+                )
+                registry.train_from_manifest(
+                    manifest, tuner=make_tuner(record=choices)
+                )
+                manifest = None
+        if manifest is not None:
+            registry.train_from_manifest(
+                manifest, tuner=make_tuner(record=choices)
+            )
+    except (ConfigError, ManifestError) as exc:
+        print(f"codectune failed: {exc}", file=sys.stderr)
+        return 2
+    if not len(registry):
+        print(f"no corpus domains found under {root}", file=sys.stderr)
+        return 2
+    registry.save(out_path)
+    print(f"trained static tables: {len(registry)} domain(s) from {root}")
+    for domain in registry.domains():
+        entry = registry.get(domain)
+        choice = choices[domain]
+        print(
+            f"  {domain:10s}: {entry.num_pages:5d} pages  "
+            f"window={entry.window_size:<5d} chain={entry.max_chain:<3d} "
+            f"lazy={str(entry.lazy):5s} "
+            f"sample ratio={choice.ratio:.2f}  "
+            f"table_id=0x{entry.tables.table_id:08x}"
+        )
+    print(f"  wrote {out_path}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -316,7 +388,7 @@ def main(argv: List[str] = None) -> int:
         default=["list"],
         help="experiment names, 'list', 'all', 'export <dir>', "
         "'trace <workload>', 'tiers', 'chaos', 'replay <scenario>', "
-        "'record <scenario>', or 'ingest <dir>'",
+        "'record <scenario>', 'ingest <dir>', or 'codectune [<dir>]'",
     )
     parser.add_argument(
         "--out",
@@ -400,6 +472,8 @@ def main(argv: List[str] = None) -> int:
               " [--out DIR]   # re-record a zoo trace artifact")
         print("     python -m repro ingest <dir> [--out DIR]"
               " [--max-file-kib N]   # page-ify a file tree")
+        print("     python -m repro codectune [<dir>] [--out PATH]"
+              "   # train+tune static Huffman tables per domain")
         return 0
     if names and names[0] == "replay":
         return _cmd_replay(names[1:], args)
@@ -407,6 +481,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_record(names[1:], args)
     if names and names[0] == "ingest":
         return _cmd_ingest(names[1:], args)
+    if names and names[0] == "codectune":
+        return _cmd_codectune(names[1:], args)
     if names and names[0] == "chaos":
         from pathlib import Path
 

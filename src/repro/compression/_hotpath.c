@@ -1,0 +1,644 @@
+/* Native hot-path kernels for the LZ77/Deflate codec stack.
+ *
+ * Compiled on demand by repro.compression._native with the host C
+ * compiler and loaded through ctypes; every entry point is a direct,
+ * bit-exact translation of the corresponding pure-Python routine (the
+ * scalar tokenizer in lz77.py, the symbol encoder/decoder in
+ * deflate.py).  The Python side treats any failure — no compiler, bad
+ * load, any negative return — as "fall back to the Python engine", so
+ * this file can assume nothing about availability and must never be
+ * required for correctness.
+ *
+ * Exactness contract: token selection must match
+ * Lz77Matcher._tokenize_packed_scalar decision-for-decision, and the
+ * encoder must emit the same bit stream as BitWriter-based
+ * _write_symbols (LSB-first, fused per-token writes).  The decoder only
+ * has to be exact on *valid* streams: on any malformed input it returns
+ * a negative error and the caller re-runs the Python decoder so error
+ * semantics (exception type and message) stay Python's.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#define HASH_BITS 15
+#define HASH_SIZE (1 << HASH_BITS)
+#define HASH_MASK (HASH_SIZE - 1)
+#define HASH_MULT 2654435761u
+
+#define PACKED_LENGTH_BITS 9
+#define PACKED_LENGTH_MASK ((1 << PACKED_LENGTH_BITS) - 1)
+
+#define NUM_LITLEN 286
+#define NUM_DIST 30
+#define NUM_CODELEN 19
+#define EOB 256
+#define MAX_CODE_LEN 15
+
+/* ------------------------------------------------------------------ */
+/* LZ77 tokenizer                                                      */
+/* ------------------------------------------------------------------ */
+
+static inline int64_t best_match_at(
+    const uint8_t *data, const int32_t *prev, int64_t n, int64_t pos,
+    int64_t min_match, int64_t max_match, int64_t max_chain,
+    int64_t window_size)
+{
+    if (pos + min_match > n)
+        return 0;
+    int64_t candidate = prev[pos];
+    int64_t floor = pos - window_size;
+    if (floor < 0)
+        floor = 0;
+    if (candidate < floor)
+        return 0;
+    int64_t best_len = min_match - 1;
+    int64_t best_dist = 0;
+    int64_t max_len = (n - pos > max_match) ? max_match : n - pos;
+    int64_t budget = max_chain;
+    uint8_t target = data[pos + best_len];
+    const uint8_t *b = data + pos;
+    while (candidate >= floor && budget > 0) {
+        budget--;
+        /* Quick reject: a candidate mismatching at offset best_len can
+         * never produce a strictly longer match. */
+        if (data[candidate + best_len] != target) {
+            candidate = prev[candidate];
+            continue;
+        }
+        const uint8_t *a = data + candidate;
+        int64_t length = 0;
+        /* 32-byte chunk extension; length+32 <= max_len <= n-pos keeps
+         * both sides in bounds (candidate < pos). */
+        while (length + 32 <= max_len && memcmp(a + length, b + length, 32) == 0)
+            length += 32;
+        while (length < max_len && a[length] == b[length])
+            length++;
+        if (length > best_len) {
+            best_len = length;
+            best_dist = pos - candidate;
+            if (length >= max_len)
+                break;
+            target = data[pos + best_len];
+        }
+        candidate = prev[candidate];
+    }
+    if (best_len >= min_match)
+        return (best_dist << PACKED_LENGTH_BITS) | best_len;
+    return 0;
+}
+
+/* Tokenize one buffer; returns the number of packed tokens written to
+ * `out` (caller sizes it to n).  `head` is 1<<15 int32 scratch, `prev`
+ * is n int32 scratch. */
+int64_t lz77_tokenize(
+    const uint8_t *data, int64_t n,
+    int64_t window_size, int64_t min_match, int64_t max_match,
+    int64_t max_chain, int64_t lazy,
+    int32_t *head, int32_t *prev, int64_t *out)
+{
+    int64_t ntok = 0;
+    if (n <= 0)
+        return 0;
+    memset(prev, 0xFF, (size_t)n * sizeof(int32_t));
+    if (n >= 3) {
+        memset(head, 0xFF, HASH_SIZE * sizeof(int32_t));
+        uint32_t key = (uint32_t)data[0] | ((uint32_t)data[1] << 8);
+        for (int64_t i = 0; i + 2 < n; i++) {
+            key |= (uint32_t)data[i + 2] << 16;
+            uint32_t h = ((key * HASH_MULT) >> 16) & HASH_MASK;
+            prev[i] = head[h];
+            head[h] = (int32_t)i;
+            key >>= 8;
+        }
+    }
+    int64_t lazy_limit = n - min_match - 1;
+    int64_t pos = 0;
+    int64_t pending = -1;
+    while (pos < n) {
+        int64_t match;
+        if (pending >= 0) {
+            match = pending;
+            pending = -1;
+        } else {
+            match = (prev[pos] >= 0)
+                ? best_match_at(data, prev, n, pos, min_match, max_match,
+                                max_chain, window_size)
+                : 0;
+        }
+        if (match == 0) {
+            out[ntok++] = data[pos];
+            pos++;
+            continue;
+        }
+        if (lazy && pos <= lazy_limit) {
+            int64_t next_match = (prev[pos + 1] >= 0)
+                ? best_match_at(data, prev, n, pos + 1, min_match, max_match,
+                                max_chain, window_size)
+                : 0;
+            if (next_match != 0 &&
+                (next_match & PACKED_LENGTH_MASK) > (match & PACKED_LENGTH_MASK)) {
+                out[ntok++] = data[pos];
+                pos++;
+                pending = next_match;
+                continue;
+            }
+        }
+        out[ntok++] = match;
+        pos += match & PACKED_LENGTH_MASK;
+    }
+    return ntok;
+}
+
+/* ------------------------------------------------------------------ */
+/* Bit reader (LSB-first, matches repro.compression.bitio.BitReader)   */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    const uint8_t *d;
+    int64_t len;
+    int64_t pos;
+    uint64_t acc;
+    int nbits;
+} BitRd;
+
+static inline void br_refill(BitRd *r)
+{
+    while (r->nbits <= 56 && r->pos < r->len) {
+        r->acc |= (uint64_t)r->d[r->pos++] << r->nbits;
+        r->nbits += 8;
+    }
+}
+
+static inline int br_read(BitRd *r, int n, uint32_t *v)
+{
+    if (r->nbits < n) {
+        br_refill(r);
+        if (r->nbits < n)
+            return -1;
+    }
+    *v = (uint32_t)(r->acc & ((1u << n) - 1));
+    r->acc >>= n;
+    r->nbits -= n;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Canonical Huffman decode table (full-width, LSB-indexed)            */
+/* ------------------------------------------------------------------ */
+
+/* Entries pack (code_length << 16) | symbol; 0 marks invalid.  Unlike
+ * the Python decoder's 10-bit root table + slow path, the table spans
+ * the full max code length, so every valid code resolves in one
+ * lookup.  Returns the table width in bits, 0 when no symbol has a
+ * code. */
+static int build_decoder(const uint8_t *lengths, int nsym, uint32_t *table)
+{
+    int bl_count[MAX_CODE_LEN + 1] = {0};
+    int max_len = 0;
+    for (int s = 0; s < nsym; s++) {
+        int l = lengths[s];
+        if (l > MAX_CODE_LEN)
+            return -1;
+        if (l) {
+            bl_count[l]++;
+            if (l > max_len)
+                max_len = l;
+        }
+    }
+    if (!max_len)
+        return 0;
+    int next_code[MAX_CODE_LEN + 1] = {0};
+    int code = 0;
+    for (int bits = 1; bits <= max_len; bits++) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    memset(table, 0, sizeof(uint32_t) << max_len);
+    for (int s = 0; s < nsym; s++) {
+        int l = lengths[s];
+        if (!l)
+            continue;
+        int c = next_code[l]++;
+        uint32_t rev = 0;
+        for (int bit = 0; bit < l; bit++)
+            rev |= (uint32_t)((c >> bit) & 1) << (l - 1 - bit);
+        if (rev >= (1u << max_len))
+            return -1; /* oversubscribed lengths; let Python diagnose */
+        uint32_t entry = ((uint32_t)l << 16) | (uint32_t)s;
+        for (uint32_t idx = rev; idx < (1u << max_len); idx += (1u << l))
+            table[idx] = entry;
+    }
+    return max_len;
+}
+
+/* ------------------------------------------------------------------ */
+/* Deflate block decode                                                */
+/* ------------------------------------------------------------------ */
+
+/* Decode one Huffman block starting at byte offset `start` of `data`.
+ *
+ * have_tables != 0: code lengths arrive in ll_lengths_in/d_lengths_in
+ * (the fixed-tree mode, or a static-table body whose header the caller
+ * already skipped).  Otherwise the dynamic header (19 x 3-bit
+ * code-length lengths, bit-level varint RLE count, RLE'd lengths) is
+ * parsed from the stream.
+ *
+ * Returns the number of bytes written to `out`, or a negative error
+ * code on any malformed input (caller falls back to Python). */
+int64_t deflate_decode_block(
+    const uint8_t *data, int64_t data_len, int64_t start,
+    int64_t have_tables,
+    const uint8_t *ll_lengths_in, const uint8_t *d_lengths_in,
+    const int32_t *len_base, const uint8_t *len_extra,
+    const int32_t *dist_base, const uint8_t *dist_extra,
+    uint32_t *ll_table, uint32_t *d_table,
+    uint8_t *out, int64_t out_cap)
+{
+    BitRd br = {data, data_len, start, 0, 0};
+    uint8_t ll_lengths[NUM_LITLEN];
+    uint8_t d_lengths[NUM_DIST];
+
+    if (have_tables) {
+        memcpy(ll_lengths, ll_lengths_in, NUM_LITLEN);
+        memcpy(d_lengths, d_lengths_in, NUM_DIST);
+    } else {
+        uint8_t cl_lengths[NUM_CODELEN];
+        uint32_t v;
+        for (int i = 0; i < NUM_CODELEN; i++) {
+            if (br_read(&br, 3, &v))
+                return -1;
+            cl_lengths[i] = (uint8_t)v;
+        }
+        uint32_t cl_table[1 << 7];
+        int cl_width = build_decoder(cl_lengths, NUM_CODELEN, cl_table);
+        if (cl_width <= 0)
+            return -2;
+        uint32_t cl_mask = (1u << cl_width) - 1;
+
+        int64_t rle_count = 0;
+        int shift = 0;
+        for (;;) {
+            uint32_t more, chunk;
+            if (br_read(&br, 1, &more) || br_read(&br, 7, &chunk))
+                return -3;
+            rle_count |= (int64_t)chunk << shift;
+            if (!more)
+                break;
+            shift += 7;
+            if (shift > 35)
+                return -3;
+        }
+
+        const int total = NUM_LITLEN + NUM_DIST;
+        uint8_t combined[NUM_LITLEN + NUM_DIST];
+        int filled = 0;
+        for (int64_t r = 0; r < rle_count; r++) {
+            if (br.nbits < cl_width)
+                br_refill(&br);
+            uint32_t entry = cl_table[br.acc & cl_mask];
+            if (!entry)
+                return -4;
+            int clen = (int)(entry >> 16);
+            if (clen > br.nbits)
+                return -4;
+            br.acc >>= clen;
+            br.nbits -= clen;
+            int sym = (int)(entry & 0xFFFF);
+            if (sym <= 15) {
+                if (filled >= total)
+                    return -5;
+                combined[filled++] = (uint8_t)sym;
+            } else if (sym == 16) {
+                if (!filled)
+                    return -5;
+                if (br_read(&br, 2, &v))
+                    return -5;
+                int rep = 3 + (int)v;
+                if (filled + rep > total)
+                    return -5;
+                memset(combined + filled, combined[filled - 1], rep);
+                filled += rep;
+            } else if (sym == 17) {
+                if (br_read(&br, 3, &v))
+                    return -5;
+                int rep = 3 + (int)v;
+                if (filled + rep > total)
+                    return -5;
+                memset(combined + filled, 0, rep);
+                filled += rep;
+            } else {
+                if (br_read(&br, 7, &v))
+                    return -5;
+                int rep = 11 + (int)v;
+                if (filled + rep > total)
+                    return -5;
+                memset(combined + filled, 0, rep);
+                filled += rep;
+            }
+        }
+        if (filled != total)
+            return -5;
+        memcpy(ll_lengths, combined, NUM_LITLEN);
+        memcpy(d_lengths, combined + NUM_LITLEN, NUM_DIST);
+    }
+
+    int ll_width = build_decoder(ll_lengths, NUM_LITLEN, ll_table);
+    if (ll_width <= 0)
+        return -6;
+    int d_width = build_decoder(d_lengths, NUM_DIST, d_table);
+    if (d_width < 0)
+        return -6;
+    uint32_t ll_mask = (1u << ll_width) - 1;
+    uint32_t d_mask = d_width ? (1u << d_width) - 1 : 0;
+
+    int64_t out_len = 0;
+    for (;;) {
+        /* One refill covers a whole token: 15 (litlen) + 5 (len extra)
+         * + 15 (dist code) + 13 (dist extra) = 48 bits max. */
+        if (br.nbits < 48)
+            br_refill(&br);
+        uint32_t entry = ll_table[br.acc & ll_mask];
+        if (!entry)
+            return -7;
+        int clen = (int)(entry >> 16);
+        if (clen > br.nbits)
+            return -7;
+        br.acc >>= clen;
+        br.nbits -= clen;
+        int sym = (int)(entry & 0xFFFF);
+        if (sym < 256) {
+            if (out_len >= out_cap)
+                return -8;
+            out[out_len++] = (uint8_t)sym;
+            continue;
+        }
+        if (sym == EOB)
+            break;
+        int eb = len_extra[sym - 257];
+        int64_t length = len_base[sym - 257];
+        if (eb) {
+            if (eb > br.nbits)
+                return -9;
+            length += (int64_t)(br.acc & ((1u << eb) - 1));
+            br.acc >>= eb;
+            br.nbits -= eb;
+        }
+        if (!d_width)
+            return -10;
+        uint32_t dentry = d_table[br.acc & d_mask];
+        if (!dentry)
+            return -10;
+        int dlen = (int)(dentry >> 16);
+        if (dlen > br.nbits)
+            return -10;
+        br.acc >>= dlen;
+        br.nbits -= dlen;
+        int dsym = (int)(dentry & 0xFFFF);
+        int deb = dist_extra[dsym];
+        int64_t distance = dist_base[dsym];
+        if (deb) {
+            if (deb > br.nbits)
+                return -11;
+            distance += (int64_t)(br.acc & ((1u << deb) - 1));
+            br.acc >>= deb;
+            br.nbits -= deb;
+        }
+        int64_t src = out_len - distance;
+        if (src < 0)
+            return -12;
+        if (out_len + length > out_cap)
+            return -8;
+        /* Byte-forward copy replicates periodic seeds on overlap, the
+         * same result extend_match produces by doubling. */
+        for (int64_t i = 0; i < length; i++)
+            out[out_len + i] = out[src + i];
+        out_len += length;
+    }
+    return out_len;
+}
+
+/* ------------------------------------------------------------------ */
+/* Deflate symbol encode                                               */
+/* ------------------------------------------------------------------ */
+
+/* Emit the Huffman-coded symbol stream (tokens + end-of-block) for one
+ * packed token array, continuing from a partial bit-writer state
+ * (*acc_io / *nbits_io, nbits < 8).  Writes whole bytes to `out`,
+ * leaves the final partial byte in *acc_io / *nbits_io, and returns
+ * the byte count (negative on error).  Bit-for-bit identical to
+ * DeflateCodec's BitWriter path: LSB-first, one fused write per token.
+ *
+ * Mapping tables (all precomputed on the Python side from the RFC 1951
+ * code tables): len_sym/len_extra_val/len_ebits are indexed by match
+ * length 0..258; dist_lo_sym by distance 1..256; dist_high_sym by
+ * (distance-1)>>7; dist_sym_base/dist_sym_ebits by distance symbol. */
+int64_t deflate_encode_symbols(
+    const int64_t *tokens, int64_t ntok,
+    const uint16_t *ll_codes, const uint8_t *ll_lens,
+    const uint16_t *d_codes, const uint8_t *d_lens,
+    const uint16_t *len_sym, const uint16_t *len_extra_val,
+    const uint8_t *len_ebits,
+    const uint8_t *dist_lo_sym, const uint8_t *dist_high_sym,
+    const int32_t *dist_sym_base, const uint8_t *dist_sym_ebits,
+    uint64_t *acc_io, int64_t *nbits_io,
+    uint8_t *out, int64_t out_cap)
+{
+    uint64_t acc = *acc_io;
+    int nbits = (int)*nbits_io;
+    int64_t olen = 0;
+    for (int64_t t = 0; t <= ntok; t++) {
+        uint64_t value;
+        int vb;
+        if (t == ntok) {
+            /* End-of-block terminator, written through the same path. */
+            vb = ll_lens[EOB];
+            if (!vb)
+                return -1;
+            value = ll_codes[EOB];
+        } else {
+            int64_t tok = tokens[t];
+            if (tok < 256) {
+                vb = ll_lens[tok];
+                if (!vb)
+                    return -1;
+                value = ll_codes[tok];
+            } else {
+                int64_t length = tok & PACKED_LENGTH_MASK;
+                int64_t distance = tok >> PACKED_LENGTH_BITS;
+                if (length > 258 || distance < 1 || distance > (1 << 15))
+                    return -2;
+                int ls = len_sym[length];
+                vb = ll_lens[ls];
+                if (!vb)
+                    return -1;
+                value = ll_codes[ls];
+                int leb = len_ebits[length];
+                if (leb) {
+                    value |= (uint64_t)len_extra_val[length] << vb;
+                    vb += leb;
+                }
+                int ds = (distance <= 256)
+                    ? dist_lo_sym[distance]
+                    : dist_high_sym[(distance - 1) >> 7];
+                int dl = d_lens[ds];
+                if (!dl)
+                    return -1;
+                value |= (uint64_t)d_codes[ds] << vb;
+                vb += dl;
+                int deb = dist_sym_ebits[ds];
+                if (deb) {
+                    value |= (uint64_t)(distance - dist_sym_base[ds]) << vb;
+                    vb += deb;
+                }
+            }
+        }
+        acc |= value << nbits;
+        nbits += vb;
+        while (nbits >= 8) {
+            if (olen >= out_cap)
+                return -3;
+            out[olen++] = (uint8_t)(acc & 0xFF);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    *acc_io = acc;
+    *nbits_io = nbits;
+    return olen;
+}
+
+/* ------------------------------------------------------------------ */
+/* lzfast (LZO-style byte-aligned) codec                               */
+/* ------------------------------------------------------------------ */
+
+#define LZF_HASH_BITS 13
+#define LZF_HASH_SIZE (1 << LZF_HASH_BITS)
+#define LZF_HASH_MASK (LZF_HASH_SIZE - 1)
+#define LZF_MIN_MATCH 4
+#define LZF_MAX_MATCH (0x7F + LZF_MIN_MATCH)
+#define LZF_MAX_LITERAL_RUN 0x80
+
+static inline uint32_t lzf_hash(const uint8_t *p)
+{
+    uint32_t key = (uint32_t)p[0] | ((uint32_t)p[1] << 8)
+                 | ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+    return ((key * HASH_MULT) >> 16) & LZF_HASH_MASK;
+}
+
+/* Emit the token body (no header); returns body length or -1 if it
+ * would overflow out_cap.  Mirrors LzFastCodec.compress exactly:
+ * single-probe table, 32-byte-chunk match extension, every in-match
+ * position inserted into the table. */
+int64_t lzfast_compress(
+    const uint8_t *data, int64_t n, int64_t max_distance,
+    int32_t *table, uint8_t *out, int64_t out_cap)
+{
+    memset(table, 0xFF, LZF_HASH_SIZE * sizeof(int32_t));
+    int64_t olen = 0;
+    int64_t literal_start = 0;
+    int64_t pos = 0;
+    while (pos + LZF_MIN_MATCH <= n) {
+        uint32_t h = lzf_hash(data + pos);
+        int64_t candidate = table[h];
+        table[h] = (int32_t)pos;
+        if (candidate >= 0 && pos - candidate <= max_distance
+            && memcmp(data + candidate, data + pos, LZF_MIN_MATCH) == 0) {
+            int64_t length = LZF_MIN_MATCH;
+            int64_t max_len =
+                n - pos > LZF_MAX_MATCH ? LZF_MAX_MATCH : n - pos;
+            while (length + 32 <= max_len
+                   && memcmp(data + candidate + length,
+                             data + pos + length, 32) == 0)
+                length += 32;
+            while (length < max_len
+                   && data[candidate + length] == data[pos + length])
+                length += 1;
+            /* flush pending literals */
+            int64_t start = literal_start;
+            while (start < pos) {
+                int64_t run = pos - start;
+                if (run > LZF_MAX_LITERAL_RUN)
+                    run = LZF_MAX_LITERAL_RUN;
+                if (olen + 1 + run > out_cap)
+                    return -1;
+                out[olen++] = (uint8_t)(run - 1);
+                memcpy(out + olen, data + start, (size_t)run);
+                olen += run;
+                start += run;
+            }
+            int64_t distance = pos - candidate;
+            if (olen + 3 > out_cap)
+                return -1;
+            out[olen++] = (uint8_t)(0x80 | (length - LZF_MIN_MATCH));
+            out[olen++] = (uint8_t)(distance & 0xFF);
+            out[olen++] = (uint8_t)(distance >> 8);
+            int64_t insert_end = pos + length;
+            if (insert_end > n - LZF_MIN_MATCH + 1)
+                insert_end = n - LZF_MIN_MATCH + 1;
+            for (int64_t i = pos + 1; i < insert_end; i++)
+                table[lzf_hash(data + i)] = (int32_t)i;
+            pos += length;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    /* flush tail literals */
+    {
+        int64_t start = literal_start;
+        while (start < n) {
+            int64_t run = n - start;
+            if (run > LZF_MAX_LITERAL_RUN)
+                run = LZF_MAX_LITERAL_RUN;
+            if (olen + 1 + run > out_cap)
+                return -1;
+            out[olen++] = (uint8_t)(run - 1);
+            memcpy(out + olen, data + start, (size_t)run);
+            olen += run;
+            start += run;
+        }
+    }
+    return olen;
+}
+
+/* Decode a compressed-mode token body starting at blob[start]; returns
+ * decoded length, or -1 on any malformed stream (caller re-runs the
+ * Python decoder for exact error semantics). */
+int64_t lzfast_decompress(
+    const uint8_t *blob, int64_t blob_len, int64_t start,
+    uint8_t *out, int64_t out_cap)
+{
+    int64_t pos = start;
+    int64_t olen = 0;
+    while (pos < blob_len) {
+        uint8_t control = blob[pos++];
+        if (control < 0x80) {
+            int64_t run = (int64_t)control + 1;
+            if (pos + run > blob_len || olen + run > out_cap)
+                return -1;
+            memcpy(out + olen, blob + pos, (size_t)run);
+            olen += run;
+            pos += run;
+        } else {
+            if (pos + 2 > blob_len)
+                return -1;
+            int64_t length = (control & 0x7F) + LZF_MIN_MATCH;
+            int64_t distance =
+                (int64_t)blob[pos] | ((int64_t)blob[pos + 1] << 8);
+            pos += 2;
+            if (distance == 0 || distance > olen || olen + length > out_cap)
+                return -1;
+            const uint8_t *src = out + olen - distance;
+            uint8_t *dst = out + olen;
+            if (distance >= length) {
+                memcpy(dst, src, (size_t)length);
+            } else {
+                for (int64_t i = 0; i < length; i++)
+                    dst[i] = src[i];
+            }
+            olen += length;
+        }
+    }
+    return olen;
+}

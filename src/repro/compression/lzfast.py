@@ -14,8 +14,12 @@ Token stream (after the ``magic | mode | varint(orig_len)`` header):
 from __future__ import annotations
 
 import zlib
+from typing import List, Optional, Sequence
 
-from repro.compression.base import Codec, CodecSpec, register_codec
+import numpy as np
+
+from repro.compression import _native
+from repro.compression.base import Codec, CodecSpec, batch_stats, register_codec
 from repro.compression.lz77 import extend_match
 from repro.errors import ConfigError, CorruptStreamError
 
@@ -31,6 +35,9 @@ _MAX_DISTANCE = 0xFFFF
 _HASH_BITS = 13
 _HASH_MASK = (1 << _HASH_BITS) - 1
 _HASH_MULT = 2654435761
+
+#: Hash-table scratch for the native compressor (re-memset per call).
+_NATIVE_TABLE_SCRATCH = None
 
 
 def _hash4(data: bytes, i: int) -> int:
@@ -88,6 +95,9 @@ class LzFastCodec(Codec):
         self.window_size = window_size
 
     def compress(self, data: bytes) -> bytes:
+        native = self._compress_native(data)
+        if native is not None:
+            return native
         out = bytearray([_MAGIC, _MODE_COMPRESSED])
         _write_varint(out, len(data))
         out += zlib.crc32(data).to_bytes(4, "little")
@@ -176,7 +186,95 @@ class LzFastCodec(Codec):
             return bytes(stored)
         return bytes(out)
 
+    def compress_batch(self, pages: Sequence[bytes]) -> List[bytes]:
+        """Batched compress: the table scratch is reused across pages."""
+        blobs = [self.compress(page) for page in pages]
+        batch_stats.compress_batch_calls += 1
+        batch_stats.compress_batch_pages += len(blobs)
+        return blobs
+
+    def decompress_batch(self, blobs: Sequence[bytes]) -> List[bytes]:
+        pages = [self.decompress(blob) for blob in blobs]
+        batch_stats.decompress_batch_calls += 1
+        batch_stats.decompress_batch_pages += len(blobs)
+        return pages
+
+    def _compress_native(self, data: bytes) -> Optional[bytes]:
+        """C token emitter; ``None`` falls back to the Python loop."""
+        lib = _native.load()
+        n = len(data)
+        if lib is None or n == 0:
+            return None
+        global _NATIVE_TABLE_SCRATCH
+        if _NATIVE_TABLE_SCRATCH is None:
+            _NATIVE_TABLE_SCRATCH = np.empty(1 << _HASH_BITS, dtype=np.int32)
+        header = bytearray([_MAGIC, _MODE_COMPRESSED])
+        _write_varint(header, n)
+        header += zlib.crc32(data).to_bytes(4, "little")
+        data_np = np.frombuffer(data, dtype=np.uint8)  # keeps `data` alive
+        # Worst case: one control byte per 128-byte literal run.
+        body = np.empty(n + n // _MAX_LITERAL_RUN + 16, dtype=np.uint8)
+        body_len = lib.lzfast_compress(
+            data_np.ctypes.data,
+            n,
+            min(self.window_size, _MAX_DISTANCE),
+            _NATIVE_TABLE_SCRATCH.ctypes.data,
+            body.ctypes.data,
+            len(body),
+        )
+        if body_len < 0:
+            return None
+        if len(header) + body_len >= n + 2:
+            stored = bytearray([_MAGIC, _MODE_STORED])
+            _write_varint(stored, n)
+            stored += zlib.crc32(data).to_bytes(4, "little")
+            stored.extend(data)
+            return bytes(stored)
+        return bytes(header) + body[:body_len].tobytes()
+
     def decompress(self, blob: bytes) -> bytes:
+        native = self._decompress_native(blob)
+        if native is not None:
+            return native
+        return self._decompress_python(blob)
+
+    def _decompress_native(self, blob: bytes) -> Optional[bytes]:
+        """C decode, claimed only for fully valid blobs (crc verified)."""
+        lib = _native.load()
+        if lib is None or len(blob) < 7 or blob[0] != _MAGIC:
+            return None
+        if blob[1] != _MODE_COMPRESSED:
+            return None  # stored mode is already just a slice + crc
+        value = 0
+        shift = 0
+        pos = 2
+        while True:
+            if pos >= len(blob) or shift > 35:
+                return None
+            byte = blob[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        orig_len = value
+        if pos + 4 > len(blob):
+            return None
+        checksum = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        out = np.empty(max(orig_len, 1), dtype=np.uint8)
+        blob_np = np.frombuffer(blob, dtype=np.uint8)
+        decoded = lib.lzfast_decompress(
+            blob_np.ctypes.data, len(blob), pos, out.ctypes.data, orig_len
+        )
+        if decoded != orig_len:
+            return None
+        page = out[:orig_len].tobytes()
+        if zlib.crc32(page) != checksum:
+            return None
+        return page
+
+    def _decompress_python(self, blob: bytes) -> bytes:
         if len(blob) < 2 or blob[0] != _MAGIC:
             raise CorruptStreamError("bad lzfast header")
         mode = blob[1]

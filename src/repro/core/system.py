@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.compression.base import Codec
+from repro.compression.base import Codec, batch_stats
 from repro.core.driver import XfmDriver
+from repro.resilience import faults as _faults
 from repro.core.multichannel import MultiChannelLayout
 from repro.core.nma import NearMemoryAccelerator, NmaConfig
 from repro.errors import (
@@ -173,14 +174,31 @@ class MultiChannelXfmBackend:
             raise SfmError(f"page 0x{page.vaddr:x} has no resident data")
 
         stripes = self.layout.split(page.data)
+        # All stripes compress under the same codec config, so they run
+        # as ONE batched call (shared tokenizer working set, warm table
+        # caches) — the per-DIMM device model below still accounts each
+        # stripe's offload individually. Compression is pure, so the
+        # blobs are bit-identical to per-stripe calls. Fault-injection
+        # runs fire per-NMA inside compress_page, so batching is only
+        # taken when injection is off (the hot path).
+        precomputed: Optional[List[bytes]] = None
+        if not _faults.injection_enabled():
+            precomputed = self.dimms[0].nma.codec.compress_batch(stripes)
+            batch_stats.record_site("multichannel", len(stripes))
         segments: List[bytes] = []
-        for dimm, stripe in zip(self.dimms, stripes):
+        for stripe_index, (dimm, stripe) in enumerate(
+            zip(self.dimms, stripes)
+        ):
             try:
                 dimm.driver.submit_compress(
                     source_row=page.vaddr >> 13, input_bytes=len(stripe)
                 )
                 dimm.nma.pop_request()
-                segments.append(dimm.nma.compress_page(stripe))
+                segments.append(
+                    precomputed[stripe_index]
+                    if precomputed is not None
+                    else dimm.nma.compress_page(stripe)
+                )
                 self.ledger.record("nma", "read", len(stripe))
                 dimm.driver.notify_release(len(stripe))
             except (SpmFullError, QueueFullError, DeviceFault) as exc:
@@ -202,7 +220,11 @@ class MultiChannelXfmBackend:
                         reason, "compress", vaddr=page.vaddr, dimm=dimm.index
                     )
                 codec = dimm.nma.codec
-                segments.append(codec.compress(stripe))
+                segments.append(
+                    precomputed[stripe_index]
+                    if precomputed is not None
+                    else codec.compress(stripe)
+                )
                 self.stats.cpu_compress_cycles += (
                     codec.spec.compress_cycles_per_byte * len(stripe)
                 )
@@ -255,11 +277,38 @@ class MultiChannelXfmBackend:
             raise SfmError(f"page 0x{page.vaddr:x} is not in far memory")
         entry: _StripeEntry = self.index.lookup(page.vaddr)
         stripes: List[bytes] = []
-        for dimm, handle, length in zip(
-            self.dimms, entry.handles, entry.segment_lengths
-        ):
-            blob = dimm.region.load(handle)[:length]
-            if do_offload:
+        if not do_offload:
+            # Host gather path: every stripe decodes on the CPU with the
+            # same codec, so the decode runs as one batched call; the
+            # per-stripe accounting below is unchanged.
+            blobs = [
+                dimm.region.load(handle)[:length]
+                for dimm, handle, length in zip(
+                    self.dimms, entry.handles, entry.segment_lengths
+                )
+            ]
+            stripes = self.dimms[0].nma.codec.decompress_batch(blobs)
+            batch_stats.record_site("multichannel", len(blobs))
+            for dimm, length in zip(self.dimms, entry.segment_lengths):
+                codec = dimm.nma.codec
+                self.stats.cpu_decompress_cycles += (
+                    codec.spec.decompress_cycles_per_byte * length
+                )
+                self.ledger.record("sfm_cpu", "read", length)
+                self.stats.cpu_fallback_decompressions += 1
+                self.stats.fallbacks_demand += 1
+                if _trace.tracing_enabled():
+                    _trace.fallback(
+                        reasons.DEMAND_FAULT,
+                        "decompress",
+                        vaddr=page.vaddr,
+                        dimm=dimm.index,
+                    )
+        else:
+            for dimm, handle, length in zip(
+                self.dimms, entry.handles, entry.segment_lengths
+            ):
+                blob = dimm.region.load(handle)[:length]
                 try:
                     stripes.append(dimm.nma.decompress_blob(blob))
                 except DeviceFault:
@@ -286,22 +335,6 @@ class MultiChannelXfmBackend:
                     "nma", "write", PAGE_SIZE // self.num_dimms
                 )
                 self.stats.offloaded_decompressions += 1
-            else:
-                codec = dimm.nma.codec
-                stripes.append(codec.decompress(blob))
-                self.stats.cpu_decompress_cycles += (
-                    codec.spec.decompress_cycles_per_byte * length
-                )
-                self.ledger.record("sfm_cpu", "read", length)
-                self.stats.cpu_fallback_decompressions += 1
-                self.stats.fallbacks_demand += 1
-                if _trace.tracing_enabled():
-                    _trace.fallback(
-                        reasons.DEMAND_FAULT,
-                        "decompress",
-                        vaddr=page.vaddr,
-                        dimm=dimm.index,
-                    )
         data = self.layout.gather(stripes)
         if not do_offload:
             self.ledger.record("sfm_cpu", "write", PAGE_SIZE)

@@ -135,6 +135,24 @@ def chunk_pages(data: bytes, page_size: int) -> List[bytes]:
     return pages
 
 
+def ingest_pages(
+    root: Union[str, Path],
+    config: Optional[IngestConfig] = None,
+) -> Dict[str, List[bytes]]:
+    """Gather -> extract -> chunk, returning ``domain -> pages`` without
+    writing any artifact. The in-memory variant benchmarks use to train
+    and score against a live tree (e.g. this repository's own source)
+    when no pre-ingested corpus directory is at hand."""
+    config = config if config is not None else IngestConfig()
+    root = Path(root)
+    out: Dict[str, List[bytes]] = {}
+    for path in gather_files(root, config):
+        pages = chunk_pages(path.read_bytes(), config.page_size)
+        if pages:
+            out.setdefault(classify(path), []).extend(pages)
+    return out
+
+
 def ingest_tree(
     root: Union[str, Path],
     out_dir: Union[str, Path],

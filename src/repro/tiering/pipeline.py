@@ -42,6 +42,7 @@ from repro.resilience.breaker import (
     BreakerState,
     CircuitBreaker,
 )
+from repro.compression.base import batch_stats
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.telemetry import reasons, trace as _trace
@@ -101,6 +102,11 @@ class PipelineStats(StatsFacade):
 #: the circuit breaker) rather than a full/ineligible one (normal
 #: capacity control flow).
 FAILURE_REASONS = frozenset({"link-error", "device-fault"})
+
+#: Victims gathered per demotion round before batch placement. Bounded so
+#: the batch codec's scratch buffers stay cache-resident and a cascade
+#: cannot swap in an unbounded amount of data before placing any of it.
+DEMOTE_BATCH_PAGES = 8
 
 
 def _named(
@@ -464,60 +470,242 @@ class TierPipeline:
 
     def _rebalance(self) -> int:
         """Apply the demotion policy: while a tier (other than the last)
-        is over pressure, sink its LRU victim one-or-more tiers down."""
+        is over pressure, sink batches of its LRU victims one-or-more
+        tiers down. Victims are gathered up to :data:`DEMOTE_BATCH_PAGES`
+        at a time (re-checking the policy between each swap-in, which is
+        what frees source-tier space) and placed through the batched
+        store path so the receiving tier's codec sees one
+        ``compress_batch`` call per round instead of a page at a time."""
         demoted = 0
         for index in range(len(self.tiers) - 1):
             tier = self.tiers[index]
-            while self._lru[index] and self.demotion.should_demote(tier):
-                if not self._demote_victim(index):
+            stop = False
+            while (
+                not stop
+                and self._lru[index]
+                and self.demotion.should_demote(tier)
+            ):
+                victims, poisoned, stop = self._collect_victims(
+                    index,
+                    DEMOTE_BATCH_PAGES,
+                    lambda t=tier, i=index: bool(self._lru[i])
+                    and self.demotion.should_demote(t),
+                )
+                demoted += poisoned
+                if victims:
+                    placed, place_stop = self._place_victims(index, victims)
+                    demoted += placed
+                    stop = stop or place_stop
+                elif not poisoned:
                     break
-                demoted += 1
         return demoted
 
-    def _demote_victim(self, index: int) -> bool:
-        """Move tier ``index``'s LRU-coldest page to a lower tier."""
-        vaddr, page = next(iter(self._lru[index].items()))
-        try:
-            data = self.tiers[index].swap_in(page)
-        except TierUnavailableError:
-            # Source tier unreachable right now: leave the victim where
-            # it is and stop this tier's cascade for this round.
-            self._record_tier_error(index)
-            return False
-        except CorruptedBlobError:
-            # The tier detected unrecoverable corruption and poisoned
-            # the blob itself; account the loss, mark the vaddr so a
-            # later access gets an explicit error, keep cascading.
-            self._record_tier_error(index)
-            self.pipeline_stats.data_loss_events += 1
+    def _collect_victims(
+        self, index: int, limit: int, keep_going
+    ) -> Tuple[List[Tuple[int, Page, bytes]], int, bool]:
+        """Swap in up to ``limit`` LRU victims out of tier ``index``.
+
+        ``keep_going`` is re-evaluated between victims (after the first,
+        whose eligibility the caller already established), so the demotion
+        policy sees every intermediate source-tier state exactly as the
+        one-page-at-a-time cascade did. Returns ``(victims, poisoned,
+        stop)``: the swapped-in ``(vaddr, page, data)`` triples, how many
+        victims were lost to (already-poisoned) corruption, and whether
+        the cascade must halt after these victims are placed (source tier
+        unreachable)."""
+        victims: List[Tuple[int, Page, bytes]] = []
+        poisoned = 0
+        stop = False
+        # Poisoned victims consume limit slots too: demote_coldest(count)
+        # must never move more than ``count`` pages off the source tier.
+        while len(victims) + poisoned < limit:
+            if (victims or poisoned) and not keep_going():
+                break
+            vaddr, page = next(iter(self._lru[index].items()))
+            try:
+                data = self.tiers[index].swap_in(page)
+            except TierUnavailableError:
+                # Source tier unreachable right now: leave this victim
+                # where it is and stop the cascade for this round.
+                self._record_tier_error(index)
+                stop = True
+                break
+            except CorruptedBlobError:
+                # The tier detected unrecoverable corruption and poisoned
+                # the blob itself; account the loss, mark the vaddr so a
+                # later access gets an explicit error, keep cascading.
+                self._record_tier_error(index)
+                self.pipeline_stats.data_loss_events += 1
+                self._forget(page, index)
+                self._poisoned.add(vaddr)
+                poisoned += 1
+                continue
+            self.breakers[index].record_success()
             self._forget(page, index)
-            self._poisoned.add(vaddr)
-            return True
-        self.breakers[index].record_success()
-        self._forget(page, index)
-        outcome, new_index = self._place(page, start=index + 1)
-        if outcome.accepted:
-            self.pipeline_stats.demotions += 1
-            if _trace.tracing_enabled():
-                _trace.instant(
-                    "tier_demote", TRACK_TIER,
-                    args={"from": self.tier_names[index],
-                          "to": self.tier_names[new_index], "vaddr": vaddr},
-                )
-            return True
-        # Nothing below would take it: put it back where it was (space
-        # was just freed there), else spill to the backing device.
-        self.pipeline_stats.demotion_failures += 1
-        retry, retry_index = self._place(page, start=index)
-        if retry.accepted:
-            return False
-        if self.spill is not None:
-            self._spill_page(vaddr, data)
-            return False
-        raise SfmError(
-            f"page 0x{vaddr:x} rejected by every tier during demotion "
-            "and no spill callback is set"
+            victims.append((vaddr, page, data))
+        return victims, poisoned, stop
+
+    def _place_victims(
+        self, index: int, victims: List[Tuple[int, Page, bytes]]
+    ) -> Tuple[int, bool]:
+        """Batch-place swapped-in victims into the tiers below ``index``.
+
+        Returns ``(placed, stop)``: pages successfully demoted, and
+        whether this tier's cascade must halt (a victim bounced back into
+        its source tier or had to be spilled — the signal the scalar
+        cascade stopped on)."""
+        results = self._place_batch(
+            [page for _, page, _ in victims], start=index + 1
         )
+        placed = 0
+        stop = False
+        trace_on = _trace.tracing_enabled()
+        for (vaddr, page, data), (outcome, new_index) in zip(
+            victims, results
+        ):
+            if outcome.accepted:
+                self.pipeline_stats.demotions += 1
+                placed += 1
+                if trace_on:
+                    _trace.instant(
+                        "tier_demote", TRACK_TIER,
+                        args={"from": self.tier_names[index],
+                              "to": self.tier_names[new_index],
+                              "vaddr": vaddr},
+                    )
+                continue
+            # Nothing below would take it: put it back where it was
+            # (space was just freed there), else spill to the backing
+            # device — and stop cascading from this tier.
+            self.pipeline_stats.demotion_failures += 1
+            retry, _retry_index = self._place(page, start=index)
+            if retry.accepted:
+                stop = True
+                continue
+            if self.spill is not None:
+                self._spill_page(vaddr, data)
+                stop = True
+                continue
+            raise SfmError(
+                f"page 0x{vaddr:x} rejected by every tier during demotion "
+                "and no spill callback is set"
+            )
+        return placed, stop
+
+    def _place_batch(
+        self, pages: List[Page], start: int
+    ) -> List[Tuple[SwapOutcome, int]]:
+        """Batched :meth:`_place`: route ``pages`` through tiers
+        ``start..N``, handing each tier its whole remaining set via
+        ``swap_out_batch`` when it implements one.
+
+        Per-page bookkeeping (breaker success/failure, fall-through
+        counters, trace events) matches the scalar path. The one
+        deliberate difference: the breaker and admission checks are
+        consulted once per tier per batch rather than between every
+        page — admission decisions within one demotion round share the
+        tier state observed at the round's start."""
+        results: List[Optional[Tuple[SwapOutcome, int]]] = [None] * len(pages)
+        last: List[SwapOutcome] = [
+            SwapOutcome(accepted=False, reason="all-tiers-rejected")
+            for _ in pages
+        ]
+        remaining = list(enumerate(pages))
+        trace_on = _trace.tracing_enabled()
+        for index in range(start, len(self.tiers)):
+            if not remaining:
+                break
+            tier = self.tiers[index]
+            name = self.tier_names[index]
+            if not self.breakers[index].allow():
+                for _, page in remaining:
+                    self.pipeline_stats.quarantine_skips += 1
+                    self.pipeline_stats.store_fallthroughs += 1
+                    if trace_on:
+                        _trace.instant(
+                            "tier_store", TRACK_TIER,
+                            args={"tier": name, "outcome": "quarantined",
+                                  "vaddr": page.vaddr},
+                        )
+                continue
+            if not self.admission.admit(tier):
+                for _, page in remaining:
+                    self.pipeline_stats.store_fallthroughs += 1
+                    if trace_on:
+                        _trace.instant(
+                            "tier_store", TRACK_TIER,
+                            args={"tier": name,
+                                  "outcome": "admission_denied",
+                                  "vaddr": page.vaddr},
+                        )
+                continue
+            page_list = [page for _, page in remaining]
+            batch_fn = getattr(tier, "swap_out_batch", None)
+            if batch_fn is not None:
+                batch_stats.record_site("tier_demote", len(page_list))
+                try:
+                    outcomes = batch_fn(page_list)
+                except TierUnavailableError:
+                    self._record_tier_error(index)
+                    # Pages the batch had already committed before the
+                    # fault are recognisable by their swapped flag.
+                    outcomes = [
+                        SwapOutcome(accepted=True) if p.swapped
+                        else SwapOutcome(
+                            accepted=False, reason="device-fault"
+                        )
+                        for p in page_list
+                    ]
+            else:
+                outcomes = []
+                for p in page_list:
+                    try:
+                        outcomes.append(tier.swap_out(p))
+                    except TierUnavailableError:
+                        self._record_tier_error(index)
+                        outcomes.append(
+                            SwapOutcome(
+                                accepted=False, reason="device-fault"
+                            )
+                        )
+            next_remaining = []
+            for (pos, page), tier_outcome in zip(remaining, outcomes):
+                if tier_outcome.accepted:
+                    self.breakers[index].record_success()
+                    self._where[page.vaddr] = index
+                    self._lru[index][page.vaddr] = page
+                    if trace_on:
+                        _trace.instant(
+                            "tier_store", TRACK_TIER,
+                            args={
+                                "tier": name, "outcome": "stored",
+                                "vaddr": page.vaddr,
+                                "compressed_len":
+                                    tier_outcome.compressed_len,
+                            },
+                        )
+                    results[pos] = (tier_outcome, index)
+                    continue
+                if tier_outcome.reason in FAILURE_REASONS:
+                    self.breakers[index].record_failure()
+                self.pipeline_stats.store_fallthroughs += 1
+                if trace_on:
+                    _trace.instant(
+                        "tier_store", TRACK_TIER,
+                        args={"tier": name,
+                              "outcome": f"reject_{tier_outcome.reason}",
+                              "vaddr": page.vaddr},
+                    )
+                last[pos] = tier_outcome
+                next_remaining.append((pos, page))
+            remaining = next_remaining
+        for pos, _page in remaining:
+            results[pos] = (
+                SwapOutcome(accepted=False, reason="all-tiers-rejected",
+                            cpu_cycles=last[pos].cpu_cycles),
+                -1,
+            )
+        return results  # type: ignore[return-value]
 
     def _spill_page(self, vaddr: int, data: bytes) -> None:
         """Hand a page to the spill callback; a callback that raises is
@@ -535,10 +723,20 @@ class TierPipeline:
         (policy-independent; the control-plane analogue of zswap's
         ``shrink``). Returns pages demoted."""
         demoted = 0
-        while demoted < count and self._lru[from_tier]:
-            if not self._demote_victim(from_tier):
+        stop = False
+        while not stop and demoted < count and self._lru[from_tier]:
+            want = min(count - demoted, DEMOTE_BATCH_PAGES)
+            victims, poisoned, stop = self._collect_victims(
+                from_tier, want,
+                lambda i=from_tier: bool(self._lru[i]),
+            )
+            demoted += poisoned
+            if victims:
+                placed, place_stop = self._place_victims(from_tier, victims)
+                demoted += placed
+                stop = stop or place_stop
+            elif not poisoned:
                 break
-            demoted += 1
         checkpoint(self)
         return demoted
 

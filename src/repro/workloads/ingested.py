@@ -1,0 +1,104 @@
+"""Real-page corpora for benchmarks: the ingested alternative to the
+synthetic generators in :mod:`repro.workloads.corpus`.
+
+The synthetic corpora are deterministic by construction and anchor the
+golden-snapshot figures; this module supplies the *real* byte classes the
+paper ultimately cares about, sourced from an ingested file tree. Pages
+come from, in priority order:
+
+1. ``$REPRO_CORPUS_DIR`` — a directory produced by ``python -m repro
+   ingest`` (digest-verified manifest + page files);
+2. this repository's own source tree, ingested in memory on first use
+   (the first corpus the static-table training targets).
+
+Benchmarks that consume these pages assert *structural* properties
+(orderings, monotone degradation) rather than exact values: unlike the
+synthetics, real trees change as the repository grows.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, ManifestError
+from repro.scenarios.ingest import (
+    MANIFEST_NAME,
+    CorpusManifest,
+    IngestConfig,
+    ingest_pages,
+)
+
+#: Environment override: a pre-ingested corpus directory.
+CORPUS_DIR_ENV = "REPRO_CORPUS_DIR"
+
+#: root-path-str -> domain -> pages (in-memory ingestions are cached; a
+#: benchmark sweep should not re-walk the tree per codec).
+_TREE_CACHE: Dict[str, Dict[str, List[bytes]]] = {}
+
+
+def repo_root() -> Optional[Path]:
+    """This repository's checkout root, or ``None`` when the package is
+    running from an installed location with no tree around it."""
+    candidate = Path(__file__).resolve().parents[3]
+    return candidate if (candidate / "src").is_dir() else None
+
+
+def _load_domains(manifest_dir: Optional[Path]) -> Dict[str, List[bytes]]:
+    env_dir = os.environ.get(CORPUS_DIR_ENV)
+    if manifest_dir is None and env_dir:
+        manifest_dir = Path(env_dir)
+    if manifest_dir is not None:
+        if not (manifest_dir / MANIFEST_NAME).exists():
+            raise ManifestError(
+                f"{manifest_dir} has no {MANIFEST_NAME}; run "
+                "`python -m repro ingest <tree> --out` first"
+            )
+        manifest = CorpusManifest.load(manifest_dir)
+        return {
+            domain: manifest.load_pages(domain)
+            for domain in sorted(manifest.domains)
+        }
+    root = repo_root()
+    if root is None:
+        raise ConfigError(
+            "no ingested corpus available: set $REPRO_CORPUS_DIR or run "
+            "from a repository checkout"
+        )
+    key = str(root)
+    if key not in _TREE_CACHE:
+        _TREE_CACHE[key] = ingest_pages(root, IngestConfig())
+    return _TREE_CACHE[key]
+
+
+def ingested_domains(manifest_dir: Optional[Path] = None) -> List[str]:
+    """Domains with at least one page in the active corpus source."""
+    return sorted(
+        domain
+        for domain, pages in _load_domains(manifest_dir).items()
+        if pages
+    )
+
+
+def ingested_corpus_pages(
+    domain: str,
+    num_pages: Optional[int] = None,
+    manifest_dir: Optional[Path] = None,
+) -> List[bytes]:
+    """Pages of one ingested domain, optionally truncated to
+    ``num_pages`` (evenly strided so a small sample still spans the
+    corpus rather than its first file)."""
+    domains = _load_domains(manifest_dir)
+    pages = domains.get(domain)
+    if not pages:
+        raise ConfigError(
+            f"ingested corpus has no domain {domain!r}; "
+            f"have {sorted(d for d, p in domains.items() if p)}"
+        )
+    if num_pages is None or num_pages >= len(pages):
+        return list(pages)
+    if num_pages <= 0:
+        raise ConfigError("num_pages must be positive")
+    step = len(pages) / num_pages
+    return [pages[int(i * step)] for i in range(num_pages)]

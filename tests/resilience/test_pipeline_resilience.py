@@ -241,9 +241,12 @@ class TestSpillGuard:
             assert pipeline.store(key, _page(key))
         gate.open = False  # every tier now refuses admission
         for _ in range(3):
-            # Each call spills one victim and stops (demotion failed).
+            # Victims are gathered in batches; once collected, a page
+            # every tier (including its source) refuses must be spilled
+            # — so each call spills its whole victim round, and the
+            # third call finds nothing left to demote.
             assert pipeline.demote_coldest(3, from_tier=0) == 0
-        assert pipeline.pipeline_stats.spill_callback_errors == 3
+        assert pipeline.pipeline_stats.spill_callback_errors == 6
         assert pipeline.pipeline_stats.spills == 0
         # The pipeline stays consistent: every still-held key loads.
         gate.open = True
@@ -261,7 +264,9 @@ class TestSpillGuard:
         gate.open = False
         for _ in range(3):
             pipeline.demote_coldest(3, from_tier=0)
-        assert pipeline.pipeline_stats.spills == len(spilled) == 3
+        # Batched victim rounds: both calls that found victims spilled
+        # their whole round (see the broken-callback test above).
+        assert pipeline.pipeline_stats.spills == len(spilled) == 6
         assert pipeline.pipeline_stats.spill_callback_errors == 0
         # Spilled pages carry the right bytes to the backing device.
         for vaddr, data in spilled.items():

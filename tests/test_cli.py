@@ -151,3 +151,58 @@ class TestIngestCli:
         out = capsys.readouterr().out
         assert "replay" in out and "record" in out and "ingest" in out
         assert "kv-cache" in out
+
+
+class TestCodectuneCli:
+    def _tree(self, tmp_path):
+        root = tmp_path / "tree"
+        root.mkdir()
+        (root / "a.py").write_text(
+            "def handler(request):\n    return request.body\n" * 200
+        )
+        (root / "b.md").write_text("far memory compresses well " * 400)
+        return root
+
+    def test_codectune_trains_and_persists(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        out_path = tmp_path / "tables.json"
+        assert main(
+            ["codectune", str(root), "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "source" in out and "text" in out
+        assert str(out_path) in out
+        from repro.compression.static_tables import StaticTableRegistry
+
+        registry = StaticTableRegistry.load(out_path)
+        assert "source" in registry and "text" in registry
+        entry = registry.get("source")
+        assert entry.num_pages > 0 and entry.window_size >= 1024
+
+    def test_codectune_accepts_preingested_corpus(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        corpus = tmp_path / "corpus"
+        assert main(["ingest", str(root), "--out", str(corpus)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "tables.json"
+        assert main(
+            ["codectune", str(corpus), "--out", str(out_path)]
+        ) == 0
+        assert "source" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_codectune_rejects_extra_targets(self, capsys):
+        assert main(["codectune", "a", "b"]) == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_codectune_empty_tree_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(
+            ["codectune", str(empty), "--out", str(tmp_path / "t.json")]
+        ) == 2
+        assert "no corpus domains" in capsys.readouterr().err
+
+    def test_list_mentions_codectune(self, capsys):
+        assert main([]) == 0
+        assert "codectune" in capsys.readouterr().out
