@@ -351,6 +351,72 @@ def telemetry_overhead_ratio(repeats: int = 5) -> float:
     return best_of(guarded) / best_of(plain)
 
 
+def span_overhead_ratio(repeats: int = 5) -> float:
+    """Cost of the *disabled* span/quantile instrumentation.
+
+    The span layer added guarded sites to every pipeline operation: a
+    ``tracing_enabled()`` branch that (when on) opens a span, observes
+    the op's quantile histogram, and arms the flight-recorder trigger.
+    This times the plain codec round-trip loop against the identical
+    loop carrying that full guard pattern — span dispatch branch per op
+    plus the flight-recorder's no-op module read on the (rare) failure
+    path — at the pipeline's real site density. CI gates the off-path
+    cost at < 3% (``run_perf.py span-guard``), same in-process-ratio
+    protocol as :func:`telemetry_overhead_ratio`.
+    """
+    from repro.telemetry import flightrec as _flightrec
+    from repro.telemetry import spans as _spans
+    from repro.telemetry import trace as _trace
+
+    codec = DeflateCodec(window_size=4096)
+    pages = _bench_pages()
+    blobs = [codec.compress(page) for page in pages]
+
+    def plain() -> None:
+        for page, blob in zip(pages, blobs):
+            codec.decompress(codec.compress(page))
+            codec.decompress(blob)
+
+    def guarded() -> None:
+        # One store-shaped and one load-shaped site per page, like the
+        # pipeline's swap_out/swap_in dispatch. Failure paths (the
+        # flight-recorder trigger) are rare in a clean run — once per
+        # batch is already denser than reality.
+        for page, blob in zip(pages, blobs):
+            if _trace.tracing_enabled():
+                handle = _spans.begin("pipeline_store", "tier")
+                try:
+                    codec.decompress(codec.compress(page))
+                finally:
+                    _spans.end(handle)
+            else:
+                codec.decompress(codec.compress(page))
+            if _trace.tracing_enabled():
+                handle = _spans.begin("pipeline_load", "tier")
+                try:
+                    codec.decompress(blob)
+                finally:
+                    _spans.end(handle)
+            else:
+                codec.decompress(blob)
+        _flightrec.trigger(_flightrec.REASON_POISON)
+
+    def best_of(op: Callable[[], None]) -> float:
+        op()  # warm up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            op()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    assert not _trace.tracing_enabled(), "guard must measure the off path"
+    assert _flightrec.current_recorder() is None, (
+        "guard must measure the uninstalled flight-recorder path"
+    )
+    return best_of(guarded) / best_of(plain)
+
+
 def tier_overhead_ratio(repeats: int = 5) -> float:
     """Cost of TierPipeline bookkeeping on the single-tier zswap path.
 

@@ -24,6 +24,12 @@ Modes:
     is an in-process ratio (guarded loop vs plain loop on the same
     machine, same run), so the gate can afford to be tight.
 
+``span-guard``
+    Assert that the *disabled* span/quantile/flight-recorder guards cost
+    < ``--max-overhead`` (default 3%) at the pipeline's real
+    instrumentation-site density. Same in-process-ratio protocol as
+    ``telemetry-guard``.
+
 ``tier-guard``
     Assert that routing the zswap store/load path through a single-tier
     ``TierPipeline`` costs < ``--max-overhead`` (default 5%) over the
@@ -199,6 +205,26 @@ def cmd_telemetry_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_span_guard(args: argparse.Namespace) -> int:
+    ratio = min(
+        microbench.span_overhead_ratio(repeats=args.repeats)
+        for _ in range(args.trials)
+    )
+    overhead = ratio - 1.0
+    print(
+        f"disabled span/quantile instrumentation overhead: "
+        f"{overhead * 100:+.2f}% (gate: < {args.max_overhead * 100:.0f}%)"
+    )
+    if overhead > args.max_overhead:
+        print(
+            "span guard FAILED: the span/quantile/flight-recorder guards "
+            "must stay free when tracing is off"
+        )
+        return 1
+    print("span guard passed")
+    return 0
+
+
 def cmd_tier_guard(args: argparse.Namespace) -> int:
     ratio = min(
         microbench.tier_overhead_ratio(repeats=args.repeats)
@@ -322,6 +348,15 @@ def main(argv=None) -> int:
     guard.add_argument("--repeats", type=int, default=3)
     guard.add_argument("--trials", type=int, default=3)
     guard.set_defaults(func=cmd_telemetry_guard)
+
+    span_guard = sub.add_parser(
+        "span-guard",
+        help="assert disabled span/quantile guards cost < --max-overhead",
+    )
+    span_guard.add_argument("--max-overhead", type=float, default=0.03)
+    span_guard.add_argument("--repeats", type=int, default=3)
+    span_guard.add_argument("--trials", type=int, default=3)
+    span_guard.set_defaults(func=cmd_span_guard)
 
     tier_guard = sub.add_parser(
         "tier-guard",

@@ -240,6 +240,175 @@ def _cmd_replay(targets: List[str], args) -> int:
     return 0 if report.clean else 1
 
 
+def _default_objectives(target) -> List[object]:
+    """Deterministic SLO set derived from the target's modeled latencies.
+
+    Pipeline targets get: stores within 2x the top tier's modeled
+    swap-out latency (cascades blow this budget — that is the point),
+    loads within 1.5x the mid tier's swap-in latency (a DFM round trip
+    violates it), plus a 99.9% availability objective over the
+    pipeline's error/loss counters. Flat targets get 2x their own
+    modeled latency per direction.
+    """
+    from repro.telemetry.slo import AvailabilityObjective, LatencyObjective
+
+    tiers = getattr(target, "tiers", None)
+    if tiers is not None:
+        store_budget_ns = 2.0 * tiers[0].swap_latency_s("out") * 1e9
+        mid = tiers[1] if len(tiers) > 1 else tiers[0]
+        load_budget_ns = 1.5 * mid.swap_latency_s("in") * 1e9
+        return [
+            LatencyObjective(
+                "store-latency",
+                op="store",
+                tier="pipeline",
+                threshold_ns=store_budget_ns,
+                target=0.95,
+            ),
+            LatencyObjective(
+                "load-latency",
+                op="load",
+                tier="pipeline",
+                threshold_ns=load_budget_ns,
+                target=0.95,
+            ),
+            AvailabilityObjective(
+                "availability",
+                target=0.999,
+                bad_metrics=(
+                    "tier_pipeline.tier_errors",
+                    "tier_pipeline.data_loss_events",
+                ),
+                total_metrics=(
+                    "tier_pipeline.stores",
+                    "tier_pipeline.loads",
+                    "tier_pipeline.prefetch_loads",
+                ),
+            ),
+        ]
+    tier_name = getattr(target, "tier_name", "?")
+    return [
+        LatencyObjective(
+            "store-latency",
+            op="store",
+            tier=tier_name,
+            threshold_ns=2.0 * target.swap_latency_s("out") * 1e9,
+            target=0.95,
+        ),
+        LatencyObjective(
+            "load-latency",
+            op="load",
+            tier=tier_name,
+            threshold_ns=2.0 * target.swap_latency_s("in") * 1e9,
+            target=0.95,
+        ),
+    ]
+
+
+def _cmd_slo(targets: List[str], args) -> int:
+    """``python -m repro slo <scenario>``: replay a zoo scenario under
+    tracing and evaluate latency/availability SLOs over simulated-time
+    windows. Exit 0 unless ``--fail-on-violation`` is set and an
+    objective missed its target."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.report import format_latency_table
+    from repro.errors import ScenarioError
+    from repro.scenarios.replayer import TraceReplayer
+    from repro.scenarios.zoo import SCENARIOS, load_scenario
+    from repro.sfm.page import PAGE_SIZE
+    from repro.telemetry.session import TelemetrySession
+    from repro.telemetry.slo import SloEngine
+    from repro.tiering.factory import TIER_KINDS, make_tier
+
+    if args.backend not in TIER_KINDS:
+        print(
+            f"unknown backend {args.backend!r} "
+            f"(have: {', '.join(TIER_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if not targets and args.scenario:
+        targets = [args.scenario]
+    if len(targets) != 1 or targets[0] not in SCENARIOS:
+        print(
+            "slo needs one scenario name "
+            f"(have: {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        trace = load_scenario(targets[0])
+    except ScenarioError as exc:
+        print(f"unusable trace: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    session = TelemetrySession(out_dir=out_dir)
+    with session:
+        # The goldens' 40-page pipeline split: small upper tiers force
+        # the demotion cascades and cross-tier fetches that make the
+        # latency distributions (and the burn report) non-trivial.
+        target = make_tier(
+            args.backend,
+            capacity_bytes=40 * PAGE_SIZE,
+            registry=session.registry,
+        )
+        engine = SloEngine(
+            session.registry,
+            _default_objectives(target),
+            window_ns=args.window_ns,
+        )
+        report = TraceReplayer(
+            trace,
+            target,
+            backend_name=args.backend,
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+            session=session,
+            slo_engine=engine,
+        ).run()
+    print(f"slo: scenario={report.scenario} backend={report.backend}")
+    print(
+        format_latency_table(
+            report.latency_percentiles,
+            title="latency percentiles (op-class x tier)",
+        )
+    )
+    print()
+    summary = engine.summary()
+    print(f"slo summary ({len(engine.windows)} window results, "
+          f"window={args.window_ns:.0f} ns):")
+    all_met = True
+    for name, row in summary.items():
+        verdict = "met" if row["met"] else "VIOLATED"
+        all_met = all_met and bool(row["met"])
+        print(
+            f"  {name:16s}: target={row['target']:.3f} "
+            f"attainment={row['attainment']:.4f} "
+            f"worst_burn={row['worst_burn']:.2f} "
+            f"violated_windows={row['windows_violated']}/{row['windows']} "
+            f"[{verdict}]"
+        )
+    if out_dir is not None:
+        doc = {
+            "scenario": report.scenario,
+            "backend": report.backend,
+            "latency_percentiles": report.latency_percentiles,
+            "slo": engine.as_dict(),
+        }
+        path = out_dir / "slo_report.json"
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"  wrote {path}")
+        print(f"  wrote {out_dir / 'trace.json'}")
+        print(f"  wrote {out_dir / 'metrics.json'}")
+    if args.fail_on_violation and not all_met:
+        return 1
+    return 0
+
+
 def _cmd_record(targets: List[str], args) -> int:
     """``python -m repro record <scenario>``: re-record a zoo scenario
     from a live pipeline run and save the trace artifact."""
@@ -388,7 +557,8 @@ def main(argv: List[str] = None) -> int:
         default=["list"],
         help="experiment names, 'list', 'all', 'export <dir>', "
         "'trace <workload>', 'tiers', 'chaos', 'replay <scenario>', "
-        "'record <scenario>', 'ingest <dir>', or 'codectune [<dir>]'",
+        "'slo <scenario>', 'record <scenario>', 'ingest <dir>', "
+        "or 'codectune [<dir>]'",
     )
     parser.add_argument(
         "--out",
@@ -440,6 +610,22 @@ def main(argv: List[str] = None) -> int:
         help="ingest: skip files larger than this (KiB)",
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        help="slo: scenario name (alternative to the positional form)",
+    )
+    parser.add_argument(
+        "--fail-on-violation",
+        action="store_true",
+        help="slo: exit nonzero when an objective misses its target",
+    )
+    parser.add_argument(
+        "--window-ns",
+        type=float,
+        default=15000.0,
+        help="slo: simulated-time window size in ns",
+    )
+    parser.add_argument(
         "--fail-on-loss",
         action="store_true",
         help="exit nonzero if the chaos campaign lost or corrupted data",
@@ -468,6 +654,8 @@ def main(argv: List[str] = None) -> int:
               " [--fault-profile P] [--out DIR]   # replay a swap trace")
         print(f"     replay scenarios: {', '.join(sorted(SCENARIOS))}"
               " (or --trace-file PATH)")
+        print("     python -m repro slo <scenario> [--backend B]"
+              " [--window-ns N] [--out DIR]   # latency/availability SLOs")
         print("     python -m repro record <scenario> [--seed N]"
               " [--out DIR]   # re-record a zoo trace artifact")
         print("     python -m repro ingest <dir> [--out DIR]"
@@ -477,6 +665,8 @@ def main(argv: List[str] = None) -> int:
         return 0
     if names and names[0] == "replay":
         return _cmd_replay(names[1:], args)
+    if names and names[0] == "slo":
+        return _cmd_slo(names[1:], args)
     if names and names[0] == "record":
         return _cmd_record(names[1:], args)
     if names and names[0] == "ingest":

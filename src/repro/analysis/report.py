@@ -60,6 +60,32 @@ def format_stats(stats: Union[object, Sequence], title: str = "") -> str:
     )
 
 
+def format_latency_table(rows: Sequence[dict], title: str = "") -> str:
+    """Render op-class x tier latency percentiles (microseconds).
+
+    ``rows`` are :func:`repro.telemetry.quantiles.collect_percentiles`
+    dicts: ``op``/``tier``/``count``/``mean`` plus the standard
+    percentile keys in nanoseconds; rendered in us so the pipeline rows
+    and device rows share a readable scale.
+    """
+    if not rows:
+        return "(no latency observations recorded)"
+    quantile_keys = [
+        key
+        for key in rows[0]
+        if key not in ("op", "tier", "count", "mean")
+    ]
+    headers = ["op", "tier", "count", "mean_us"] + [
+        f"{key}_us" for key in quantile_keys
+    ]
+    table_rows = [
+        [row["op"], row["tier"], row["count"], row["mean"] / 1e3]
+        + [row[key] / 1e3 for key in quantile_keys]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, title=title)
+
+
 def format_tier_stats(pipeline, title: str = "") -> str:
     """Render a :class:`~repro.tiering.pipeline.TierPipeline` as one
     column per tier (plus a merged total), one row per swap counter and

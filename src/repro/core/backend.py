@@ -28,7 +28,7 @@ from repro.resilience.integrity import content_digest
 from repro.resilience.retry import retry_with_backoff
 from repro.sfm.backend import SfmBackend
 from repro.sfm.page import PAGE_SIZE, Page
-from repro.telemetry import reasons, trace as _trace
+from repro.telemetry import reasons, spans as _spans, trace as _trace
 from repro.tiering.protocol import SwapOutcome
 
 
@@ -110,7 +110,11 @@ class XfmBackend(SfmBackend):
         self.stats.cpu_fallback_compressions += 1
         reason = self._count_fallback_reason(exc)
         if _trace.tracing_enabled():
-            _trace.fallback(reason, "compress", vaddr=page.vaddr)
+            extra = {"vaddr": page.vaddr}
+            parent = _spans.current_span_id()
+            if parent is not None:
+                extra["parent"] = parent
+            _trace.fallback(reason, "compress", **extra)
         return super().swap_out(page)
 
     def _fallback_decompress(self, page: Page, exc: Exception) -> bytes:
@@ -118,7 +122,11 @@ class XfmBackend(SfmBackend):
         self.stats.cpu_fallback_decompressions += 1
         reason = self._count_fallback_reason(exc)
         if _trace.tracing_enabled():
-            _trace.fallback(reason, "decompress", vaddr=page.vaddr)
+            extra = {"vaddr": page.vaddr}
+            parent = _spans.current_span_id()
+            if parent is not None:
+                extra["parent"] = parent
+            _trace.fallback(reason, "decompress", **extra)
         return super().swap_in(page)
 
     def xfm_swap_out(self, page: Page) -> SwapOutcome:
@@ -205,16 +213,18 @@ class XfmBackend(SfmBackend):
         self.stats.bytes_out_compressed += len(blob)
         self.blob_sizes.observe(len(blob))
         if _trace.tracing_enabled():
-            _trace.complete(
+            dur_ns = self.nma.config.compress_time_ns(PAGE_SIZE)
+            _spans.emit_under(
                 "nma_compress",
                 _trace.TRACK_NMA,
                 _trace.clock_ns(),
-                self.nma.config.compress_time_ns(PAGE_SIZE),
+                dur_ns,
                 args={
                     "request_id": request.request_id,
                     "blob_bytes": len(blob),
                 },
             )
+            self._lat_store.observe(dur_ns)
         del request
         return SwapOutcome(accepted=True, compressed_len=len(blob))
 
@@ -309,16 +319,18 @@ class XfmBackend(SfmBackend):
         self.stats.bytes_in_uncompressed += PAGE_SIZE
         self.stats.bytes_in_compressed += len(blob)
         if _trace.tracing_enabled():
-            _trace.complete(
+            dur_ns = self.nma.config.decompress_time_ns(len(blob))
+            _spans.emit_under(
                 "nma_decompress",
                 _trace.TRACK_NMA,
                 _trace.clock_ns(),
-                self.nma.config.decompress_time_ns(len(blob)),
+                dur_ns,
                 args={
                     "request_id": request.request_id,
                     "blob_bytes": len(blob),
                 },
             )
+            self._lat_load.observe(dur_ns)
         return data
 
     # -- drop-in aliases --------------------------------------------------------

@@ -28,8 +28,13 @@ from repro.resilience import faults as _faults
 from repro.resilience.retry import retry_with_backoff
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
+from repro.telemetry import spans as _spans
+from repro.telemetry import trace as _trace
 from repro.telemetry.registry import MetricsRegistry
 from repro.tiering.protocol import SwapOutcome
+
+#: Trace track for link transfers (dynamic tid, one Perfetto row).
+TRACK_DFM = "dfm-link"
 
 
 class DfmBackend:
@@ -60,6 +65,16 @@ class DfmBackend:
             "dfm.link_energy_j", tier=tier
         )
         self._link_busy = self.registry.counter("dfm.link_busy_s", tier=tier)
+        #: Link-transfer latency quantiles per op class (simulated ns),
+        #: recorded only under tracing.
+        self._lat = {
+            "store": self.registry.quantile(
+                "op_latency_ns", op="store", tier=tier
+            ),
+            "load": self.registry.quantile(
+                "op_latency_ns", op="load", tier=tier
+            ),
+        }
 
     @property
     def link_energy_j(self) -> float:
@@ -112,7 +127,7 @@ class DfmBackend:
             self.stats.rejected += 1
             return SwapOutcome(accepted=False, reason="pool-full")
         try:
-            self._link_transfer()
+            self._link_transfer("store")
         except DeviceFault:
             # Retries exhausted: nothing was written, the page stays
             # resident — report a rejection so a pipeline can route the
@@ -139,7 +154,7 @@ class DfmBackend:
         if page.vaddr not in self._pool:
             raise SfmError(f"page 0x{page.vaddr:x} missing from far pool")
         try:
-            self._link_transfer()
+            self._link_transfer("load")
         except DeviceFault as exc:
             raise TierUnavailableError(
                 f"{self.link.name} link down fetching page "
@@ -162,16 +177,18 @@ class DfmBackend:
         path: the far node discards, nothing crosses the wire)."""
         return self._pool.pop(vaddr, None) is not None
 
-    def _link_transfer(self) -> None:
+    def _link_transfer(self, op: str = "store") -> None:
         """One page crossing the link, with transient-error retry.
 
         The ``dfm.link_error`` site aborts a transfer; the bounded
         retry re-drives it with simulated-time backoff. Only the
         successful transfer is accounted (an aborted one moved nothing
         usable)."""
-        retry_with_backoff(self._attempt_transfer, on_retry=self._count_retry)
+        retry_with_backoff(
+            lambda: self._attempt_transfer(op), on_retry=self._count_retry
+        )
 
-    def _attempt_transfer(self) -> None:
+    def _attempt_transfer(self, op: str) -> None:
         if _faults.injection_enabled():
             event = _faults.fire(_faults.DFM_LINK_ERROR)
             if event is not None:
@@ -179,15 +196,26 @@ class DfmBackend:
                 raise DeviceFault(
                     f"transient link error on {self.link.name}"
                 )
-        self._account_transfer()
+        self._account_transfer(op)
 
     def _count_retry(self, attempt: int, exc: BaseException) -> None:
         self.stats.transient_retries += 1
 
-    def _account_transfer(self) -> None:
+    def _account_transfer(self, op: str = "store") -> None:
         self.ledger.record("dfm_link", "read", PAGE_SIZE)
         self.link_energy_j += self.link.transfer_energy_j(PAGE_SIZE)
-        self.link_busy_s += self.link.page_swap_latency_s(PAGE_SIZE)
+        latency_s = self.link.page_swap_latency_s(PAGE_SIZE)
+        self.link_busy_s += latency_s
+        if _trace.tracing_enabled():
+            dur_ns = latency_s * 1e9
+            _spans.emit_under(
+                "dfm_link_transfer",
+                TRACK_DFM,
+                _trace.clock_ns(),
+                dur_ns,
+                args={"op": op, "bytes": PAGE_SIZE},
+            )
+            self._lat[op].observe(dur_ns)
 
     # -- latency comparison helpers -------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.errors import (
 )
 from repro.resilience import faults as _faults
 from repro.resilience.breaker import BreakerConfig
+from repro.telemetry import flightrec as _flightrec
 from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sfm.page import PAGE_SIZE
 from repro.telemetry import trace as _trace
@@ -222,6 +223,9 @@ def _drive_campaign(
             counters["loads_ok"] += 1
         else:
             counters["silent_corruptions"] += 1
+            _flightrec.trigger(
+                _flightrec.REASON_CHAOS_LOSS, {"key": key, "phase": "load"}
+            )
 
     def do_promote() -> None:
         if not shadow:
@@ -269,6 +273,10 @@ def _drive_campaign(
             counters["loads_ok"] += 1
         else:
             counters["silent_corruptions"] += 1
+            _flightrec.trigger(
+                _flightrec.REASON_CHAOS_LOSS,
+                {"key": key, "phase": "final_sweep"},
+            )
 
     for name, tier in pipeline.tiers_by_name().items():
         session.add_stats(f"tier.{name}", tier.stats)
@@ -318,6 +326,10 @@ def _drive_campaign(
             ),
             "clean": bool(counters["silent_corruptions"] == 0),
         },
+        # Black-box dumps the campaign triggered (breaker-open, poison,
+        # chaos-loss); filenames only so the report stays byte-stable
+        # regardless of out_dir.
+        "flight_records": list(session.flight.dump_names),
     }
     return report
 

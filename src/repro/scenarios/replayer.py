@@ -87,6 +87,11 @@ class ReplayReport:
     #: Hierarchical AMAT for the observed mix on this target, seconds.
     amat_s: float = 0.0
     per_tier: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: op-class x tier latency percentile rows (see
+    #: :func:`repro.telemetry.quantiles.collect_percentiles`); only
+    #: populated when the replay ran under tracing — the quantile
+    #: histograms record nothing otherwise.
+    latency_percentiles: list = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -108,6 +113,10 @@ class ReplayReport:
         doc["amat_us"] = round(self.amat_s * 1e6, 4)
         doc["clean"] = self.clean
         doc["per_tier"] = self.per_tier
+        # Omitted entirely when tracing was off, so the pinned replay
+        # goldens (recorded session-less) stay byte-identical.
+        if self.latency_percentiles:
+            doc["latency_percentiles"] = self.latency_percentiles
         return doc
 
 
@@ -122,7 +131,12 @@ class TraceReplayer:
         fault_profile: Optional[str] = None,
         fault_seed: int = 0,
         session: Optional[TelemetrySession] = None,
+        slo_engine: Optional[object] = None,
     ) -> None:
+        """``slo_engine``, when provided (a
+        :class:`~repro.telemetry.slo.SloEngine`), is ticked with every
+        replayed event's timestamp and finalized at the end of the run,
+        so SLO windows close on the trace's own simulated clock."""
         self.trace = trace
         self.target = target
         self.backend_name = (
@@ -133,6 +147,7 @@ class TraceReplayer:
         self.fault_profile = fault_profile
         self.fault_seed = fault_seed
         self.session = session
+        self.slo_engine = slo_engine
         #: Pages the target rejected — the replay-side swap device.
         self.shadow: Dict[int, bytes] = {}
 
@@ -164,14 +179,20 @@ class TraceReplayer:
         # Drive the shared simulated clock from the trace, but restore
         # it afterwards — replay must not perturb later recordings.
         clock_before = _trace.clock_ns()
+        last_t_ns = 0.0
         try:
             with self._fault_context():
                 for event in self.trace:
                     _trace.set_clock_ns(event.t_ns)
                     handlers[event.op](event, report)
                     report.events += 1
+                    if self.slo_engine is not None:
+                        self.slo_engine.tick(event.t_ns)
+                        last_t_ns = event.t_ns
         finally:
             _trace.set_clock_ns(clock_before)
+        if self.slo_engine is not None:
+            self.slo_engine.finalize(last_t_ns)
         self._finalize(report)
         return report
 
@@ -310,6 +331,11 @@ class TraceReplayer:
                         tier_obj.ledger.snapshot().values()
                     ),
                 }
+        registry = getattr(self.target, "registry", None)
+        if registry is not None:
+            from repro.telemetry.quantiles import collect_percentiles
+
+            report.latency_percentiles = collect_percentiles(registry)
         if self.session is not None:
             self._export(report)
 
@@ -342,6 +368,7 @@ def format_report(report: ReplayReport) -> str:
     """Human-readable replay summary for the CLI."""
     doc = report.as_dict()
     per_tier = doc.pop("per_tier")
+    percentiles = doc.pop("latency_percentiles", [])
     lines = [
         f"replay: scenario={report.scenario} backend={report.backend}"
     ]
@@ -356,4 +383,10 @@ def format_report(report: ReplayReport) -> str:
                 f"{key}={value}" for key, value in sorted(counters.items())
             )
             lines.append(f"    {name:12s}: {rendered}")
+    if percentiles:
+        from repro.analysis.report import format_latency_table
+
+        lines.append("  latency percentiles:")
+        table = format_latency_table(percentiles)
+        lines.extend("    " + line for line in table.splitlines())
     return "\n".join(lines)

@@ -33,6 +33,8 @@ from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
 from repro.sfm.rbtree import RedBlackTree
 from repro.sfm.zpool import Zpool
+from repro.telemetry import flightrec as _flightrec
+from repro.telemetry import spans as _spans
 from repro.telemetry import trace as _trace
 from repro.telemetry.registry import MetricsRegistry
 
@@ -81,6 +83,15 @@ class SfmBackend:
             "swap.blob_bytes", buckets=BLOB_SIZE_BUCKETS, **labels
         )
         self.ledger = ledger if ledger is not None else BandwidthLedger()
+        #: Device-level latency quantiles per op class (simulated ns),
+        #: recorded only under tracing; cached so the hot path skips the
+        #: registry lookup.
+        self._lat_store = self.registry.quantile(
+            "op_latency_ns", op="store", tier=self.tier_name
+        )
+        self._lat_load = self.registry.quantile(
+            "op_latency_ns", op="load", tier=self.tier_name
+        )
         #: Content-keyed blob cache; ``page_cache_entries=0`` disables it.
         self.page_cache: Optional[DigestPageCache] = (
             DigestPageCache(page_cache_entries) if page_cache_entries else None
@@ -157,7 +168,7 @@ class SfmBackend:
         self.stats.cpu_compress_cycles += cycles
         if _trace.tracing_enabled():
             dur_ns = cycles / self.cpu_freq_hz * 1e9
-            _trace.complete(
+            _spans.emit_under(
                 "cpu_compress",
                 _trace.TRACK_CPU,
                 _trace.clock_ns(),
@@ -165,6 +176,7 @@ class SfmBackend:
                 args={"cached": cycles == DIGEST_CYCLES_PER_BYTE * PAGE_SIZE},
             )
             _trace.advance_clock_ns(dur_ns)
+            self._lat_store.observe(dur_ns)
         # O3: the cold page is read from DRAM, the blob written back.
         self.ledger.record("sfm_cpu", "read", PAGE_SIZE)
 
@@ -301,11 +313,15 @@ class SfmBackend:
             self.index.delete(vaddr)
         self._integrity.pop(handle, None)
         if _trace.tracing_enabled():
-            _trace.instant(
+            _spans.instant_under(
                 "poison_page",
                 _trace.TRACK_CPU,
                 args={"vaddr": vaddr},
             )
+        _flightrec.trigger(
+            _flightrec.REASON_POISON,
+            {"vaddr": vaddr, "tier": self.tier_name},
+        )
 
     # -- swap-in path (decompression) ---------------------------------------------
 
@@ -351,7 +367,7 @@ class SfmBackend:
         self.stats.cpu_decompress_cycles += cycles
         if _trace.tracing_enabled():
             dur_ns = cycles / self.cpu_freq_hz * 1e9
-            _trace.complete(
+            _spans.emit_under(
                 "cpu_decompress",
                 _trace.TRACK_CPU,
                 _trace.clock_ns(),
@@ -359,6 +375,7 @@ class SfmBackend:
                 args={"blob_bytes": len(blob)},
             )
             _trace.advance_clock_ns(dur_ns)
+            self._lat_load.observe(dur_ns)
         self.ledger.record("sfm_cpu", "write", PAGE_SIZE)
         self.zpool.free(handle)
         self.index.delete(page.vaddr)

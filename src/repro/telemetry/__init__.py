@@ -1,22 +1,38 @@
 """Unified telemetry: metrics registry, structured tracing, export.
 
-Three layers (see DESIGN.md "Telemetry"):
+The layers (see DESIGN.md "Telemetry"):
 
 * :mod:`repro.telemetry.registry` — named counters / gauges /
-  fixed-bucket histograms with labels, collector callbacks, JSON/CSV
-  snapshots; the home of every statistic the stack keeps.
+  fixed-bucket histograms / quantile histograms with labels, collector
+  callbacks, JSON/CSV snapshots; the home of every statistic the stack
+  keeps.
 * :mod:`repro.telemetry.trace` — zero-cost-when-disabled span/instant
   events with simulated-time timestamps, buffered in a bounded ring and
   exportable as Chrome trace-event JSON (Perfetto / ``about:tracing``),
   one track per actor (CPU, NMA, driver, per-channel refresh).
+* :mod:`repro.telemetry.spans` — nested spans with parent/child
+  causality ids over the trace ring, so one pipeline store exports as a
+  tree with its demotions, offloads, and fallbacks.
+* :mod:`repro.telemetry.quantiles` — HDR-style log-bucketed quantile
+  histograms (bounded relative error, mergeable) behind
+  ``MetricsRegistry.quantile``; the substrate for p50/p99/p999 tables.
+* :mod:`repro.telemetry.slo` — declarative latency/availability
+  objectives evaluated over simulated-time windows with burn rates
+  (``python -m repro slo``).
+* :mod:`repro.telemetry.flightrec` — a bounded black-box recorder that
+  dumps ``flight_<reason>.json`` on breaker-open / poison / chaos-loss
+  triggers.
 * :mod:`repro.telemetry.session` — :class:`TelemetrySession`, the
-  per-run bundle that writes ``trace.json`` + ``metrics.json``.
+  per-run bundle that writes ``trace.json`` + ``metrics.json`` (+ any
+  flight records).
 
 ``python -m repro trace <workload>`` runs an instrumented workload and
 exports both files; see :mod:`repro.telemetry.runner`.
 """
 
-from repro.telemetry import reasons
+from repro.telemetry import flightrec, reasons, spans
+from repro.telemetry.flightrec import FlightRecorder
+from repro.telemetry.quantiles import STANDARD_QUANTILES, QuantileHistogram
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -25,6 +41,11 @@ from repro.telemetry.registry import (
     default_registry,
 )
 from repro.telemetry.session import TelemetrySession
+from repro.telemetry.slo import (
+    AvailabilityObjective,
+    LatencyObjective,
+    SloEngine,
+)
 from repro.telemetry.stats import StatsFacade
 from repro.telemetry.trace import (
     TRACK_CPU,
@@ -47,10 +68,16 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "AvailabilityObjective",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LatencyObjective",
     "MetricsRegistry",
+    "QuantileHistogram",
+    "STANDARD_QUANTILES",
+    "SloEngine",
     "StatsFacade",
     "TelemetrySession",
     "TraceEvent",
@@ -64,11 +91,13 @@ __all__ = [
     "default_registry",
     "emit",
     "fallback",
+    "flightrec",
     "instant",
     "reasons",
     "refresh_track",
     "set_clock_ns",
     "set_tracing",
+    "spans",
     "to_chrome_trace",
     "tracing",
     "tracing_enabled",

@@ -24,6 +24,7 @@ from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.telemetry.quantiles import QuantileHistogram
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -180,6 +181,25 @@ class MetricsRegistry:
             )
         return metric
 
+    def quantile(
+        self,
+        name: str,
+        min_value: float = 1.0,
+        relative_error: float = 0.01,
+        **labels,
+    ) -> QuantileHistogram:
+        """Log-bucketed quantile histogram (see
+        :mod:`repro.telemetry.quantiles`). As with :meth:`histogram`,
+        the config is fixed by the first caller; later lookups ignore
+        the ``min_value``/``relative_error`` arguments."""
+        return self._get_or_create(
+            QuantileHistogram,
+            name,
+            labels,
+            min_value=min_value,
+            relative_error=relative_error,
+        )
+
     def register_collector(
         self, prefix: str, collect: Callable[[], Dict[str, float]]
     ) -> None:
@@ -216,7 +236,12 @@ class MetricsRegistry:
         """``metric,value`` rows; histograms flatten to bucket columns."""
         lines = ["metric,value"]
         for key, value in self.snapshot().items():
-            if isinstance(value, dict):  # histogram
+            if isinstance(value, dict) and value.get("kind") == "quantile":
+                for label, q in value["quantiles"].items():
+                    lines.append(f"{key}|{label},{q}")
+                lines.append(f"{key}|count,{value['count']}")
+                lines.append(f"{key}|sum,{value['sum']}")
+            elif isinstance(value, dict):  # fixed-bucket histogram
                 for bound, count in zip(
                     value["buckets"] + ["+inf"], value["counts"]
                 ):
@@ -237,6 +262,14 @@ class MetricsRegistry:
                 self._get_or_create(Gauge, name, dict(labels)).set(
                     metric.value
                 )
+            elif isinstance(metric, QuantileHistogram):
+                mine = self.quantile(
+                    name,
+                    min_value=metric.min_value,
+                    relative_error=metric.relative_error,
+                    **dict(labels),
+                )
+                mine.merge_from(metric)
             else:
                 mine = self.histogram(
                     name, buckets=metric.buckets, **dict(labels)

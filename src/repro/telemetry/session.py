@@ -1,14 +1,24 @@
 """TelemetrySession: one run's trace ring + metrics registry + export.
 
 The session is the user-facing bundle: entering it turns tracing on
-(with a bounded ring), attaches a fresh metrics registry, and resets the
-simulated clock; exiting turns tracing off. ``write()`` — called
-automatically on exit when ``out_dir`` is set — produces
+(with a bounded ring), attaches a fresh metrics registry, installs a
+flight recorder (see :mod:`repro.telemetry.flightrec`), resets the span
+ids, and resets the simulated clock; exiting turns everything off.
+``write()`` — called automatically on exit when ``out_dir`` is set —
+produces
 
 * ``trace.json``  — Chrome trace-event JSON (open in Perfetto or
   ``about:tracing``), and
 * ``metrics.json`` — the registry snapshot plus every stats facade
-  attached with :meth:`add_stats`.
+  attached with :meth:`add_stats`,
+
+plus any ``flight_<reason>.json`` black-box dumps the run triggered.
+
+Ring capacity defaults to 65536 events; override per session with the
+``ring_capacity`` kwarg or process-wide with the ``REPRO_TRACE_RING``
+environment variable (the kwarg wins). Events shed by ring overflow are
+exported as the ``trace.ring_dropped`` registry gauge so a truncated
+trace is visible from ``metrics.json`` alone.
 
 The benchmark harness wraps measured runs in a session so
 ``BENCH_perf.json`` runs can optionally attach traces; the ``python -m
@@ -18,9 +28,13 @@ repro trace`` subcommand uses it for its workloads.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.errors import ConfigError
+from repro.telemetry import flightrec, spans
+from repro.telemetry.flightrec import FlightRecorder
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.stats import StatsFacade
 from repro.telemetry.trace import (
@@ -31,6 +45,23 @@ from repro.telemetry.trace import (
     tracing_enabled,
 )
 
+#: Environment variable overriding the default ring capacity.
+RING_CAPACITY_ENV = "REPRO_TRACE_RING"
+DEFAULT_RING_CAPACITY = 65536
+
+
+def _default_ring_capacity() -> int:
+    raw = os.environ.get(RING_CAPACITY_ENV)
+    if raw is None:
+        return DEFAULT_RING_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{RING_CAPACITY_ENV} must be an integer, got {raw!r}"
+        )
+    return capacity
+
 
 class TelemetrySession:
     """Context manager owning one run's trace ring and registry."""
@@ -38,17 +69,26 @@ class TelemetrySession:
     def __init__(
         self,
         out_dir: Optional[object] = None,
-        ring_capacity: int = 65536,
+        ring_capacity: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        flight_capacity: int = 512,
     ) -> None:
         self.out_dir = Path(out_dir) if out_dir is not None else None
+        if ring_capacity is None:
+            ring_capacity = _default_ring_capacity()
         self.ring = TraceRing(ring_capacity)
         self.registry = (
             registry if registry is not None else MetricsRegistry()
         )
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            registry=self.registry,
+            out_dir=str(self.out_dir) if self.out_dir is not None else None,
+        )
         self._stats: Dict[str, StatsFacade] = {}
         self._annotations: Dict[str, object] = {}
         self._was_enabled = False
+        self._prev_recorder: Optional[FlightRecorder] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -56,9 +96,16 @@ class TelemetrySession:
         self._was_enabled = tracing_enabled()
         set_tracing(True, self.ring)
         set_clock_ns(0.0)
+        spans.reset()
+        self._prev_recorder = flightrec.install(self.flight)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        if self._prev_recorder is not None:
+            flightrec.install(self._prev_recorder)
+        else:
+            flightrec.uninstall()
+        self._prev_recorder = None
         set_tracing(False)
         if self.out_dir is not None and exc_type is None:
             self.write(self.out_dir)
@@ -76,6 +123,9 @@ class TelemetrySession:
         self._annotations[key] = value
 
     def metrics_document(self) -> Dict[str, object]:
+        # Exported as a gauge so downstream consumers of metrics.json /
+        # CSV see truncation without parsing the trace block.
+        self.registry.gauge("trace.ring_dropped").set(self.ring.dropped)
         doc: Dict[str, object] = {
             "schema": 1,
             "registry": self.registry.snapshot(),
@@ -87,8 +137,11 @@ class TelemetrySession:
             doc["annotations"] = dict(self._annotations)
         doc["trace"] = {
             "events": len(self.ring),
+            "capacity": self.ring.capacity,
             "dropped": self.ring.dropped,
         }
+        if self.flight.dumps:
+            doc["flight_records"] = list(self.flight.dumps)
         return doc
 
     # -- export ------------------------------------------------------------

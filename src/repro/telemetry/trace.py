@@ -101,6 +101,9 @@ class TraceRing:
 _enabled: bool = False
 _ring: Optional[TraceRing] = None
 _clock_ns: float = 0.0
+#: Optional secondary sink fed every emitted event — the flight
+#: recorder's record callback (see :mod:`repro.telemetry.flightrec`).
+_flight = None
 
 
 def tracing_enabled() -> bool:
@@ -141,6 +144,16 @@ def tracing(ring: Optional[TraceRing] = None) -> Iterator[TraceRing]:
         _enabled, _ring = prev_enabled, prev_ring
 
 
+def set_flight_sink(sink) -> None:
+    """Install/remove the flight-recorder event sink (a callable taking
+    one :class:`TraceEvent`, or None). Installed sinks see every event
+    the ring sees; they also see events emitted while no ring is active,
+    which is what makes the flight recorder "always on" inside a
+    session even if the ring is swapped out."""
+    global _flight
+    _flight = sink
+
+
 def clock_ns() -> float:
     """Current simulated-time timestamp."""
     return _clock_ns
@@ -173,18 +186,21 @@ def emit(
     disabled cost is one boolean read rather than argument packing.
     """
     ring = _ring
-    if ring is None:
+    flight = _flight
+    if ring is None and flight is None:
         return
-    ring.append(
-        TraceEvent(
-            name=name,
-            ph=ph,
-            ts_ns=_clock_ns if ts_ns is None else ts_ns,
-            track=track,
-            dur_ns=dur_ns,
-            args=args,
-        )
+    event = TraceEvent(
+        name=name,
+        ph=ph,
+        ts_ns=_clock_ns if ts_ns is None else ts_ns,
+        track=track,
+        dur_ns=dur_ns,
+        args=args,
     )
+    if ring is not None:
+        ring.append(event)
+    if flight is not None:
+        flight(event)
 
 
 def instant(

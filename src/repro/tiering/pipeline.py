@@ -45,7 +45,8 @@ from repro.resilience.breaker import (
 from repro.compression.base import batch_stats
 from repro.sfm.metrics import BandwidthLedger, SwapStats
 from repro.sfm.page import PAGE_SIZE, Page
-from repro.telemetry import reasons, trace as _trace
+from repro.telemetry import flightrec as _flightrec
+from repro.telemetry import reasons, spans as _spans, trace as _trace
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.stats import StatsFacade
 from repro.tiering.policy import (
@@ -179,6 +180,14 @@ class TierPipeline:
         #: vaddrs lost to unrecoverable corruption: a later access gets
         #: an explicit CorruptedBlobError instead of a lookup miss.
         self._poisoned: Set[int] = set()
+        #: End-to-end latency quantiles per op class (simulated ns),
+        #: recorded only under tracing; cached for the hot path.
+        self._lat = {
+            op: self.registry.quantile(
+                "op_latency_ns", op=op, tier="pipeline"
+            )
+            for op in ("store", "load", "prefetch", "demote")
+        }
 
     def _on_breaker_transition(
         self, breaker: CircuitBreaker, old: BreakerState, new: BreakerState
@@ -192,6 +201,17 @@ class TierPipeline:
                 args={"tier": breaker.name, "from": old.value,
                       "to": new.value,
                       "error_rate": round(breaker.error_rate(), 4)},
+            )
+        if new is BreakerState.OPEN:
+            # Black-box dump: the last thing an operator has when a tier
+            # goes dark is whatever led up to the breaker opening.
+            _flightrec.trigger(
+                _flightrec.REASON_BREAKER_OPEN,
+                {
+                    "tier": breaker.name,
+                    "from": old.value,
+                    "error_rate": round(breaker.error_rate(), 4),
+                },
             )
 
     def _record_tier_error(self, index: int) -> None:
@@ -297,6 +317,29 @@ class TierPipeline:
     def swap_out(self, page: Page) -> SwapOutcome:
         """Place a page at the highest tier that takes it, then let the
         demotion policy cascade cold entries downward."""
+        if not _trace.tracing_enabled():
+            return self._swap_out_impl(page)
+        # The store span roots the causality tree: the tier rejects,
+        # demotion rounds, device offloads, and CPU fallbacks this store
+        # causes all export as its children.
+        handle = _spans.begin(
+            "pipeline_store", TRACK_TIER, args={"vaddr": page.vaddr}
+        )
+        try:
+            outcome = self._swap_out_impl(page)
+        finally:
+            dur_ns = _spans.end(handle)
+        if dur_ns <= 0.0 and outcome.accepted:
+            # The accepting tier advanced no simulated time (pure
+            # device-side work): fall back to its modeled latency.
+            index = self._where.get(page.vaddr)
+            if index is not None:
+                dur_ns = self.tiers[index].swap_latency_s("out") * 1e9
+        if dur_ns > 0.0:
+            self._lat["store"].observe(dur_ns)
+        return outcome
+
+    def _swap_out_impl(self, page: Page) -> SwapOutcome:
         # A fresh store of a vaddr supersedes any earlier poison marker.
         self._poisoned.discard(page.vaddr)
         outcome, index = self._place(page, start=0)
@@ -428,10 +471,33 @@ class TierPipeline:
         self._forget(page, index)
         return data
 
+    def _traced_fetch(
+        self, page: Page, index: int, demand: bool, op: str
+    ) -> bytes:
+        """Span-wrapped :meth:`_fetch` observing the end-to-end latency
+        quantile for ``op`` (``load``/``prefetch``)."""
+        handle = _spans.begin(
+            "pipeline_" + op,
+            TRACK_TIER,
+            args={"vaddr": page.vaddr, "tier": self.tier_names[index]},
+        )
+        try:
+            data = self._fetch(page, index, demand=demand)
+        finally:
+            dur_ns = _spans.end(handle)
+        if dur_ns <= 0.0:
+            dur_ns = self.tiers[index].swap_latency_s("in") * 1e9
+        if dur_ns > 0.0:
+            self._lat[op].observe(dur_ns)
+        return data
+
     def swap_in(self, page: Page) -> bytes:
         """Demand load: fetch from whichever tier holds the page."""
         index = self._holding_tier(page)
-        data = self._fetch(page, index, demand=True)
+        if _trace.tracing_enabled():
+            data = self._traced_fetch(page, index, demand=True, op="load")
+        else:
+            data = self._fetch(page, index, demand=True)
         self.pipeline_stats.loads += 1
         if _trace.tracing_enabled():
             _trace.instant(
@@ -445,7 +511,12 @@ class TierPipeline:
     def promote(self, page: Page) -> bytes:
         """Prefetch-style load through the holding tier's offload path."""
         index = self._holding_tier(page)
-        data = self._fetch(page, index, demand=False)
+        if _trace.tracing_enabled():
+            data = self._traced_fetch(
+                page, index, demand=False, op="prefetch"
+            )
+        else:
+            data = self._fetch(page, index, demand=False)
         self.pipeline_stats.prefetch_loads += 1
         if _trace.tracing_enabled():
             _trace.instant(
@@ -485,20 +556,56 @@ class TierPipeline:
                 and self._lru[index]
                 and self.demotion.should_demote(tier)
             ):
-                victims, poisoned, stop = self._collect_victims(
+                victims, poisoned, placed, stop = self._demote_round(
                     index,
                     DEMOTE_BATCH_PAGES,
                     lambda t=tier, i=index: bool(self._lru[i])
                     and self.demotion.should_demote(t),
                 )
-                demoted += poisoned
-                if victims:
-                    placed, place_stop = self._place_victims(index, victims)
-                    demoted += placed
-                    stop = stop or place_stop
-                elif not poisoned:
+                demoted += poisoned + placed
+                if not victims and not poisoned:
                     break
         return demoted
+
+    def _demote_round(
+        self, index: int, limit: int, keep_going
+    ) -> Tuple[List[Tuple[int, Page, bytes]], int, int, bool]:
+        """One batched demotion round (collect + place) under a
+        ``demote_round`` span, observing the round's end-to-end latency.
+        Returns ``(victims, poisoned, placed, stop)``."""
+        trace_on = _trace.tracing_enabled()
+        handle = None
+        if trace_on:
+            handle = _spans.begin(
+                "demote_round",
+                TRACK_TIER,
+                args={"from": self.tier_names[index]},
+            )
+        victims, poisoned, stop = self._collect_victims(
+            index, limit, keep_going
+        )
+        placed = 0
+        if victims:
+            placed, place_stop = self._place_victims(index, victims)
+            stop = stop or place_stop
+        if handle is not None:
+            dur_ns = _spans.end(
+                handle,
+                extra={
+                    "victims": len(victims),
+                    "poisoned": poisoned,
+                    "placed": placed,
+                },
+            )
+            if victims:
+                if dur_ns <= 0.0:
+                    below = min(index + 1, len(self.tiers) - 1)
+                    dur_ns = (
+                        self.tiers[index].swap_latency_s("in")
+                        + self.tiers[below].swap_latency_s("out")
+                    ) * len(victims) * 1e9
+                self._lat["demote"].observe(dur_ns)
+        return victims, poisoned, placed, stop
 
     def _collect_victims(
         self, index: int, limit: int, keep_going
@@ -726,16 +833,12 @@ class TierPipeline:
         stop = False
         while not stop and demoted < count and self._lru[from_tier]:
             want = min(count - demoted, DEMOTE_BATCH_PAGES)
-            victims, poisoned, stop = self._collect_victims(
+            victims, poisoned, placed, stop = self._demote_round(
                 from_tier, want,
                 lambda i=from_tier: bool(self._lru[i]),
             )
-            demoted += poisoned
-            if victims:
-                placed, place_stop = self._place_victims(from_tier, victims)
-                demoted += placed
-                stop = stop or place_stop
-            elif not poisoned:
+            demoted += poisoned + placed
+            if not victims and not poisoned:
                 break
         checkpoint(self)
         return demoted

@@ -69,6 +69,28 @@ class TestCampaigns:
         )
         assert report["schema"] == 1
 
+    def test_poison_auto_dumps_flight_records(self, tmp_path):
+        """The full profile's unhealed corruptions trip the flight
+        recorder: each poisoned page leaves a ``flight_poison*.json``
+        black box in the out dir, and the report lists the filenames."""
+        report = run_chaos(
+            ChaosConfig(seed=7, ops=300, profile="full"), tmp_path
+        )
+        assert report["recovery"]["poison_pages"] > 0
+        names = report["flight_records"]
+        assert names and names[0] == "flight_poison.json"
+        for name in names:
+            doc = json.loads((tmp_path / name).read_text())
+            assert doc["reason"] == "poison"
+            assert doc["events"]
+
+    def test_flight_record_names_stay_in_report_without_out_dir(self):
+        report = run_chaos(ChaosConfig(seed=7, ops=300, profile="full"))
+        assert report["flight_records"]
+        # Deterministic: same seed, same dump names.
+        again = run_chaos(ChaosConfig(seed=7, ops=300, profile="full"))
+        assert report["flight_records"] == again["flight_records"]
+
     def test_validation_hooks_hold_under_chaos(self):
         """The invariant checkers must pass while faults fire (the CI
         chaos-smoke gate)."""

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.errors import ConfigError
+from repro.telemetry.quantiles import QuantileHistogram
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -111,6 +112,75 @@ class TestSnapshotExport:
         assert "h|sum,55.0" in csv
 
 
+class TestQuantileKind:
+    def test_registry_dedupes_and_types_quantiles(self):
+        reg = MetricsRegistry()
+        q = reg.quantile("lat", op="store")
+        assert isinstance(q, QuantileHistogram)
+        assert reg.quantile("lat", op="store") is q
+        assert reg.quantile("lat", op="load") is not q
+        with pytest.raises(ConfigError):
+            reg.counter("lat", op="store")  # kind conflict
+
+    def test_snapshot_embeds_quantile_dict(self):
+        reg = MetricsRegistry()
+        reg.quantile("lat").observe(100.0)
+        snap = reg.snapshot()["lat"]
+        assert snap["kind"] == "quantile"
+        assert snap["count"] == 1
+        assert set(snap["quantiles"]) == {"p50", "p90", "p99", "p999"}
+
+    def test_csv_flattens_quantiles(self):
+        reg = MetricsRegistry()
+        q = reg.quantile("lat", op="store")
+        q.observe(100.0)
+        q.observe(200.0)
+        csv = reg.to_csv()
+        assert "lat{op=store}|count,2" in csv
+        assert "lat{op=store}|sum,300.0" in csv
+        assert any(
+            line.startswith("lat{op=store}|p50,") for line in csv.splitlines()
+        )
+
+
+class TestCsvAndSnapshotDeterminism:
+    """Flattening shape guarantees: bucket order, overflow bin, stable
+    label keys across repeated exports."""
+
+    def test_histogram_rows_in_bucket_order_with_overflow_last(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(10, 20, 30))
+        for value in (5, 15, 25, 31, 1000):
+            h.observe(value)
+        lines = [
+            line for line in reg.to_csv().splitlines()
+            if line.startswith("h|")
+        ]
+        assert lines == [
+            "h|le=10.0,1",
+            "h|le=20.0,1",
+            "h|le=30.0,1",
+            "h|le=+inf,2",
+            "h|sum,1076.0",
+        ]
+
+    def test_label_keys_are_sorted_and_deterministic(self):
+        reg = MetricsRegistry()
+        # Construction order of labels must not leak into the key.
+        reg.counter("c", zeta=1, alpha=2).inc()
+        (key,) = [k for k in reg.snapshot() if k.startswith("c{")]
+        assert key == "c{alpha=2,zeta=1}"
+        assert reg.counter("c", alpha=2, zeta=1).value == 1
+
+    def test_repeated_exports_are_identical(self):
+        reg = MetricsRegistry()
+        reg.counter("a", tier="xfm").inc(3)
+        reg.histogram("h", buckets=(10,), tier="xfm").observe(50)
+        reg.quantile("q", tier="xfm").observe(7.0)
+        assert reg.to_csv() == reg.to_csv()
+        assert reg.snapshot() == reg.snapshot()
+
+
 class TestMerge:
     def test_counters_sum_gauges_take_latest(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -130,6 +200,37 @@ class TestMerge:
         h = a.histogram("h")
         assert h.counts == [1, 1, 0]
         assert h.total == 2
+
+    def test_histogram_bucket_bound_mismatch_raises(self):
+        """Regression: merging histograms whose bucket bounds differ must
+        raise ConfigError, never silently mis-fold counts."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(10, 20)).observe(5)
+        b.histogram("h", buckets=(10, 30)).observe(5)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_quantiles_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.quantile("q", tier="xfm").observe(10.0)
+        b.quantile("q", tier="xfm").observe(1000.0)
+        a.merge(b)
+        q = a.quantile("q", tier="xfm")
+        assert q.total == 2
+        assert q.sum == 1010.0
+
+    def test_quantile_config_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.quantile("q", relative_error=0.01).observe(1.0)
+        b.quantile("q", relative_error=0.05).observe(1.0)
+        with pytest.raises(ConfigError):
+            a.merge(b)
+
+    def test_merge_creates_missing_quantile_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.quantile("q", tier="dfm").observe(42.0)
+        a.merge(b)
+        assert a.quantile("q", tier="dfm").total == 1
 
 
 def test_default_registry_is_shared():

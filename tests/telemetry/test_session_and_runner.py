@@ -53,6 +53,81 @@ class TestSession:
         assert not (tmp_path / "trace.json").exists()
 
 
+class TestRingCapacity:
+    def test_kwarg_sets_capacity(self):
+        session = TelemetrySession(ring_capacity=4)
+        assert session.ring.capacity == 4
+
+    def test_env_var_sets_default(self, monkeypatch):
+        from repro.telemetry.session import RING_CAPACITY_ENV
+
+        monkeypatch.setenv(RING_CAPACITY_ENV, "128")
+        assert TelemetrySession().ring.capacity == 128
+
+    def test_kwarg_wins_over_env(self, monkeypatch):
+        from repro.telemetry.session import RING_CAPACITY_ENV
+
+        monkeypatch.setenv(RING_CAPACITY_ENV, "128")
+        assert TelemetrySession(ring_capacity=8).ring.capacity == 8
+
+    def test_non_integer_env_raises(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.telemetry.session import RING_CAPACITY_ENV
+
+        monkeypatch.setenv(RING_CAPACITY_ENV, "lots")
+        with pytest.raises(ConfigError):
+            TelemetrySession()
+
+    def test_default_capacity_without_env(self, monkeypatch):
+        from repro.telemetry.session import (
+            DEFAULT_RING_CAPACITY,
+            RING_CAPACITY_ENV,
+        )
+
+        monkeypatch.delenv(RING_CAPACITY_ENV, raising=False)
+        assert TelemetrySession().ring.capacity == DEFAULT_RING_CAPACITY
+
+    def test_dropped_events_exported_as_gauge(self, tmp_path):
+        with TelemetrySession(out_dir=tmp_path, ring_capacity=2):
+            for i in range(5):
+                trace.instant(f"e{i}", trace.TRACK_CPU)
+        metrics = _load(tmp_path / "metrics.json")
+        assert metrics["registry"]["trace.ring_dropped"] == 3
+        assert metrics["trace"]["dropped"] == 3
+        assert metrics["trace"]["capacity"] == 2
+        assert metrics["trace"]["events"] == 2
+
+
+class TestFlightRecorderLifecycle:
+    def test_session_installs_and_removes_recorder(self):
+        from repro.telemetry import flightrec
+
+        assert flightrec.current_recorder() is None
+        with TelemetrySession() as session:
+            assert flightrec.current_recorder() is session.flight
+        assert flightrec.current_recorder() is None
+
+    def test_nested_sessions_restore_outer_recorder(self):
+        from repro.telemetry import flightrec
+
+        with TelemetrySession() as outer:
+            with TelemetrySession() as inner:
+                assert flightrec.current_recorder() is inner.flight
+            assert flightrec.current_recorder() is outer.flight
+
+    def test_trigger_dump_lands_in_out_dir_and_metrics(self, tmp_path):
+        from repro.telemetry import flightrec
+
+        with TelemetrySession(out_dir=tmp_path):
+            trace.instant("boom", trace.TRACK_CPU)
+            flightrec.trigger(flightrec.REASON_POISON, {"vaddr": 0})
+        assert (tmp_path / "flight_poison.json").exists()
+        metrics = _load(tmp_path / "metrics.json")
+        assert metrics["flight_records"] == [
+            str(tmp_path / "flight_poison.json")
+        ]
+
+
 class TestGoldenEmulatorTrace:
     """A 3-window emulator run has a fully deterministic event sequence."""
 

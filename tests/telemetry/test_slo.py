@@ -1,0 +1,144 @@
+"""SLO engine: windowing over simulated time, burn rates, objectives."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import (
+    AvailabilityObjective,
+    LatencyObjective,
+    SloEngine,
+)
+
+
+def _latency_setup():
+    reg = MetricsRegistry()
+    hist = reg.quantile("op_latency_ns", op="store", tier="pipeline")
+    obj = LatencyObjective(
+        "store-fast",
+        op="store",
+        tier="pipeline",
+        threshold_ns=1000.0,
+        target=0.9,
+    )
+    return reg, hist, obj
+
+
+class TestValidation:
+    def test_bad_targets_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyObjective("x", "store", "t", 10.0, target=1.0)
+        with pytest.raises(ConfigError):
+            LatencyObjective("x", "store", "t", -1.0, target=0.9)
+        with pytest.raises(ConfigError):
+            AvailabilityObjective("x", 0.0, ("bad",), ("total",))
+        with pytest.raises(ConfigError):
+            AvailabilityObjective("x", 0.9, (), ("total",))
+
+    def test_engine_needs_objectives_and_positive_window(self):
+        reg, _, obj = _latency_setup()
+        with pytest.raises(ConfigError):
+            SloEngine(reg, [], window_ns=100.0)
+        with pytest.raises(ConfigError):
+            SloEngine(reg, [obj], window_ns=0)
+        with pytest.raises(ConfigError):
+            SloEngine(reg, [obj, obj], window_ns=100.0)  # duplicate name
+
+
+class TestLatencyWindows:
+    def test_windows_close_on_simulated_boundaries(self):
+        reg, hist, obj = _latency_setup()
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        hist.observe(500.0)   # good
+        hist.observe(500.0)   # good
+        engine.tick(150.0)    # closes [0, 100)
+        hist.observe(5000.0)  # bad, lands in second window
+        engine.finalize(200.0)
+        windows = engine.windows
+        assert len(windows) == 2
+        assert (windows[0].total, windows[0].bad) == (2, 0)
+        assert (windows[1].total, windows[1].bad) == (1, 1)
+        assert windows[0].attainment == 1.0
+        assert windows[1].attainment == 0.0
+
+    def test_burn_rate_scales_with_error_budget(self):
+        reg, hist, obj = _latency_setup()  # target 0.9 => budget 10%
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        for _ in range(8):
+            hist.observe(1.0)
+        hist.observe(9999.0)
+        hist.observe(9999.0)
+        engine.finalize(100.0)
+        (window,) = engine.windows
+        # 2 bad / 10 total against a 10% budget: burn = 2.0.
+        assert window.burn_rate(obj.target) == pytest.approx(2.0)
+
+    def test_empty_window_counts_as_met(self):
+        reg, _, obj = _latency_setup()
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        engine.tick(350.0)
+        assert len(engine.windows) == 3
+        assert all(w.attainment == 1.0 for w in engine.windows)
+        assert all(w.burn_rate(obj.target) == 0.0 for w in engine.windows)
+
+    def test_finalize_is_idempotent(self):
+        reg, hist, obj = _latency_setup()
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        hist.observe(1.0)
+        engine.finalize(50.0)
+        engine.finalize(50.0)
+        assert len(engine.windows) == 1
+
+
+class TestAvailability:
+    def test_counts_sum_all_label_variants(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", tier="a").inc(60)
+        reg.counter("ops", tier="b").inc(40)
+        reg.counter("errors", tier="a").inc(5)
+        obj = AvailabilityObjective(
+            "avail", target=0.99, bad_metrics=("errors",),
+            total_metrics=("ops",),
+        )
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        engine.finalize(100.0)
+        (window,) = engine.windows
+        assert (window.total, window.bad) == (100, 5)
+        assert window.attainment == pytest.approx(0.95)
+
+    def test_deltas_not_cumulative_across_windows(self):
+        reg = MetricsRegistry()
+        ops = reg.counter("ops")
+        errors = reg.counter("errors")
+        obj = AvailabilityObjective(
+            "avail", target=0.9, bad_metrics=("errors",),
+            total_metrics=("ops",),
+        )
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        ops.inc(10)
+        errors.inc(2)
+        engine.tick(100.0)
+        ops.inc(10)  # clean second window
+        engine.finalize(200.0)
+        first, second = engine.windows
+        assert (first.total, first.bad) == (10, 2)
+        assert (second.total, second.bad) == (10, 0)
+
+
+class TestReporting:
+    def test_summary_and_as_dict(self):
+        reg, hist, obj = _latency_setup()
+        engine = SloEngine(reg, [obj], window_ns=100.0)
+        for _ in range(9):
+            hist.observe(1.0)
+        hist.observe(9999.0)
+        engine.finalize(100.0)
+        summary = engine.summary()["store-fast"]
+        assert summary["total"] == 10
+        assert summary["bad"] == 1
+        assert summary["attainment"] == pytest.approx(0.9)
+        assert summary["met"] is True  # attainment == target
+        doc = engine.as_dict()
+        assert doc["schema_version"] == 1
+        assert doc["objectives"][0]["kind"] == "latency"
+        assert doc["windows"][0]["burn_rate"] == pytest.approx(1.0)

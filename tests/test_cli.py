@@ -206,3 +206,59 @@ class TestCodectuneCli:
     def test_list_mentions_codectune(self, capsys):
         assert main([]) == 0
         assert "codectune" in capsys.readouterr().out
+
+
+class TestSloCli:
+    def test_slo_prints_percentiles_and_summary(self, capsys):
+        assert main(["slo", "web-session"]) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles" in out
+        for column in ("p50_us", "p99_us", "p999_us"):
+            assert column in out
+        # Rows exist per op class x tier.
+        assert "pipeline" in out and "cpu-zswap" in out
+        assert "slo summary" in out
+        assert "store-latency" in out
+        assert "load-latency" in out
+        assert "availability" in out
+
+    def test_slo_scenario_flag_form(self, capsys):
+        assert main(["slo", "--scenario", "web-session"]) == 0
+        assert "slo summary" in capsys.readouterr().out
+
+    def test_slo_writes_report_json(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "slo"
+        assert main(
+            ["slo", "web-session", "--out", str(out_dir)]
+        ) == 0
+        assert str(out_dir / "slo_report.json") in capsys.readouterr().out
+        doc = json.loads((out_dir / "slo_report.json").read_text())
+        assert doc["scenario"] == "web-session"
+        assert doc["slo"]["summary"]
+        assert doc["latency_percentiles"]
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "metrics.json").exists()
+
+    def test_slo_fail_on_violation_gates_exit_code(self, capsys):
+        # The default objectives are deliberately tight enough that the
+        # demotion cascades in web-session burn the store budget.
+        code = main(
+            ["slo", "web-session", "--fail-on-violation"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in out
+
+    def test_slo_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["slo", "nope"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_slo_unknown_backend_is_usage_error(self, capsys):
+        assert main(["slo", "web-session", "--backend", "tape"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_list_mentions_slo(self, capsys):
+        assert main([]) == 0
+        assert "repro slo" in capsys.readouterr().out
