@@ -36,6 +36,12 @@ Modes:
     same path on a bare ``SfmBackend``. Same in-process-ratio protocol
     as ``telemetry-guard``.
 
+``sim-guard``
+    Assert that the shared simulated-clock/event core added <
+    ``--max-overhead`` (default 5%) to the ``tier_pipeline_store`` /
+    ``tier_pipeline_load`` kernels, best-of-``--trials`` against their
+    committed pre-refactor ``BENCH_perf.json`` baselines.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py run
@@ -320,6 +326,48 @@ def cmd_batch_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sim_guard(args: argparse.Namespace) -> int:
+    """Assert the repro.sim clock/event core added < ``--max-overhead``
+    to the tier pipeline hot path.
+
+    The tier store/load kernels route every operation through the
+    pieces the simulation-core refactor touched (span clock reads,
+    breaker checks, latency accounting), so they are the canary: each
+    is re-measured (best-of-``--trials`` full kernel runs) and compared
+    against its committed ``BENCH_perf.json`` baseline, which was
+    recorded immediately before the shared-clock refactor landed."""
+    doc = _load(Path(args.baseline))
+    committed = doc["baseline"]["kernels"]
+    kernels = ("tier_pipeline_store", "tier_pipeline_load")
+    failures = []
+    for name in kernels:
+        fresh = min(
+            microbench.run_kernel(name, args.inner_scale, args.repeats)[
+                "seconds_per_op"
+            ]
+            for _ in range(args.trials)
+        )
+        base = committed[name]["seconds_per_op"]
+        overhead = fresh / base - 1.0
+        print(
+            f"{name}: committed {base:.6f} s/op, fresh {fresh:.6f} s/op "
+            f"({overhead * 100:+.2f}%, gate: < {args.max_overhead * 100:.0f}%)"
+        )
+        if overhead > args.max_overhead:
+            failures.append((name, overhead))
+    if failures:
+        print(f"\nsim guard FAILED ({len(failures)} kernel(s)):")
+        for name, overhead in failures:
+            print(
+                f"  {name}: {overhead * 100:+.2f}% over the pre-sim "
+                "baseline — scheduler/clock bookkeeping leaked into the "
+                "hot path"
+            )
+        return 1
+    print("sim guard passed: event-core overhead within the gate")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -372,6 +420,19 @@ def main(argv=None) -> int:
         help="assert the page-batch codec API never falls back to scalar",
     )
     batch_guard.set_defaults(func=cmd_batch_guard)
+
+    sim_guard = sub.add_parser(
+        "sim-guard",
+        help="assert the sim clock/event core overhead on the tier "
+        "pipeline kernels stays < --max-overhead vs the committed "
+        "baseline",
+    )
+    sim_guard.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    sim_guard.add_argument("--max-overhead", type=float, default=0.05)
+    sim_guard.add_argument("--inner-scale", type=float, default=1.0)
+    sim_guard.add_argument("--repeats", type=int, default=3)
+    sim_guard.add_argument("--trials", type=int, default=3)
+    sim_guard.set_defaults(func=cmd_sim_guard)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -40,9 +40,10 @@ from repro._units import SECONDS_PER_MINUTE
 from repro.core.refresh_channel import AccessKind, WindowScheduler
 from repro.dram.device import DDR5_32GB, PAGE_SIZE, DramDeviceConfig, timings_for_device
 from repro.dram.energy import AccessEnergyModel
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.refresh import RefreshScheduler, make_refresh_policy
 from repro.dram.timing import DramTimings
 from repro.errors import ConfigError
+from repro.sim import CLOCK as _sim_clock, EventScheduler
 from repro.telemetry import reasons, trace as _trace
 from repro.validation.hooks import validation_enabled
 
@@ -78,6 +79,10 @@ class EmulatorConfig:
     #: Simulated wall-clock per rank.
     sim_time_s: float = 0.25
     seed: int = 1234
+    #: Refresh-window granulation: ``"all-bank"`` (default, §2.2) or
+    #: ``"per-bank"`` (DDR5 FGR-style); None resolves the process
+    #: default (the ``REPRO_REFRESH_POLICY`` environment variable).
+    refresh_policy: Optional[str] = None
 
     def resolved_timings(self) -> DramTimings:
         return (
@@ -168,7 +173,13 @@ class XfmEmulator:
         self.config = config
         self.timings = config.resolved_timings()
         self.device = config.device
-        self.refresh = RefreshScheduler(self.device, self.timings)
+        self.refresh = RefreshScheduler(
+            self.device,
+            self.timings,
+            policy=make_refresh_policy(
+                config.refresh_policy, self.device, self.timings
+            ),
+        )
         self.scheduler = WindowScheduler(
             refresh=self.refresh,
             accesses_per_ref=config.accesses_per_ref,
@@ -284,15 +295,15 @@ class XfmEmulator:
         blob = cfg.blob_bytes
         group_limit = PAGE_SIZE
         trace_on = _trace.tracing_enabled()
-        trefi_ns = self.timings.trefi_ns
+        policy = self.refresh.policy
+        banked = policy.windows_per_trefi > 1
+        num_banks = policy.windows_per_trefi
 
-        for ref in range(num_refs):
-            if trace_on:
-                # Simulated time follows the REF cadence; the window span
-                # itself lands on the per-channel refresh track.
-                _trace.set_clock_ns(ref * trefi_ns)
-                self.refresh.trace_window(ref)
-            # -- arrivals -------------------------------------------------
+        def inject_arrivals(ref: int) -> None:
+            """Admit this tREFI interval's offload arrivals (SPM + CRQ
+            admission control; either failing is a CPU fallback)."""
+            nonlocal total_ops, fallbacks, fallbacks_spm, fallbacks_queue
+            nonlocal spm_used, spm_peak, crq_used, next_op
             for is_compress, count in (
                 (True, comp_arrivals[ref]),
                 (False, decomp_arrivals[ref]),
@@ -335,13 +346,21 @@ class XfmEmulator:
                         # Cold candidates are abundant: the controller picks
                         # one whose row is refreshing -> slot-flexible.
                         row: Optional[int] = None
+                        bank: Optional[int] = None
                         nbytes = PAGE_SIZE
                     else:
                         # The blob's location is fixed.
                         row = int(rng.integers(0, rows))
+                        # Per-bank windows serve fixed rows only in the
+                        # refreshing bank, so the blob's bank matters;
+                        # the extra draw happens only under a banked
+                        # policy (the all-bank RNG stream is untouched).
+                        bank = (
+                            int(rng.integers(0, num_banks)) if banked else None
+                        )
                         nbytes = blob
                     request = self.scheduler.submit(
-                        AccessKind.READ, row, ref, nbytes=nbytes
+                        AccessKind.READ, row, ref, nbytes=nbytes, bank=bank
                     )
                     read_of[request.request_id] = op.op_id
                     if trace_on:
@@ -357,9 +376,24 @@ class XfmEmulator:
                             },
                         )
 
+        last_bin = -1
+
+        def process_window(window) -> None:
+            """One refresh window fired by the event core: admit the new
+            tREFI bin's arrivals (first window of the bin), drain the
+            window, coalesce writebacks, checkpoint invariants — the
+            exact sequence the legacy per-REF loop ran inline."""
+            nonlocal last_bin, spm_used, crq_used, flex_buffer_bytes
+            nonlocal completed, conditional, random_count, moved_bytes
+            nonlocal energy, energy_all_random, energy_all_conditional
+            nonlocal latency_refs_sum
+            ref = policy.trefi_bin(window.ref_index)
+            if ref != last_bin:
+                last_bin = ref
+                inject_arrivals(ref)
             # -- drain one refresh window ----------------------------------
             pressure = spm_used / spm_capacity >= cfg.pressure_threshold
-            executed = self.scheduler.drain(ref, pressure=pressure)
+            executed = self.scheduler.drain_window(window, pressure=pressure)
             for access in executed:
                 nbytes = access.request.nbytes
                 moved_bytes += nbytes
@@ -440,6 +474,18 @@ class XfmEmulator:
                     ops=ops,
                     ref=ref,
                 )
+
+        # -- event loop: windows arrive as scheduled events --------------
+        # The refresh policy publishes its window stream onto the shared
+        # discrete-event core; the NMA side consumes windows as they
+        # fire instead of deriving them arithmetically. The clock scope
+        # keeps the emulator's borrowed timeline from leaking into the
+        # caller's (simulation runs are nestable like replays).
+        horizon_ns = num_refs * self.timings.trefi_ns
+        with _sim_clock.scoped(start_ns=0.0):
+            events = EventScheduler(clock=_sim_clock)
+            self.refresh.schedule_windows(events, horizon_ns, process_window)
+            events.run()
 
         # Flush: remaining in-flight ops are neither fallbacks nor
         # completions; exclude them from latency statistics.

@@ -20,7 +20,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.refresh import RefreshScheduler, RefreshWindow
 from repro.errors import ConfigError
 from repro.telemetry import trace as _trace
 
@@ -44,6 +44,10 @@ class AccessRequest:
     enqueued_ref: int
     #: Bytes moved by this access (page or blob).
     nbytes: int = 4096
+    #: Bank holding the fixed-row target, or None when the request is
+    #: bank-agnostic (all-bank windows serve any bank; per-bank windows
+    #: serve conditional matches only in the refreshing bank).
+    bank: Optional[int] = None
 
 
 @dataclass
@@ -102,6 +106,7 @@ class WindowScheduler:
         row: Optional[int],
         current_ref: int,
         nbytes: int = 4096,
+        bank: Optional[int] = None,
     ) -> AccessRequest:
         """Queue an access; it will execute in some later refresh window."""
         request = AccessRequest(
@@ -110,6 +115,7 @@ class WindowScheduler:
             row=row,
             enqueued_ref=current_ref,
             nbytes=nbytes,
+            bank=bank,
         )
         self._next_id += 1
         if row is None:
@@ -129,16 +135,33 @@ class WindowScheduler:
     def drain(
         self, ref_index: int, pressure: bool = False
     ) -> List[ExecutedAccess]:
-        """Execute up to ``accesses_per_ref`` accesses in this window.
+        """Execute accesses in the ``ref_index``-th refresh window.
+
+        Legacy entry point: builds the policy's window for ``ref_index``
+        and delegates to :meth:`drain_window` (identical behavior under
+        the default all-bank policy).
+        """
+        return self.drain_window(
+            self.refresh.window(ref_index), pressure=pressure
+        )
+
+    def drain_window(
+        self, window: RefreshWindow, pressure: bool = False
+    ) -> List[ExecutedAccess]:
+        """Execute up to the window's access budget during ``window``.
 
         Priority: (1) placement-flexible writebacks (conditional by
-        construction), (2) row-matching conditional accesses, (3) random
+        construction), (2) row-matching conditional accesses — restricted
+        to the refreshing bank when the window is per-bank, (3) random
         accesses for the oldest starving requests — always when
         ``pressure`` is set (SPM high-watermark), otherwise only past
-        ``random_age_refs``.
+        ``random_age_refs``. All-bank windows get the full
+        ``accesses_per_ref`` budget; shorter per-bank windows get the
+        policy-scaled share.
         """
-        budget = self.accesses_per_ref
-        random_budget = self.random_per_ref
+        ref_index = window.ref_index
+        budget = self.refresh.policy.access_budget(self.accesses_per_ref)
+        random_budget = min(self.random_per_ref, budget)
         executed: List[ExecutedAccess] = []
 
         # (1) flexible writebacks ride the current refresh rows.
@@ -149,19 +172,41 @@ class WindowScheduler:
             )
             budget -= 1
 
-        # (2) conditional matches for this window's slot.
-        slot = ref_index % self.refresh.refs_per_retention
+        # (2) conditional matches for this window's slot (and bank).
+        slot = (
+            window.slot
+            if window.slot is not None
+            else ref_index % self.refresh.refs_per_retention
+        )
         bucket = self._slot_buckets.get(slot)
         if bucket:
-            while budget and bucket:
-                request = bucket.pop(0)
-                self._done.add(request.request_id)
-                executed.append(
-                    ExecutedAccess(
-                        request=request, ref_index=ref_index, conditional=True
+            if window.bank is None:
+                while budget and bucket:
+                    request = bucket.pop(0)
+                    self._done.add(request.request_id)
+                    executed.append(
+                        ExecutedAccess(
+                            request=request, ref_index=ref_index, conditional=True
+                        )
                     )
-                )
-                budget -= 1
+                    budget -= 1
+            else:
+                # Per-bank window: only requests in the refreshing bank
+                # (or bank-agnostic ones) are conditional right now.
+                position = 0
+                while budget and position < len(bucket):
+                    request = bucket[position]
+                    if request.bank not in (None, window.bank):
+                        position += 1
+                        continue
+                    bucket.pop(position)
+                    self._done.add(request.request_id)
+                    executed.append(
+                        ExecutedAccess(
+                            request=request, ref_index=ref_index, conditional=True
+                        )
+                    )
+                    budget -= 1
             if not bucket:
                 del self._slot_buckets[slot]
 
@@ -175,7 +220,7 @@ class WindowScheduler:
             if not (pressure or old_enough):
                 break
             assert request.row is not None
-            if not self.refresh.random_access_allowed(request.row, ref_index):
+            if not self.refresh.random_allowed_in_window(request.row, window):
                 # Subarray conflict with a refreshing row: the reorder
                 # logic defers this request to the next window.
                 break

@@ -18,7 +18,16 @@ from repro.dram.device import (
     DramDeviceConfig,
 )
 from repro.dram.energy import AccessEnergyModel
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.refresh import RefreshScheduler, RefreshWindow
+from repro.dram.refresh_policy import (
+    POLICY_ALL_BANK,
+    POLICY_PER_BANK,
+    REFRESH_POLICIES,
+    AllBankRefreshPolicy,
+    PerBankRefreshPolicy,
+    RefreshPolicy,
+    make_refresh_policy,
+)
 from repro.dram.timing import (
     DDR4_2400,
     DDR4_3200,
@@ -31,6 +40,7 @@ from repro.dram.timing import (
 __all__ = [
     "AccessEnergyModel",
     "AddressMapping",
+    "AllBankRefreshPolicy",
     "CommandKind",
     "DDR4_2400",
     "DDR4_3200",
@@ -43,7 +53,14 @@ __all__ = [
     "DramCoordinate",
     "DramDeviceConfig",
     "DramTimings",
+    "POLICY_ALL_BANK",
+    "POLICY_PER_BANK",
+    "PerBankRefreshPolicy",
+    "REFRESH_POLICIES",
+    "RefreshPolicy",
     "RefreshScheduler",
+    "RefreshWindow",
     "TIMING_PRESETS",
     "TimedCommand",
+    "make_refresh_policy",
 ]

@@ -1,54 +1,76 @@
-"""All-bank auto-refresh scheduling (§2.2) and the XFM access windows (§5).
+"""Refresh scheduling (§2.2) and the XFM access windows (§5).
 
 The memory controller spreads 8192 REF commands across the retention
-interval; each REF locks the whole rank for tRFC and refreshes
-``rows_refreshed_per_trfc`` rows *in every bank* (one row per subarray in
-parallel, Table 1). :class:`RefreshScheduler` exposes the mapping both ways
-— which rows a given REF refreshes, and which REF will next refresh a given
-row — which is exactly what XFM's conditional-access scheduling needs.
+interval; how each tREFI's refresh work is granulated is a pluggable
+:class:`~repro.dram.refresh_policy.RefreshPolicy` — the default
+:class:`~repro.dram.refresh_policy.AllBankRefreshPolicy` locks the
+whole rank for tRFC and refreshes ``rows_refreshed_per_trfc`` rows *in
+every bank* (one row per subarray in parallel, Table 1);
+:class:`~repro.dram.refresh_policy.PerBankRefreshPolicy` splits the
+same work into staggered per-bank windows. :class:`RefreshScheduler`
+exposes the REF mapping both ways — which rows a given REF refreshes,
+and which REF will next refresh a given row — which is exactly what
+XFM's conditional-access scheduling needs, and it can publish its
+window stream as events on a :class:`repro.sim.EventScheduler` so
+consumers react to windows instead of deriving them arithmetically.
 
-Target Row Refresh (TRR) slots ride on each REF; when unused by Rowhammer
-mitigation they are available to XFM for *random* accesses (§5).
+Target Row Refresh (TRR) slots ride on each REF; when unused by
+Rowhammer mitigation they are available to XFM for *random* accesses
+(§5).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.dram.device import DramDeviceConfig
+from repro.dram.refresh_policy import (
+    AllBankRefreshPolicy,
+    RefreshPolicy,
+    RefreshWindow,
+    make_refresh_policy,
+)
 from repro.dram.timing import REF_COMMANDS_PER_RETENTION, DramTimings
 from repro.errors import ConfigError
+from repro.sim import EventScheduler, ns_to_ticks
 from repro.telemetry import trace as _trace
 
-
-@dataclass(frozen=True)
-class RefreshWindow:
-    """One REF command's window: rank locked, a row set being refreshed."""
-
-    ref_index: int
-    start_ns: float
-    #: Rows (same indices in every bank) refreshed during this window.
-    rows: range
-
-    @property
-    def row_set(self) -> frozenset:
-        return frozenset(self.rows)
+__all__ = [
+    "AllBankRefreshPolicy",
+    "RefreshPolicy",
+    "RefreshScheduler",
+    "RefreshWindow",
+    "make_refresh_policy",
+]
 
 
 @dataclass
 class RefreshScheduler:
-    """Per-rank refresh bookkeeping shared by the CPU and NMA sides."""
+    """Per-rank refresh bookkeeping shared by the CPU and NMA sides.
+
+    The REF-slot <-> row mapping below is retention-schedule math and is
+    policy-independent; window geometry (starts, durations, bank scope)
+    delegates to ``policy`` (default: all-bank tRFC, the paper's
+    baseline — behavior-identical to the pre-policy scheduler).
+    """
 
     device: DramDeviceConfig
     timings: DramTimings
     #: Unused-TRR slots per REF usable for XFM random accesses.
     random_slots_per_ref: int = 1
+    #: Window-granulation policy; None selects the process default
+    #: (all-bank unless ``REPRO_REFRESH_POLICY`` says otherwise).
+    policy: Optional[RefreshPolicy] = None
     _ref_count: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.random_slots_per_ref < 0:
             raise ConfigError("random_slots_per_ref must be >= 0")
+        if self.policy is None:
+            self.policy = make_refresh_policy(
+                None, self.device, self.timings
+            )
 
     @property
     def rows_per_ref(self) -> int:
@@ -69,18 +91,15 @@ class RefreshScheduler:
     # -- REF index <-> rows ------------------------------------------------
 
     def rows_refreshed(self, ref_index: int) -> range:
-        """Rows (in each bank) refreshed by the ``ref_index``-th REF."""
+        """Rows (in each covered bank) refreshed by the ``ref_index``-th
+        REF slot."""
         slot = ref_index % self.refs_per_retention
         start = slot * self.rows_per_ref
         return range(start, start + self.rows_per_ref)
 
-    def window(self, ref_index: int) -> RefreshWindow:
-        """Full description of one refresh window."""
-        return RefreshWindow(
-            ref_index=ref_index,
-            start_ns=ref_index * self.trefi_ns,
-            rows=self.rows_refreshed(ref_index),
-        )
+    def window(self, index: int) -> RefreshWindow:
+        """Full description of one refresh window (policy-defined)."""
+        return self.policy.window(index)
 
     def ref_slot_for_row(self, row: int) -> int:
         """Which REF slot (0..8191 within a retention cycle) refreshes
@@ -122,6 +141,17 @@ class RefreshScheduler:
         }
         return self.device.subarray_of_row(row) not in busy
 
+    def random_allowed_in_window(
+        self, row: int, window: RefreshWindow
+    ) -> bool:
+        """Window-scoped form of :meth:`random_access_allowed`: the busy
+        subarrays are exactly the window's refreshing rows (identical
+        for all-bank windows; per-bank windows only occupy one bank's
+        subarrays, but the conservative rank-wide rule is kept so the
+        reorder logic never depends on bank mapping)."""
+        busy = {self.device.subarray_of_row(r) for r in window.rows}
+        return self.device.subarray_of_row(row) not in busy
+
     # -- stateful iteration --------------------------------------------------
 
     @property
@@ -129,52 +159,121 @@ class RefreshScheduler:
         return self._ref_count
 
     def tick(self) -> RefreshWindow:
-        """Advance to the next REF command and return its window."""
+        """Advance to the next window and return it."""
         window = self.window(self._ref_count)
         self._ref_count += 1
-        self.trace_window(window.ref_index)
+        self.trace_window(window.ref_index, window=window)
         return window
 
-    def trace_window(self, ref_index: int, channel: int = 0) -> None:
-        """Emit the per-tRFC timeline span for one refresh window.
+    def trace_window(
+        self,
+        ref_index: Optional[int] = None,
+        channel: int = 0,
+        window: Optional[RefreshWindow] = None,
+    ) -> None:
+        """Emit the per-window timeline span.
 
         No-op unless tracing is enabled; pure emission, never touches
         scheduler state (the validation oracles drive this class too).
         """
         if not _trace.tracing_enabled():
             return
-        rows = self.rows_refreshed(ref_index)
+        if window is None:
+            window = self.window(ref_index)
+        args = {
+            "ref_index": window.ref_index,
+            "row_start": window.rows.start,
+            "row_stop": window.rows.stop,
+        }
+        if window.bank is not None:
+            args["bank"] = window.bank
         _trace.complete(
             "ref_window",
             _trace.refresh_track(channel),
-            ref_index * self.trefi_ns,
-            self.trfc_ns,
-            args={
-                "ref_index": ref_index,
-                "row_start": rows.start,
-                "row_stop": rows.stop,
-            },
+            window.start_ns,
+            window.duration_ns
+            if window.duration_ns is not None
+            else self.trfc_ns,
+            args=args,
         )
 
     def reset(self) -> None:
         self._ref_count = 0
 
+    # -- windows as scheduled events -----------------------------------------
+
+    def schedule_windows(
+        self,
+        events: EventScheduler,
+        until_ns: float,
+        on_window: Callable[[RefreshWindow], None],
+        start_index: int = 0,
+        channel: int = 0,
+    ) -> int:
+        """Publish the window stream onto ``events``: each window fires as
+        a scheduled event at its exact tick start, traces itself, and
+        hands the :class:`RefreshWindow` to ``on_window``. Windows chain
+        lazily (each event schedules its successor) so the heap stays
+        O(1) regardless of horizon length. Returns the number of windows
+        that will fire in ``[start, until_ns)``."""
+        policy = self.policy
+        end_ticks = ns_to_ticks(until_ns)
+        if policy.start_ticks(start_index) >= end_ticks:
+            return 0
+
+        def fire(index: int) -> None:
+            # Chain the successor *before* running the consumer: the
+            # refresh stream owns this timeline, so even if the consumer
+            # advances the shared clock past the next window start (span
+            # emission inside the body), the already-scheduled event
+            # snaps the clock back to the exact window tick.
+            succ = index + 1
+            succ_ticks = policy.start_ticks(succ)
+            if succ_ticks < end_ticks:
+                events.schedule_at_ticks(succ_ticks, lambda: fire(succ))
+            window = policy.window(index)
+            self.trace_window(window=window, channel=channel)
+            on_window(window)
+
+        events.schedule_at_ticks(
+            policy.start_ticks(start_index), lambda: fire(start_index)
+        )
+        count = 0
+        index = start_index
+        while policy.start_ticks(index) < end_ticks:
+            count += 1
+            index += 1
+        return count
+
     # -- aggregate refresh math ----------------------------------------------
 
     def locked_fraction(self) -> float:
-        """Fraction of wall-clock time the rank is locked (~8% at 32 ms)."""
-        return self.trfc_ns / self.trefi_ns
+        """Fraction of wall-clock time the rank is locked (~8% at 32 ms
+        under all-bank refresh)."""
+        return (
+            self.policy.duration_ns
+            * self.policy.windows_per_trefi
+            / self.trefi_ns
+        )
 
     def lock_time_per_retention_ms(self) -> float:
         """Total locked time per retention interval, in ms (~2.46 ms)."""
-        return self.refs_per_retention * self.trfc_ns / 1e6
+        return (
+            self.refs_per_retention
+            * self.policy.windows_per_trefi
+            * self.policy.duration_ns
+            / 1e6
+        )
 
-    def windows_between(self, start_ns: float, end_ns: float) -> List[RefreshWindow]:
+    def windows_between(
+        self, start_ns: float, end_ns: float
+    ) -> List[RefreshWindow]:
         """All refresh windows starting in ``[start_ns, end_ns)``."""
-        first = max(0, int(-(-start_ns // self.trefi_ns)))
+        policy = self.policy
+        index = policy.first_index_at_or_after(max(0.0, start_ns))
+        end_ticks = ns_to_ticks(end_ns)
         out: List[RefreshWindow] = []
-        index = first
-        while index * self.trefi_ns < end_ns:
-            out.append(self.window(index))
+        while policy.start_ticks(index) < end_ticks:
+            out.append(policy.window(index))
             index += 1
         return out

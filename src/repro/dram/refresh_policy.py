@@ -1,0 +1,269 @@
+"""Pluggable refresh policies: who refreshes what, when, for how long.
+
+The scheduling *mechanism* (``RefreshScheduler`` bookkeeping, the
+``WindowScheduler`` access batching, the emulator's event loop) is
+policy-agnostic; this module owns the *policy* — the mapping from a
+window index to its start time, duration, refreshed rows, and bank
+scope. Two policies ship:
+
+* :class:`AllBankRefreshPolicy` — the paper's baseline (§2.2): one REF
+  per tREFI locks the whole rank for tRFC and refreshes the slot's rows
+  in every bank. This is the default and reproduces the pre-policy
+  behavior bit-for-bit.
+* :class:`PerBankRefreshPolicy` — DDR5 fine-granularity / same-bank
+  refresh in the spirit of REFsb and the refresh-access-parallelism
+  literature (PAPERS.md): each tREFI is split into
+  ``banks_per_chip`` staggered per-bank windows of ~tRFCpb each. The
+  rank as a whole refreshes the same rows per retention interval, but
+  the accelerator sees **many more, shorter windows** — more scheduling
+  opportunities per tREFI at a smaller per-window access budget.
+
+Window start times are computed from **integer tick arithmetic**
+(window index x tREFI in :data:`repro.sim.TICKS_PER_NS` ticks), never
+by accumulating floats, so window N's start is exact for any N — the
+float-drift fix the regression tests pin down.
+
+Select a policy by name via :func:`make_refresh_policy`; the
+``REPRO_REFRESH_POLICY`` environment variable sets the process default
+(the CI per-bank smoke uses it to re-run the replay differential matrix
+under per-bank refresh without touching any config).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.device import DramDeviceConfig
+from repro.dram.timing import REF_COMMANDS_PER_RETENTION, DramTimings
+from repro.errors import ConfigError
+from repro.sim.clock import ns_to_ticks, ticks_to_ns
+
+POLICY_ALL_BANK = "all-bank"
+POLICY_PER_BANK = "per-bank"
+REFRESH_POLICIES = (POLICY_ALL_BANK, POLICY_PER_BANK)
+
+#: Environment variable naming the process-default refresh policy.
+REFRESH_POLICY_ENV = "REPRO_REFRESH_POLICY"
+
+#: tRFCsb / tRFC: a same-bank refresh cycles one bank, not thirty-two,
+#: and completes in roughly a quarter of the all-bank lockout (DDR5
+#: datasheet ratios for 16-32 Gb parts: 410 ns tRFC1 vs ~100-130 ns
+#: tRFCsb) — which it must, since refreshing every bank once per tREFI
+#: leaves only a tREFI/banks stagger gap (~122 ns here) per window.
+PER_BANK_TRFC_FRACTION = 0.25
+
+
+def default_policy_name() -> str:
+    """Process-default policy: ``REPRO_REFRESH_POLICY`` or all-bank."""
+    name = os.environ.get(REFRESH_POLICY_ENV, POLICY_ALL_BANK)
+    if name not in REFRESH_POLICIES:
+        raise ConfigError(
+            f"{REFRESH_POLICY_ENV}={name!r} is not a refresh policy; "
+            f"have {', '.join(REFRESH_POLICIES)}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class RefreshWindow:
+    """One refresh window: rows being refreshed while the NMA may ride.
+
+    ``bank`` is None for all-bank windows (the whole rank is locked) and
+    the refreshing bank index for per-bank windows. ``slot`` is the REF
+    slot within the retention cycle whose rows this window refreshes.
+    """
+
+    ref_index: int
+    start_ns: float
+    #: Rows (same indices in every covered bank) refreshed during this
+    #: window.
+    rows: range
+    #: Exact integer-tick start (repro.sim ticks); ``start_ns`` is its
+    #: float rendering. None only for hand-built legacy windows.
+    start_ticks: Optional[int] = None
+    #: Window length: tRFC (all-bank) or ~tRFCpb (per-bank).
+    duration_ns: Optional[float] = None
+    #: Refreshing bank, or None when every bank refreshes (all-bank).
+    bank: Optional[int] = None
+    #: REF slot (0..8191) within the retention cycle.
+    slot: Optional[int] = None
+
+    @property
+    def row_set(self) -> frozenset:
+        return frozenset(self.rows)
+
+
+class RefreshPolicy:
+    """Base policy: integer-tick window cadence over one rank.
+
+    Subclasses define the window multiplicity per tREFI, the per-window
+    duration and bank scope; the shared math (exact tick starts, slot
+    rows, horizon iteration) lives here. The plug points the rest of the
+    stack relies on: :meth:`window`, :meth:`start_ticks`,
+    :meth:`trefi_bin`, :meth:`access_budget`.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(
+        self, device: DramDeviceConfig, timings: DramTimings
+    ) -> None:
+        self.device = device
+        self.timings = timings
+        #: Exact tREFI in integer ticks — every window start derives
+        #: from this by integer multiplication, never float accumulation.
+        self.trefi_ticks = ns_to_ticks(timings.trefi_ns)
+
+    # -- subclass API --------------------------------------------------------
+
+    @property
+    def windows_per_trefi(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def duration_ns(self) -> float:
+        raise NotImplementedError
+
+    def bank_of(self, index: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def access_budget(self, accesses_per_ref: int) -> int:
+        """Per-window NMA access budget given the per-tRFC budget."""
+        raise NotImplementedError
+
+    # -- shared math ---------------------------------------------------------
+
+    @property
+    def rows_per_ref(self) -> int:
+        return self.device.rows_refreshed_per_trfc
+
+    @property
+    def refs_per_retention(self) -> int:
+        return REF_COMMANDS_PER_RETENTION
+
+    def start_ticks(self, index: int) -> int:
+        """Exact start of window ``index`` in integer ticks."""
+        # Distributes tREFI over windows_per_trefi without accumulating
+        # error: window k*W starts exactly at k * trefi_ticks.
+        return (index * self.trefi_ticks) // self.windows_per_trefi
+
+    def trefi_bin(self, index: int) -> int:
+        """Which tREFI interval window ``index`` falls in."""
+        return index // self.windows_per_trefi
+
+    def slot_of(self, index: int) -> int:
+        """REF slot (0..8191 within a retention cycle) of window
+        ``index``."""
+        return self.trefi_bin(index) % self.refs_per_retention
+
+    def rows_for_slot(self, slot: int) -> range:
+        start = slot * self.rows_per_ref
+        return range(start, start + self.rows_per_ref)
+
+    def window(self, index: int) -> RefreshWindow:
+        """Full description of window ``index``."""
+        ticks = self.start_ticks(index)
+        slot = self.slot_of(index)
+        return RefreshWindow(
+            ref_index=index,
+            start_ns=ticks_to_ns(ticks),
+            rows=self.rows_for_slot(slot),
+            start_ticks=ticks,
+            duration_ns=self.duration_ns,
+            bank=self.bank_of(index),
+            slot=slot,
+        )
+
+    def first_index_at_or_after(self, t_ns: float) -> int:
+        """Smallest window index starting at or after ``t_ns``."""
+        target = ns_to_ticks(t_ns)
+        if target <= 0:
+            return 0
+        index = max(0, (target * self.windows_per_trefi) // self.trefi_ticks)
+        while index > 0 and self.start_ticks(index - 1) >= target:
+            index -= 1
+        while self.start_ticks(index) < target:
+            index += 1
+        return index
+
+
+class AllBankRefreshPolicy(RefreshPolicy):
+    """One REF per tREFI locks the whole rank for tRFC (§2.2)."""
+
+    name = POLICY_ALL_BANK
+
+    @property
+    def windows_per_trefi(self) -> int:
+        return 1
+
+    @property
+    def duration_ns(self) -> float:
+        return self.timings.trfc_ns
+
+    def bank_of(self, index: int) -> Optional[int]:
+        return None
+
+    def access_budget(self, accesses_per_ref: int) -> int:
+        return accesses_per_ref
+
+
+class PerBankRefreshPolicy(RefreshPolicy):
+    """DDR5 FGR-style same-bank refresh: per-tREFI, every bank gets its
+    own staggered ~tRFCpb window refreshing the slot's rows in that bank
+    alone. Same retention coverage, ``banks_per_chip`` times as many
+    accelerator windows per tREFI."""
+
+    name = POLICY_PER_BANK
+
+    def __init__(
+        self,
+        device: DramDeviceConfig,
+        timings: DramTimings,
+        trfc_fraction: float = PER_BANK_TRFC_FRACTION,
+    ) -> None:
+        super().__init__(device, timings)
+        if not 0.0 < trfc_fraction <= 1.0:
+            raise ConfigError("trfc_fraction must be in (0, 1]")
+        self.trfc_fraction = trfc_fraction
+        per_window_ns = ticks_to_ns(self.trefi_ticks // self.windows_per_trefi)
+        if timings.trfc_ns * trfc_fraction > per_window_ns:
+            raise ConfigError(
+                f"per-bank window of {timings.trfc_ns * trfc_fraction} ns "
+                f"does not fit the {per_window_ns} ns inter-window gap"
+            )
+
+    @property
+    def windows_per_trefi(self) -> int:
+        return self.device.banks_per_chip
+
+    @property
+    def duration_ns(self) -> float:
+        return self.timings.trfc_ns * self.trfc_fraction
+
+    def bank_of(self, index: int) -> Optional[int]:
+        return index % self.windows_per_trefi
+
+    def access_budget(self, accesses_per_ref: int) -> int:
+        # A shorter lockout accommodates proportionally fewer accesses,
+        # but never zero: the window still opens the refreshing rows.
+        return max(1, round(accesses_per_ref * self.trfc_fraction))
+
+
+def make_refresh_policy(
+    name: Optional[str],
+    device: DramDeviceConfig,
+    timings: DramTimings,
+) -> RefreshPolicy:
+    """Build a policy by registry name (None -> process default)."""
+    resolved = default_policy_name() if name is None else name
+    if resolved == POLICY_ALL_BANK:
+        return AllBankRefreshPolicy(device, timings)
+    if resolved == POLICY_PER_BANK:
+        return PerBankRefreshPolicy(device, timings)
+    raise ConfigError(
+        f"unknown refresh policy {resolved!r}; "
+        f"have {', '.join(REFRESH_POLICIES)}"
+    )

@@ -1,8 +1,13 @@
 """Per-tier circuit breaker: closed / open / half-open.
 
 The classic pattern (Nygard, *Release It!*), adapted for a simulated
-stack: the cool-down is measured in **pipeline operations** rather than
-wall time, so campaigns are deterministic regardless of host speed.
+stack: the cool-down is measured in **pipeline operations** by default,
+so campaigns are deterministic regardless of host speed. Configs may
+instead set ``cooldown_ns`` to cool down on the shared simulated clock
+(:data:`repro.sim.CLOCK`) — the wall-of-sim-time variant: an OPEN tier
+re-probes once the timeline (advanced by backoff charges, chaos op
+ticks, replay timestamps) passes the deadline, which is still fully
+deterministic because the clock itself is.
 
 ::
 
@@ -30,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional
 
 from repro.errors import ConfigError
+from repro.sim import CLOCK as _sim_clock
 
 
 class BreakerState(enum.Enum):
@@ -52,6 +58,10 @@ class BreakerConfig:
     cooldown_ops: int = 64
     #: Consecutive HALF_OPEN probe successes required to close.
     probes_to_close: int = 2
+    #: When set, cool down on the shared simulated clock instead of the
+    #: op count: an OPEN breaker re-probes once ``repro.sim.CLOCK`` has
+    #: advanced ``cooldown_ns`` past the moment it opened.
+    cooldown_ns: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1 or self.window < 1:
@@ -60,6 +70,8 @@ class BreakerConfig:
             raise ConfigError("error_rate_threshold must be in (0, 1]")
         if self.cooldown_ops < 1 or self.probes_to_close < 1:
             raise ConfigError("cooldown/probe counts must be >= 1")
+        if self.cooldown_ns is not None and self.cooldown_ns <= 0:
+            raise ConfigError("cooldown_ns must be positive when set")
 
 
 class CircuitBreaker:
@@ -86,6 +98,7 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.probe_successes = 0
         self._cooldown_remaining = 0
+        self._cooldown_until_ns = 0.0
         self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
         #: state-name -> number of entries into that state.
         self.transitions: Dict[str, int] = {
@@ -110,11 +123,17 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """Whether the tier may serve the next operation.
 
-        While OPEN each call ticks the cool-down; once it elapses the
-        breaker goes HALF_OPEN and the *next* call is admitted as a
-        probe.
+        While OPEN: with the default op-count cool-down each call ticks
+        it down; with ``cooldown_ns`` the simulated-clock deadline is
+        checked instead. Either way, once the cool-down elapses the
+        breaker goes HALF_OPEN and that call is admitted as a probe.
         """
         if self.state is BreakerState.OPEN:
+            if self.config.cooldown_ns is not None:
+                if _sim_clock.now_ns() >= self._cooldown_until_ns:
+                    self._transition(BreakerState.HALF_OPEN)
+                    return True
+                return False
             self._cooldown_remaining -= 1
             if self._cooldown_remaining <= 0:
                 self._transition(BreakerState.HALF_OPEN)
@@ -156,6 +175,10 @@ class CircuitBreaker:
         self.transitions[new.value] += 1
         if new is BreakerState.OPEN:
             self._cooldown_remaining = self.config.cooldown_ops
+            if self.config.cooldown_ns is not None:
+                self._cooldown_until_ns = (
+                    _sim_clock.now_ns() + self.config.cooldown_ns
+                )
             self.probe_successes = 0
         elif new is BreakerState.HALF_OPEN:
             self.probe_successes = 0

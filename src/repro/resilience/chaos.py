@@ -34,6 +34,7 @@ from repro.resilience.breaker import BreakerConfig
 from repro.telemetry import flightrec as _flightrec
 from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sfm.page import PAGE_SIZE
+from repro.sim import CLOCK as _sim_clock
 from repro.telemetry import trace as _trace
 from repro.telemetry.session import TelemetrySession
 from repro.tiering.pipeline import TierPipeline
@@ -239,7 +240,7 @@ def _drive_campaign(
             counters["data_loss_errors"] += 1
 
     for op in range(config.ops):
-        _trace.advance_clock_ns(_OP_TICK_NS)
+        _sim_clock.advance_ns(_OP_TICK_NS)
         roll = rng.random()
         if roll < 0.55:
             do_store()

@@ -2,9 +2,11 @@
 
 Transient :class:`~repro.errors.DeviceFault` conditions (lost doorbells,
 link errors, NMA stalls) are retried a bounded number of times; between
-attempts the backoff delay is charged to the telemetry simulated clock
-(:func:`repro.telemetry.trace.advance_clock_ns`) — no wall-clock sleeps,
-so tests and chaos campaigns stay fast and deterministic.
+attempts the backoff delay is charged to the shared simulated clock
+(:data:`repro.sim.CLOCK`) — no wall-clock sleeps, so tests and chaos
+campaigns stay fast and deterministic, and the charge is visible to
+every other consumer of the timeline (trace timestamps, sim-time
+breaker cool-downs).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.errors import ConfigError, DeviceFault
-from repro.telemetry import trace as _trace
+from repro.sim import CLOCK as _sim_clock
 
 T = TypeVar("T")
 
@@ -66,4 +68,4 @@ def retry_with_backoff(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            _trace.advance_clock_ns(policy.delay_ns(attempt))
+            _sim_clock.advance_ns(policy.delay_ns(attempt))

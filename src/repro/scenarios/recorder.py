@@ -12,10 +12,10 @@ is forwarded to the inner tier and appended to a
 digest, the simulated timestamp, and an origin tag (``accepted``,
 ``reject:<reason>``, ``demand``, ``prefetch``, ``upward``).
 
-Timestamps come from the telemetry simulated clock
-(:func:`repro.telemetry.trace.clock_ns`); when the driving workload does
-not advance that clock the recorder self-advances by ``tick_ns`` per
-event so replay ordering is always well-defined.
+Timestamps come from the shared simulated clock
+(:data:`repro.sim.CLOCK`); when the driving workload does not advance
+that clock the recorder self-advances by ``tick_ns`` per event so
+replay ordering is always well-defined.
 """
 
 from __future__ import annotations
@@ -31,7 +31,7 @@ from repro.scenarios.format import (
     ORIGIN_UPWARD,
     ScenarioTrace,
 )
-from repro.telemetry import trace as _trace
+from repro.sim import CLOCK as _sim_clock
 from repro.tiering.protocol import FarMemoryTier, SwapOutcome
 
 
@@ -63,7 +63,7 @@ class TraceRecorder:
     def _now_ns(self) -> float:
         """Simulated-clock timestamp, self-advancing when the workload
         leaves the clock parked (keeps event times strictly increasing)."""
-        t = _trace.clock_ns()
+        t = _sim_clock.now_ns()
         if t <= self._last_t_ns:
             t = self._last_t_ns + self.tick_ns
         self._last_t_ns = t

@@ -51,7 +51,7 @@ from repro.scenarios.format import (
     digest_hex,
 )
 from repro.sfm.page import Page
-from repro.telemetry import trace as _trace
+from repro.sim import CLOCK as _sim_clock
 from repro.telemetry.session import TelemetrySession
 from repro.tiering.protocol import FarMemoryTier
 
@@ -176,21 +176,20 @@ class TraceReplayer:
             OP_PROMOTE: self._replay_promote,
             OP_INVALIDATE: self._replay_invalidate,
         }
-        # Drive the shared simulated clock from the trace, but restore
-        # it afterwards — replay must not perturb later recordings.
-        clock_before = _trace.clock_ns()
+        # Drive the shared simulated clock from the trace inside a
+        # save/restore scope — replay borrows the timeline and must not
+        # perturb later recordings (scopes nest, so replays inside
+        # sessions inside replays all compose).
         last_t_ns = 0.0
-        try:
+        with _sim_clock.scoped():
             with self._fault_context():
                 for event in self.trace:
-                    _trace.set_clock_ns(event.t_ns)
+                    _sim_clock.set_ns(event.t_ns)
                     handlers[event.op](event, report)
                     report.events += 1
                     if self.slo_engine is not None:
                         self.slo_engine.tick(event.t_ns)
                         last_t_ns = event.t_ns
-        finally:
-            _trace.set_clock_ns(clock_before)
         if self.slo_engine is not None:
             self.slo_engine.finalize(last_t_ns)
         self._finalize(report)

@@ -34,7 +34,7 @@ from repro.errors import ConfigError
 from repro.scenarios.format import ScenarioTrace
 from repro.scenarios.recorder import TraceRecorder
 from repro.sfm.page import PAGE_SIZE
-from repro.telemetry import trace as _trace
+from repro.sim import CLOCK as _sim_clock
 from repro.workloads.corpus import corpus_pages
 
 #: Where the shipped artifacts live (installed with the package).
@@ -254,15 +254,11 @@ def build_scenario(name: str, seed: Optional[int] = None) -> ScenarioTrace:
         raise ConfigError(
             f"unknown scenario {name!r}; have {', '.join(sorted(SCENARIOS))}"
         ) from None
-    # Builders stamp events from the shared simulated clock; pin it to
-    # zero for the build (and restore it) so the recorded trace is
+    # Builders stamp events from the shared simulated clock; scope it
+    # to zero for the build (restored on exit) so the recorded trace is
     # identical no matter what ran in this process before.
-    clock_before = _trace.clock_ns()
-    _trace.set_clock_ns(0.0)
-    try:
+    with _sim_clock.scoped(start_ns=0.0):
         return spec.builder(seed if seed is not None else spec.default_seed)
-    finally:
-        _trace.set_clock_ns(clock_before)
 
 
 def scenario_path(name: str, base_dir: Optional[Path] = None) -> Path:

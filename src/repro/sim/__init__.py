@@ -1,0 +1,28 @@
+"""repro.sim: the shared discrete-event simulation core.
+
+One :class:`SimClock` (:data:`CLOCK`) drives DRAM refresh cadence, NMA
+window scheduling, telemetry timestamps, replay timelines, and
+resilience backoff; one :class:`EventScheduler` turns "derive the next
+window arithmetically" into "consume the next scheduled event". All
+simulated-time state in ``src/repro`` lives here — the error-hygiene
+lint forbids ad-hoc clock globals and wall-clock reads everywhere else.
+"""
+
+from repro.sim.clock import (
+    CLOCK,
+    TICKS_PER_NS,
+    SimClock,
+    ns_to_ticks,
+    ticks_to_ns,
+)
+from repro.sim.events import Event, EventScheduler
+
+__all__ = [
+    "CLOCK",
+    "Event",
+    "EventScheduler",
+    "SimClock",
+    "TICKS_PER_NS",
+    "ns_to_ticks",
+    "ticks_to_ns",
+]

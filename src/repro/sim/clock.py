@@ -1,0 +1,126 @@
+"""The shared simulated clock: one timeline for the whole stack.
+
+Every layer that used to keep its own notion of simulated time — the
+telemetry trace clock, the scenario replayer's per-event clock swap,
+resilience backoff charging, the DRAM refresh cadence — now reads and
+writes this one :class:`SimClock` instance (:data:`CLOCK`). The
+telemetry shims (:func:`repro.telemetry.trace.clock_ns` and friends)
+delegate here, so existing call sites keep working unchanged.
+
+Representation: integer **femtosecond ticks** (:data:`TICKS_PER_NS`
+ticks per nanosecond). Integers never accumulate rounding error, so a
+billion backoff charges land exactly where the sum says they should;
+and because 1 ns = 10^6 ticks is a power of (2x5), every short-decimal
+nanosecond value the repo uses (0.0, 1000.0, 3906.25 for tREFI, 2.5
+for tBURST) round-trips *exactly* through :meth:`SimClock.now_ns` —
+which is what keeps the committed golden traces and shipped scenario
+fingerprints byte-identical across the refactor.
+
+Ownership rules (see DESIGN.md §11):
+
+* **Advance** (:meth:`SimClock.advance_ns`) is monotonic — negative
+  deltas raise. Components charging modeled costs (backends, retry
+  backoff, chaos op ticks) only ever advance.
+* **Set** (:meth:`SimClock.set_ns`) is reserved for timeline *owners*:
+  the emulator's event loop, the trace replayer, a workload's window
+  loop. Owners that borrow the clock must scope themselves with
+  :meth:`SimClock.scoped` (or save/restore) so nesting composes —
+  ``TelemetrySession`` and ``TraceReplayer`` both do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+#: Clock ticks per nanosecond (1 tick = 1 femtosecond).
+TICKS_PER_NS = 1_000_000
+
+
+def ns_to_ticks(t_ns: float) -> int:
+    """Convert float nanoseconds to integer ticks (nearest femtosecond)."""
+    return round(t_ns * TICKS_PER_NS)
+
+
+def ticks_to_ns(ticks: int) -> float:
+    """Convert integer ticks back to float nanoseconds."""
+    return ticks / TICKS_PER_NS
+
+
+class SimClock:
+    """Integer-tick simulated clock with save/restore scoping."""
+
+    __slots__ = ("_ticks",)
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        self._ticks = ns_to_ticks(start_ns)
+
+    # -- reads ---------------------------------------------------------------
+
+    def now_ns(self) -> float:
+        """Current simulated time in nanoseconds (float-facing API)."""
+        return self._ticks / TICKS_PER_NS
+
+    def now_ticks(self) -> int:
+        """Current simulated time in integer ticks (exact)."""
+        return self._ticks
+
+    # -- writes --------------------------------------------------------------
+
+    def set_ns(self, t_ns: float) -> None:
+        """Jump the clock to ``t_ns`` (timeline owners only; see module
+        docstring). Borrowers must pair this with :meth:`scoped` or
+        save/restore so the outer timeline resumes intact."""
+        self._ticks = ns_to_ticks(t_ns)
+
+    def set_ticks(self, ticks: int) -> None:
+        """Exact-tick variant of :meth:`set_ns` (the event scheduler and
+        the refresh policies use this to avoid any float round-trip)."""
+        self._ticks = int(ticks)
+
+    def advance_ns(self, dt_ns: float) -> float:
+        """Advance by ``dt_ns`` >= 0; returns the new time in ns."""
+        if dt_ns < 0:
+            raise ConfigError(
+                f"simulated clock only advances forward, got dt={dt_ns} ns"
+            )
+        self._ticks += ns_to_ticks(dt_ns)
+        return self._ticks / TICKS_PER_NS
+
+    def advance_ticks(self, dticks: int) -> int:
+        if dticks < 0:
+            raise ConfigError(
+                f"simulated clock only advances forward, got {dticks} ticks"
+            )
+        self._ticks += dticks
+        return self._ticks
+
+    # -- scoping -------------------------------------------------------------
+
+    def save(self) -> int:
+        """Opaque state token for :meth:`restore` (the exact tick count)."""
+        return self._ticks
+
+    def restore(self, state: int) -> None:
+        """Return to a previously saved state; restores may rewind — this
+        is the one sanctioned way time goes backwards (ending a borrowed
+        timeline, not travelling within one)."""
+        self._ticks = int(state)
+
+    @contextmanager
+    def scoped(self, start_ns: Optional[float] = None) -> Iterator["SimClock"]:
+        """Save the clock, optionally jump to ``start_ns``, and restore
+        the saved time on exit — nested scopes compose like a stack."""
+        saved = self._ticks
+        if start_ns is not None:
+            self.set_ns(start_ns)
+        try:
+            yield self
+        finally:
+            self._ticks = saved
+
+
+#: The process-wide shared clock every subsystem schedules against.
+CLOCK = SimClock()

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.telemetry import trace as _trace
+from repro.sim import EventScheduler
 from repro.telemetry.session import TelemetrySession
 
 #: Bytes per page, kept local to avoid importing the stack at module load.
@@ -107,9 +107,8 @@ def _zswap_workload(session: TelemetrySession) -> Dict[str, object]:
             backend.driver.notify_release(_PAGE)
 
     num_windows = 12
-    for ref in range(num_windows):
-        _trace.set_clock_ns(ref * trefi_ns)
-        refresh.tick()  # emits the per-channel ref_window span
+
+    def window_body(ref: int) -> None:
         if ref < 4:
             # Steady state: compressible pages offload through the NMA.
             for i in range(6):
@@ -149,6 +148,24 @@ def _zswap_workload(session: TelemetrySession) -> Dict[str, object]:
                 stored.pop(key)
         else:
             backend.xfm_compact()
+
+    # The workload consumes the scheduler's window stream as events:
+    # each ref_window span fires at its exact tick start (clock set by
+    # the event core), and the per-tREFI body runs on the first window
+    # of each interval (every window under all-bank; the leading
+    # per-bank slice otherwise).
+    last_bin = -1
+
+    def on_window(window) -> None:
+        nonlocal last_bin
+        ref = refresh.policy.trefi_bin(window.ref_index)
+        if ref != last_bin:
+            last_bin = ref
+            window_body(ref)
+
+    events = EventScheduler()
+    refresh.schedule_windows(events, num_windows * trefi_ns, on_window)
+    events.run()
 
     session.add_stats("swap", backend.stats)
     session.add_stats("driver", backend.driver.stats)

@@ -3,7 +3,9 @@
 The session is the user-facing bundle: entering it turns tracing on
 (with a bounded ring), attaches a fresh metrics registry, installs a
 flight recorder (see :mod:`repro.telemetry.flightrec`), resets the span
-ids, and resets the simulated clock; exiting turns everything off.
+ids, and rebases the shared simulated clock (:data:`repro.sim.CLOCK`)
+to t=0 — saving the outer timeline so nested sessions restore it on
+exit; exiting turns everything off.
 ``write()`` — called automatically on exit when ``out_dir`` is set —
 produces
 
@@ -33,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.sim import CLOCK as _sim_clock
 from repro.telemetry import flightrec, spans
 from repro.telemetry.flightrec import FlightRecorder
 from repro.telemetry.registry import MetricsRegistry
@@ -89,12 +92,17 @@ class TelemetrySession:
         self._annotations: Dict[str, object] = {}
         self._was_enabled = False
         self._prev_recorder: Optional[FlightRecorder] = None
+        self._clock_state: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def __enter__(self) -> "TelemetrySession":
         self._was_enabled = tracing_enabled()
         set_tracing(True, self.ring)
+        # The session borrows the shared simulated clock: save the outer
+        # timeline, start this run at t=0, and restore on exit so nested
+        # sessions (and whatever ran before) resume where they left off.
+        self._clock_state = _sim_clock.save()
         set_clock_ns(0.0)
         spans.reset()
         self._prev_recorder = flightrec.install(self.flight)
@@ -106,6 +114,9 @@ class TelemetrySession:
         else:
             flightrec.uninstall()
         self._prev_recorder = None
+        if self._clock_state is not None:
+            _sim_clock.restore(self._clock_state)
+            self._clock_state = None
         set_tracing(False)
         if self.out_dir is not None and exc_type is None:
             self.write(self.out_dir)

@@ -15,8 +15,9 @@ every call site guards behind :func:`repro.telemetry.trace.tracing_enabled`,
 and this module keeps no state beyond an id counter and the open-span
 stack, both plain module globals.
 
-Timestamps are simulated time (:func:`repro.telemetry.trace.clock_ns`);
-a span's duration is however far the clock advanced between
+Timestamps are simulated time — :func:`repro.telemetry.trace.clock_ns`
+is a shim over the shared :data:`repro.sim.CLOCK` — so a span's
+duration is however far the simulated clock advanced between
 :func:`begin` and :func:`end` — i.e. the modeled cost of the work done
 inside it, not wall time.
 """

@@ -9,11 +9,13 @@ ring is installed (``with tracing():`` or via
 to a bounded ring buffer and can be exported as Chrome trace-event JSON,
 loadable in Perfetto / ``about:tracing``.
 
-Timestamps are **simulated time** in nanoseconds. Components that own a
-timeline (the emulator's REF index x tREFI, the functional workloads'
-window loop) publish it through :func:`set_clock_ns` /
-:func:`advance_clock_ns`; emission sites that have no better timestamp
-read :func:`clock_ns`.
+Timestamps are **simulated time** in nanoseconds, read from the shared
+:data:`repro.sim.CLOCK`. Components that own a timeline (the emulator's
+event loop, the functional workloads' window loop) publish it through
+:func:`set_clock_ns` / :func:`advance_clock_ns` — thin shims over the
+:class:`repro.sim.SimClock`, kept because they are the public API every
+emission site already uses; emission sites that have no better
+timestamp read :func:`clock_ns`.
 
 Tracks map to Chrome's pid/tid pairs: one track per actor — ``cpu``
 (fallback + host swap work), ``nma`` (window-multiplexed accelerator
@@ -28,6 +30,7 @@ from contextlib import contextmanager
 from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigError
+from repro.sim.clock import CLOCK as _clock
 
 #: Chrome trace-event phase codes used here.
 PH_COMPLETE = "X"
@@ -96,11 +99,12 @@ class TraceRing:
         self.dropped = 0
 
 
-# -- global switch + clock (the validation.hooks pattern) ------------------
+# -- global switch (the validation.hooks pattern) ---------------------------
+# The clock itself lives in repro.sim; only the enable flag, the ring and
+# the flight sink are telemetry state.
 
 _enabled: bool = False
 _ring: Optional[TraceRing] = None
-_clock_ns: float = 0.0
 #: Optional secondary sink fed every emitted event — the flight
 #: recorder's record callback (see :mod:`repro.telemetry.flightrec`).
 _flight = None
@@ -155,19 +159,18 @@ def set_flight_sink(sink) -> None:
 
 
 def clock_ns() -> float:
-    """Current simulated-time timestamp."""
-    return _clock_ns
+    """Current simulated-time timestamp (``repro.sim.CLOCK``)."""
+    return _clock.now_ns()
 
 
 def set_clock_ns(t_ns: float) -> None:
-    global _clock_ns
-    _clock_ns = t_ns
+    """Jump the shared simulated clock (timeline owners only)."""
+    _clock.set_ns(t_ns)
 
 
 def advance_clock_ns(dt_ns: float) -> float:
-    global _clock_ns
-    _clock_ns += dt_ns
-    return _clock_ns
+    """Advance the shared simulated clock; returns the new time."""
+    return _clock.advance_ns(dt_ns)
 
 
 # -- emission --------------------------------------------------------------
@@ -192,7 +195,7 @@ def emit(
     event = TraceEvent(
         name=name,
         ph=ph,
-        ts_ns=_clock_ns if ts_ns is None else ts_ns,
+        ts_ns=_clock.now_ns() if ts_ns is None else ts_ns,
         track=track,
         dur_ns=dur_ns,
         args=args,

@@ -23,7 +23,11 @@ the merged ledger/stats view and its own ``tier_pipeline.*`` counters,
 so per-tier counters reconcile 1:1 against per-tier ledger totals.
 Trace spans (``tier_store``/``tier_load``/``tier_demote``/
 ``tier_promote`` on the ``tiering`` track) reuse the
-:mod:`repro.telemetry.reasons` codes.
+:mod:`repro.telemetry.reasons` codes; the end-to-end latency quantiles
+they observe are simulated-time durations measured on the shared
+:data:`repro.sim.CLOCK` (every backend charges its modeled cost there),
+so pipeline latency accounting is on the same timeline as refresh
+windows, backoff charges, and replayed traces.
 """
 
 from __future__ import annotations

@@ -1,0 +1,213 @@
+"""Refresh policies: all-bank baseline equivalence, per-bank windows,
+integer-tick drift regression, and policy selection plumbing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dram.device import DDR5_32GB, timings_for_device
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.refresh_policy import (
+    PER_BANK_TRFC_FRACTION,
+    POLICY_ALL_BANK,
+    POLICY_PER_BANK,
+    REFRESH_POLICY_ENV,
+    AllBankRefreshPolicy,
+    PerBankRefreshPolicy,
+    default_policy_name,
+    make_refresh_policy,
+)
+from repro.errors import ConfigError
+from repro.sim import TICKS_PER_NS, ns_to_ticks
+
+
+@pytest.fixture
+def timings():
+    return timings_for_device(DDR5_32GB)
+
+
+@pytest.fixture
+def all_bank(timings):
+    return AllBankRefreshPolicy(DDR5_32GB, timings)
+
+
+@pytest.fixture
+def per_bank(timings):
+    return PerBankRefreshPolicy(DDR5_32GB, timings)
+
+
+class TestAllBankBaseline:
+    """The default policy reproduces the pre-policy scheduler exactly."""
+
+    def test_window_geometry_matches_legacy_values(self, all_bank, timings):
+        for ref in (0, 1, 7, 8191, 8192, 100_000):
+            window = all_bank.window(ref)
+            assert window.start_ns == ref * timings.trefi_ns
+            assert window.duration_ns == timings.trfc_ns
+            assert window.bank is None
+            assert window.slot == ref % 8192
+            assert window.rows == range(
+                window.slot * 16, window.slot * 16 + 16
+            )
+
+    def test_one_window_per_trefi_full_budget(self, all_bank):
+        assert all_bank.windows_per_trefi == 1
+        assert all_bank.access_budget(3) == 3
+        assert all_bank.trefi_bin(17) == 17
+
+    def test_scheduler_default_policy_is_all_bank(self, monkeypatch, timings):
+        monkeypatch.delenv(REFRESH_POLICY_ENV, raising=False)
+        scheduler = RefreshScheduler(DDR5_32GB, timings)
+        assert scheduler.policy.name == POLICY_ALL_BANK
+
+
+class TestIntegerTickStarts:
+    """The float-drift fix: window N's start is index x tREFI in integer
+    ticks for any N, never an accumulated float."""
+
+    def test_large_ref_counts_stay_exact(self, all_bank, timings):
+        # A retention-month of REFs: the float product ref * 3906.25 is
+        # exact (both factors short binary decimals), so the tick path
+        # must agree bit-for-bit even at indices where a repeated
+        # `start += trefi` accumulation has long since drifted.
+        for ref in (10**4, 10**6, 2 * 10**6):
+            window = all_bank.window(ref)
+            assert window.start_ticks == ref * ns_to_ticks(timings.trefi_ns)
+            assert window.start_ns == ref * timings.trefi_ns
+
+    def test_per_bank_starts_match_exact_rationals(self, per_bank, timings):
+        # Sub-tREFI starts are not float-representable (tREFI/32 has a
+        # remainder); the integer division must match the true rational
+        # value to within half a tick at any index.
+        trefi_ticks = ns_to_ticks(timings.trefi_ns)
+        per = per_bank.windows_per_trefi
+        for index in (1, 31, 32, 1_000_003, 10**8 + 7):
+            exact = Fraction(index * trefi_ticks, per)
+            assert abs(Fraction(per_bank.start_ticks(index)) - exact) < 1
+            assert per_bank.window(index).start_ns == (
+                per_bank.start_ticks(index) / TICKS_PER_NS
+            )
+
+    def test_trefi_boundaries_never_drift(self, per_bank, timings):
+        # Window k*W starts exactly at k whole tREFIs — the remainder
+        # distribution inside a tREFI can never leak across bins.
+        trefi_ticks = ns_to_ticks(timings.trefi_ns)
+        per = per_bank.windows_per_trefi
+        for k in (1, 8192, 10**6, 10**9):
+            assert per_bank.start_ticks(k * per) == k * trefi_ticks
+
+    def test_consecutive_windows_are_monotone(self, per_bank):
+        starts = [per_bank.start_ticks(i) for i in range(200)]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+
+class TestPerBankPolicy:
+    def test_one_window_per_bank_per_trefi(self, per_bank):
+        per = per_bank.windows_per_trefi
+        assert per == DDR5_32GB.banks_per_chip
+        banks = [per_bank.window(i).bank for i in range(per)]
+        assert banks == list(range(per))
+        # All of tREFI-0's windows refresh the same REF slot's rows.
+        assert {per_bank.window(i).slot for i in range(per)} == {0}
+        assert per_bank.window(per).slot == 1
+
+    def test_short_windows_fit_the_stagger_gap(self, per_bank, timings):
+        gap_ticks = ns_to_ticks(timings.trefi_ns) // per_bank.windows_per_trefi
+        assert per_bank.duration_ns == (
+            timings.trfc_ns * PER_BANK_TRFC_FRACTION
+        )
+        assert ns_to_ticks(per_bank.duration_ns) <= gap_ticks
+
+    def test_budget_scales_down_but_never_to_zero(self, per_bank):
+        assert per_bank.access_budget(3) == max(
+            1, round(3 * PER_BANK_TRFC_FRACTION)
+        )
+        assert per_bank.access_budget(1) == 1
+
+    def test_oversized_fraction_rejected(self, timings):
+        with pytest.raises(ConfigError):
+            PerBankRefreshPolicy(DDR5_32GB, timings, trfc_fraction=0.9)
+        with pytest.raises(ConfigError):
+            PerBankRefreshPolicy(DDR5_32GB, timings, trfc_fraction=0.0)
+
+    def test_same_retention_coverage_as_all_bank(self, all_bank, per_bank):
+        # Over one retention interval both policies refresh every row.
+        per = per_bank.windows_per_trefi
+        covered = set()
+        for slot in range(per_bank.refs_per_retention):
+            covered.update(per_bank.window(slot * per).rows)
+        assert len(covered) == DDR5_32GB.rows_per_bank
+        assert covered == set(
+            row
+            for slot in range(all_bank.refs_per_retention)
+            for row in all_bank.window(slot).rows
+        )
+
+    def test_many_more_windows_per_horizon(self, timings):
+        horizon_ns = 16 * timings.trefi_ns
+        all_bank = RefreshScheduler(
+            DDR5_32GB, timings,
+            policy=make_refresh_policy(POLICY_ALL_BANK, DDR5_32GB, timings),
+        )
+        per_bank = RefreshScheduler(
+            DDR5_32GB, timings,
+            policy=make_refresh_policy(POLICY_PER_BANK, DDR5_32GB, timings),
+        )
+        n_all = len(all_bank.windows_between(0.0, horizon_ns))
+        n_per = len(per_bank.windows_between(0.0, horizon_ns))
+        assert n_all == 16
+        assert n_per == 16 * DDR5_32GB.banks_per_chip
+
+
+class TestPolicySelection:
+    def test_default_is_all_bank(self, monkeypatch, timings):
+        monkeypatch.delenv(REFRESH_POLICY_ENV, raising=False)
+        assert default_policy_name() == POLICY_ALL_BANK
+        policy = make_refresh_policy(None, DDR5_32GB, timings)
+        assert isinstance(policy, AllBankRefreshPolicy)
+
+    def test_env_var_selects_per_bank(self, monkeypatch, timings):
+        monkeypatch.setenv(REFRESH_POLICY_ENV, POLICY_PER_BANK)
+        policy = make_refresh_policy(None, DDR5_32GB, timings)
+        assert isinstance(policy, PerBankRefreshPolicy)
+        # Explicit names always beat the environment.
+        assert isinstance(
+            make_refresh_policy(POLICY_ALL_BANK, DDR5_32GB, timings),
+            AllBankRefreshPolicy,
+        )
+
+    def test_bad_names_raise(self, monkeypatch, timings):
+        with pytest.raises(ConfigError):
+            make_refresh_policy("sub-array", DDR5_32GB, timings)
+        monkeypatch.setenv(REFRESH_POLICY_ENV, "bogus")
+        with pytest.raises(ConfigError):
+            default_policy_name()
+
+
+class TestPerBankYieldsMoreUsableWindows:
+    """The point of the plug point: under a tight per-window budget the
+    accelerator gets many more scheduling opportunities per tREFI."""
+
+    def test_emulator_completes_more_offloads_per_bank(self):
+        from repro.core.emulator import EmulatorConfig, XfmEmulator
+
+        reports = {}
+        for name in (POLICY_ALL_BANK, POLICY_PER_BANK):
+            config = EmulatorConfig(
+                sim_time_s=0.001,
+                accesses_per_ref=1,
+                promotion_rate=1.0,
+                refresh_policy=name,
+            )
+            reports[name] = XfmEmulator(config).run()
+
+        all_bank, per_bank = (
+            reports[POLICY_ALL_BANK], reports[POLICY_PER_BANK]
+        )
+        # Same arrival stream either way...
+        assert per_bank.total_ops == all_bank.total_ops
+        # ...but the per-bank window stream drains far more of it.
+        assert per_bank.completed_ops > all_bank.completed_ops
+        executed = lambda r: r.conditional_accesses + r.random_accesses
+        assert executed(per_bank) > executed(all_bank)

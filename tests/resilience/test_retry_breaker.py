@@ -9,6 +9,7 @@ from repro.resilience.breaker import (
     CircuitBreaker,
 )
 from repro.resilience.retry import BackoffPolicy, retry_with_backoff
+from repro.sim import CLOCK
 from repro.telemetry import trace as _trace
 
 
@@ -183,3 +184,77 @@ class TestBreaker:
         assert set(snap) == {
             "state", "error_rate", "consecutive_failures", "transitions",
         }
+
+
+class TestBreakerSimTimeCooldown:
+    """cooldown_ns: the wall-of-sim-time variant — an OPEN breaker
+    re-probes once the shared clock passes the deadline, regardless of
+    how many operations were routed around it."""
+
+    def _breaker(self, **overrides):
+        config = BreakerConfig(
+            failure_threshold=2,
+            cooldown_ops=1000,  # would never elapse in these tests
+            cooldown_ns=500.0,
+            probes_to_close=1,
+            **overrides,
+        )
+        return CircuitBreaker("xfm", config)
+
+    def test_open_until_clock_passes_deadline(self):
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._breaker()
+            breaker.record_failure()
+            breaker.record_failure()
+            assert breaker.state is BreakerState.OPEN
+            # No matter how many ops are routed around it, sim time
+            # has not moved: still open.
+            for _ in range(50):
+                assert breaker.allow() is False
+            CLOCK.advance_ns(499.0)
+            assert breaker.allow() is False
+            CLOCK.advance_ns(1.0)
+            assert breaker.allow() is True
+            assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_reopen_restarts_deadline_from_now(self):
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._breaker()
+            breaker.record_failure()
+            breaker.record_failure()
+            CLOCK.advance_ns(500.0)
+            assert breaker.allow() is True
+            breaker.record_failure()  # probe fails -> OPEN again
+            assert breaker.state is BreakerState.OPEN
+            CLOCK.advance_ns(499.0)
+            assert breaker.allow() is False
+            CLOCK.advance_ns(1.0)
+            assert breaker.allow() is True
+
+    def test_backoff_charges_tick_the_cooldown(self):
+        """Retry backoff and breaker cool-down share one timeline: the
+        backoff charge alone can re-arm an open breaker."""
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._breaker()
+            breaker.record_failure()
+            breaker.record_failure()
+            assert breaker.allow() is False
+
+            def flaky():
+                if CLOCK.now_ns() < 3000.0:
+                    raise DeviceFault("transient")
+
+            retry_with_backoff(
+                flaky,
+                policy=BackoffPolicy(
+                    max_attempts=4, base_delay_ns=1000.0, multiplier=2.0
+                ),
+            )
+            assert CLOCK.now_ns() >= 500.0
+            assert breaker.allow() is True
+
+    def test_cooldown_ns_validated(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(cooldown_ns=0.0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(cooldown_ns=-5.0)

@@ -1,12 +1,21 @@
-"""Error-hygiene lint: the device/backends layers raise typed errors.
+"""Hygiene lints: typed errors in device layers, one clock for the stack.
 
-The resilience layer's recovery logic dispatches on the
+Error hygiene: the resilience layer's recovery logic dispatches on the
 :mod:`repro.errors` hierarchy (``DeviceFault`` retries, ``SfmError``
 surfaces, ``CorruptedBlobError`` poisons, ...). A bare builtin raise in
 those layers would silently bypass every one of those contracts, so
 this test greps them out of existence. Builtins stay allowed elsewhere
 (e.g. compression codecs predate the hierarchy and raise ``ValueError``
 for malformed arguments by design).
+
+Clock hygiene: all simulated time originates from
+:data:`repro.sim.CLOCK`. Wall-clock reads (``time.time`` /
+``time.monotonic`` / ``time.perf_counter``) and ad-hoc module-level
+clock state anywhere else in ``src/repro`` would fork the timeline —
+timestamps that drift from refresh windows, backoff charges invisible
+to breaker cool-downs — so the grep forbids both outside ``repro/sim``,
+with a short allowlist for the two places that *measure the host*
+(the lzbench perf harness and the fuzzer's wall-time budget).
 """
 
 import re
@@ -66,6 +75,78 @@ def test_resilience_error_types_are_wired():
     assert issubclass(CorruptedBlobError, SfmError)
     # CorruptedBlobError carries the poisoned vaddr for reporting.
     assert CorruptedBlobError("x", vaddr=0x123).vaddr == 0x123
+
+
+# -- clock hygiene -----------------------------------------------------------
+
+#: Wall-clock reads forbidden in src/repro outside repro/sim. Matches
+#: call sites (`time.monotonic(`), not the words in prose/docstrings.
+_WALL_CLOCK = re.compile(
+    r"\btime\.(?:time|monotonic|perf_counter|monotonic_ns|time_ns"
+    r"|perf_counter_ns)\s*\("
+)
+
+#: Ad-hoc simulated-clock state: module-level mutable time variables of
+#: the shape the pre-sim telemetry layer used (`_clock_ns = 0.0`). Any
+#: new one must live in repro/sim instead.
+_ADHOC_CLOCK = re.compile(r"^_[a-z_]*clock[a-z_]*\s*(?::[^=]+)?=\s*[-0-9]")
+
+#: Files allowed to read the host clock: they measure the host itself
+#: (codec throughput, fuzz wall-time budget), not simulated time.
+WALL_CLOCK_ALLOWLIST = {
+    "workloads/lzbench.py",
+    "validation/fuzz.py",
+}
+
+
+def _all_src_files():
+    yield from sorted(SRC.rglob("*.py"))
+
+
+def test_no_wall_clock_outside_sim():
+    offenders = []
+    for path in _all_src_files():
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith("sim/") or rel in WALL_CLOCK_ALLOWLIST:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _WALL_CLOCK.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock reads outside repro/sim (use repro.sim.CLOCK, or add "
+        "a host-measurement file to WALL_CLOCK_ALLOWLIST):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_no_adhoc_clock_state_outside_sim():
+    offenders = []
+    for path in _all_src_files():
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith("sim/"):
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _ADHOC_CLOCK.match(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "ad-hoc module-level clock state outside repro/sim (the shared "
+        "timeline lives in repro.sim.CLOCK):\n" + "\n".join(offenders)
+    )
+
+
+def test_wall_clock_allowlist_is_tight():
+    """Every allowlisted file exists and actually reads the host clock —
+    stale entries would quietly widen the lint hole."""
+    for rel in sorted(WALL_CLOCK_ALLOWLIST):
+        path = SRC / rel
+        assert path.exists(), f"allowlist entry gone: {rel}"
+        assert _WALL_CLOCK.search(path.read_text(encoding="utf-8")), (
+            f"allowlist entry no longer reads the wall clock: {rel}"
+        )
 
 
 def test_scenario_error_types_are_wired():
