@@ -546,6 +546,75 @@ def _cmd_codectune(targets: List[str], args) -> int:
     return 0
 
 
+def _cmd_fleet(targets: List[str], args) -> int:
+    """``python -m repro fleet``: run the deterministic overload campaign
+    (steady -> spike -> drain -> recovery) through the sharded frontend.
+
+    Exit 0 on a clean run, 1 when data integrity or an explicit
+    expectation fails, 2 on usage errors. ``--expect-shed`` asserts the
+    overload contract (the spike sheds, recovery is shed-free, and the
+    admitted-request spike p99 stays within 3x the steady p99);
+    ``--expect-no-shed`` asserts a steady campaign sheds nothing;
+    ``--fail-on-slo-violation`` additionally requires every SLO met.
+    """
+    from pathlib import Path
+
+    from repro.errors import ConfigError
+    from repro.fleet.harness import FleetConfig, format_report, run_fleet
+
+    if targets:
+        print("fleet takes no positional arguments", file=sys.stderr)
+        return 2
+    if args.expect_shed and args.expect_no_shed:
+        print("--expect-shed and --expect-no-shed conflict", file=sys.stderr)
+        return 2
+    scale = args.duration_scale
+    try:
+        config = FleetConfig(
+            seed=args.seed,
+            shards=args.fleet_shards,
+            steady_rate_rps=args.rate_rps,
+            spike_multiplier=args.spike_multiplier,
+            steady_ns=60e6 * scale,
+            spike_ns=30e6 * scale,
+            drain_guard_ns=10e6 * scale,
+            recovery_ns=60e6 * scale,
+            kill_shard_at_ns=(
+                args.kill_shard_at_ms * 1e6
+                if args.kill_shard_at_ms is not None
+                else None
+            ),
+        )
+    except ConfigError as exc:
+        print(f"bad fleet config: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    report = run_fleet(config, out_dir)
+    print(format_report(report))
+    if out_dir is not None:
+        print(f"  wrote {out_dir / 'fleet_report.json'}")
+        print(f"  wrote {out_dir / 'trace.json'}")
+        print(f"  wrote {out_dir / 'metrics.json'}")
+        for name in report["flight_records"]:
+            print(f"  wrote {out_dir / name}")
+    verdict = report["verdict"]
+    ok = verdict["acked_data_lost"] == 0
+    ok = ok and verdict["silent_corruptions"] == 0
+    if args.expect_shed:
+        steady_p99 = report["phases"]["steady"]["latency_ns"]["p99"]
+        spike_p99 = report["phases"]["spike"]["latency_ns"]["p99"]
+        ok = ok and verdict["spike_shed"] and verdict["recovery_clean"]
+        ok = ok and spike_p99 <= 3 * steady_p99
+    if args.expect_no_shed:
+        total_shed = sum(
+            report["phases"][p]["shed"] for p in report["phases"]
+        )
+        ok = ok and total_shed == 0
+    if args.fail_on_slo_violation:
+        ok = ok and all(verdict["slo_met"].values())
+    return 0 if ok else 1
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -558,7 +627,7 @@ def main(argv: List[str] = None) -> int:
         help="experiment names, 'list', 'all', 'export <dir>', "
         "'trace <workload>', 'tiers', 'chaos', 'replay <scenario>', "
         "'slo <scenario>', 'record <scenario>', 'ingest <dir>', "
-        "or 'codectune [<dir>]'",
+        "'codectune [<dir>]', or 'fleet'",
     )
     parser.add_argument(
         "--out",
@@ -630,6 +699,52 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="exit nonzero if the chaos campaign lost or corrupted data",
     )
+    parser.add_argument(
+        "--fleet-shards",
+        type=int,
+        default=4,
+        help="fleet: number of pipeline shards",
+    )
+    parser.add_argument(
+        "--rate-rps",
+        type=float,
+        default=35000.0,
+        help="fleet: steady-state offered arrival rate (requests/s)",
+    )
+    parser.add_argument(
+        "--spike-multiplier",
+        type=float,
+        default=5.0,
+        help="fleet: arrival-rate multiplier during the spike phase",
+    )
+    parser.add_argument(
+        "--duration-scale",
+        type=float,
+        default=1.0,
+        help="fleet: scale all phase durations (1.0 = 160 ms simulated)",
+    )
+    parser.add_argument(
+        "--kill-shard-at-ms",
+        type=float,
+        default=None,
+        help="fleet: chaos-kill shard-0 at this simulated millisecond",
+    )
+    parser.add_argument(
+        "--expect-shed",
+        action="store_true",
+        help="fleet: fail unless the spike sheds, recovery is clean, and "
+        "admitted spike p99 <= 3x steady p99",
+    )
+    parser.add_argument(
+        "--expect-no-shed",
+        action="store_true",
+        help="fleet: fail if any request was shed (steady campaigns)",
+    )
+    parser.add_argument(
+        "--fail-on-slo-violation",
+        action="store_true",
+        help="fleet: exit nonzero when an SLO misses its target",
+    )
     args = parser.parse_args(argv)
     names = args.experiments or ["list"]
 
@@ -662,6 +777,9 @@ def main(argv: List[str] = None) -> int:
               " [--max-file-kib N]   # page-ify a file tree")
         print("     python -m repro codectune [<dir>] [--out PATH]"
               "   # train+tune static Huffman tables per domain")
+        print("     python -m repro fleet [--fleet-shards N] [--rate-rps R]"
+              " [--spike-multiplier M] [--kill-shard-at-ms T] [--out DIR]"
+              "   # overload campaign")
         return 0
     if names and names[0] == "replay":
         return _cmd_replay(names[1:], args)
@@ -673,6 +791,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_ingest(names[1:], args)
     if names and names[0] == "codectune":
         return _cmd_codectune(names[1:], args)
+    if names and names[0] == "fleet":
+        return _cmd_fleet(names[1:], args)
     if names and names[0] == "chaos":
         from pathlib import Path
 

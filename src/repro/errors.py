@@ -93,6 +93,39 @@ class TierUnavailableError(ReproError):
     """
 
 
+class OverloadError(ReproError):
+    """The serving layer refused work to protect itself (load shedding).
+
+    Raised *before* any work is done on the request — admission control
+    found the tenant over quota, the target shard's queue was full, or
+    the request could no longer meet its deadline. Carries a
+    machine-readable ``reason`` and a ``retry_after_ns`` hint (simulated
+    nanoseconds) so callers back off instead of hammering; well-behaved
+    clients retry once the hint elapses, charging the shared retry
+    budget (:class:`RetryBudgetExhausted`).
+    """
+
+    def __init__(
+        self, message: str, reason: str = "overload",
+        retry_after_ns: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_ns = retry_after_ns
+
+
+class RetryBudgetExhausted(OverloadError):
+    """The fleet-wide retry budget is spent: the retry is refused
+    outright (fast-fail) rather than amplifying an overload into a
+    retry storm. Clients must treat this as a terminal failure for the
+    attempt — not something to retry harder."""
+
+    def __init__(self, message: str, retry_after_ns: float = 0.0) -> None:
+        super().__init__(
+            message, reason="retry-budget", retry_after_ns=retry_after_ns
+        )
+
+
 class ScenarioError(ReproError):
     """A scenario artifact (swap trace or ingested corpus) is unusable."""
 

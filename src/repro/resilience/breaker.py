@@ -80,7 +80,9 @@ class CircuitBreaker:
     The owner calls :meth:`allow` before each operation (ticks the
     cool-down while OPEN) and :meth:`record_success` /
     :meth:`record_failure` after. ``on_transition(breaker, old, new)``
-    fires on every state change so the owner can trace/count it.
+    fires on every state change so the owner can trace/count it;
+    ``on_probe(breaker, ok)`` fires on every HALF_OPEN probe outcome so
+    the owner can export probe success/failure counters.
     """
 
     def __init__(
@@ -90,13 +92,19 @@ class CircuitBreaker:
         on_transition: Optional[
             Callable[["CircuitBreaker", BreakerState, BreakerState], None]
         ] = None,
+        on_probe: Optional[Callable[["CircuitBreaker", bool], None]] = None,
     ) -> None:
         self.name = name
         self.config = config or BreakerConfig()
         self.on_transition = on_transition
+        self.on_probe = on_probe
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.probe_successes = 0
+        #: Lifetime HALF_OPEN probe outcomes (never reset on transition,
+        #: unlike ``probe_successes`` which tracks the current streak).
+        self.probe_successes_total = 0
+        self.probe_failures_total = 0
         self._cooldown_remaining = 0
         self._cooldown_until_ns = 0.0
         self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
@@ -146,6 +154,9 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         if self.state is BreakerState.HALF_OPEN:
             self.probe_successes += 1
+            self.probe_successes_total += 1
+            if self.on_probe is not None:
+                self.on_probe(self, True)
             if self.probe_successes >= self.config.probes_to_close:
                 self._transition(BreakerState.CLOSED)
 
@@ -153,6 +164,9 @@ class CircuitBreaker:
         self._outcomes.append(False)
         self.consecutive_failures += 1
         if self.state is BreakerState.HALF_OPEN:
+            self.probe_failures_total += 1
+            if self.on_probe is not None:
+                self.on_probe(self, False)
             self._transition(BreakerState.OPEN)
             return
         if self.state is BreakerState.CLOSED and self._should_trip():
@@ -195,4 +209,6 @@ class CircuitBreaker:
             "error_rate": round(self.error_rate(), 4),
             "consecutive_failures": self.consecutive_failures,
             "transitions": dict(self.transitions),
+            "probe_successes_total": self.probe_successes_total,
+            "probe_failures_total": self.probe_failures_total,
         }

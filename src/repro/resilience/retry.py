@@ -11,6 +11,7 @@ breaker cool-downs).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
@@ -23,21 +24,42 @@ T = TypeVar("T")
 @dataclass(frozen=True)
 class BackoffPolicy:
     """Exponential backoff: attempt N waits ``base_delay_ns *
-    multiplier**(N-1)`` simulated nanoseconds before retrying."""
+    multiplier**(N-1)`` simulated nanoseconds before retrying.
+
+    ``jitter`` desynchronizes retries across shards: a fraction in
+    ``[0, 1)`` of the nominal delay that is *subtracted* by a uniform
+    draw from the caller-supplied RNG (decorrelated retries never wait
+    longer than the nominal backoff, so worst-case latency bounds are
+    unchanged). With ``jitter == 0`` — or no RNG supplied — the delay
+    is the bare exponential formula, bit-identical to the historical
+    behavior.
+    """
 
     max_attempts: int = 3
     base_delay_ns: float = 1_000.0
     multiplier: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigError("max_attempts must be >= 1")
         if self.base_delay_ns < 0 or self.multiplier < 1.0:
             raise ConfigError("backoff delay/multiplier out of range")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
 
-    def delay_ns(self, attempt: int) -> float:
-        """Backoff charged after failed attempt ``attempt`` (1-based)."""
-        return self.base_delay_ns * self.multiplier ** (attempt - 1)
+    def delay_ns(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff charged after failed attempt ``attempt`` (1-based).
+
+        Deterministic for a given seeded ``rng``; exact (no jitter)
+        when ``rng`` is omitted or ``jitter`` is zero.
+        """
+        nominal = self.base_delay_ns * self.multiplier ** (attempt - 1)
+        if self.jitter == 0.0 or rng is None:
+            return nominal
+        return nominal * (1.0 - self.jitter * rng.random())
 
 
 DEFAULT_POLICY = BackoffPolicy()
@@ -49,6 +71,7 @@ def retry_with_backoff(
     policy: BackoffPolicy = DEFAULT_POLICY,
     retry_on: Tuple[Type[BaseException], ...] = (DeviceFault,),
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    rng: Optional[random.Random] = None,
 ) -> T:
     """Call ``fn`` up to ``policy.max_attempts`` times.
 
@@ -57,6 +80,10 @@ def retry_with_backoff(
     immediately. ``on_retry(attempt, exc)`` is invoked before each
     retry (attempt is the 1-based attempt that just failed) so callers
     can count transient retries. The final failure re-raises.
+
+    ``rng`` (a seeded :class:`random.Random`) enables the policy's
+    jitter; without it — or with ``policy.jitter == 0`` — the charged
+    delays are bit-identical to the jitter-free formula.
     """
     attempt = 0
     while True:
@@ -68,4 +95,4 @@ def retry_with_backoff(
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
-            _sim_clock.advance_ns(policy.delay_ns(attempt))
+            _sim_clock.advance_ns(policy.delay_ns(attempt, rng))

@@ -33,6 +33,7 @@ from repro.telemetry.trace import TraceEvent
 REASON_BREAKER_OPEN = "breaker_open"
 REASON_POISON = "poison"
 REASON_CHAOS_LOSS = "chaos_loss"
+REASON_SLO_BURN = "slo_burn"
 
 FLIGHT_SCHEMA_VERSION = 1
 

@@ -145,12 +145,17 @@ class TierPipeline:
         registry: Optional[MetricsRegistry] = None,
         spill: Optional[Callable[[int, bytes], None]] = None,
         breaker_config: Optional[BreakerConfig] = None,
+        trace_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         """``spill(vaddr, data)``, when provided, receives pages that no
         tier would hold during a demotion cascade (the pipeline analogue
         of zswap's writeback-to-swap-device). ``breaker_config`` tunes
         the per-tier circuit breakers (closed/open/half-open health
-        tracking; see :mod:`repro.resilience.breaker`)."""
+        tracking; see :mod:`repro.resilience.breaker`). ``trace_labels``
+        (e.g. ``{"shard": "shard-2"}``) are merged into every breaker
+        counter, trace instant, and flight-recorder detail this pipeline
+        emits, so a fleet of pipelines stays distinguishable on one
+        timeline."""
         named = _named(tiers)
         if not named:
             raise ConfigError("pipeline needs at least one tier")
@@ -161,6 +166,11 @@ class TierPipeline:
         self.promotion = promotion if promotion is not None else PromoteToTop()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spill = spill
+        self.trace_labels: Dict[str, str] = dict(trace_labels or {})
+        #: Victims gathered per demotion round; starts at the module
+        #: default, shrunk by degraded-mode controllers (brownout) to
+        #: bound how much a cascade swaps in before placing anything.
+        self.demote_batch_pages = DEMOTE_BATCH_PAGES
         self.pipeline_stats = PipelineStats(registry=self.registry)
         #: Per-tier health breakers; an OPEN breaker quarantines its
         #: tier (stores route around it, cool-down ticks per skipped
@@ -170,6 +180,7 @@ class TierPipeline:
                 name,
                 config=breaker_config,
                 on_transition=self._on_breaker_transition,
+                on_probe=self._on_breaker_probe,
             )
             for name in self.tier_names
         ]
@@ -197,26 +208,38 @@ class TierPipeline:
         self, breaker: CircuitBreaker, old: BreakerState, new: BreakerState
     ) -> None:
         self.registry.counter(
-            "tier_breaker.transitions", tier=breaker.name, to=new.value
+            "tier_breaker.transitions",
+            tier=breaker.name, to=new.value, **self.trace_labels,
         ).inc()
         if _trace.tracing_enabled():
-            _trace.instant(
-                "tier_breaker", TRACK_TIER,
-                args={"tier": breaker.name, "from": old.value,
-                      "to": new.value,
-                      "error_rate": round(breaker.error_rate(), 4)},
-            )
+            args = {"tier": breaker.name, "from": old.value,
+                    "to": new.value,
+                    "error_rate": round(breaker.error_rate(), 4)}
+            args.update(self.trace_labels)
+            _trace.instant("tier_breaker", TRACK_TIER, args=args)
         if new is BreakerState.OPEN:
             # Black-box dump: the last thing an operator has when a tier
             # goes dark is whatever led up to the breaker opening.
-            _flightrec.trigger(
-                _flightrec.REASON_BREAKER_OPEN,
-                {
-                    "tier": breaker.name,
-                    "from": old.value,
-                    "error_rate": round(breaker.error_rate(), 4),
-                },
-            )
+            detail = {
+                "tier": breaker.name,
+                "from": old.value,
+                "error_rate": round(breaker.error_rate(), 4),
+            }
+            detail.update(self.trace_labels)
+            _flightrec.trigger(_flightrec.REASON_BREAKER_OPEN, detail)
+
+    def _on_breaker_probe(self, breaker: CircuitBreaker, ok: bool) -> None:
+        self.registry.counter(
+            "tier_breaker.probe_results",
+            tier=breaker.name,
+            result="success" if ok else "failure",
+            **self.trace_labels,
+        ).inc()
+        if _trace.tracing_enabled():
+            args = {"tier": breaker.name,
+                    "result": "success" if ok else "failure"}
+            args.update(self.trace_labels)
+            _trace.instant("tier_breaker_probe", TRACK_TIER, args=args)
 
     def _record_tier_error(self, index: int) -> None:
         self.breakers[index].record_failure()
@@ -562,7 +585,7 @@ class TierPipeline:
             ):
                 victims, poisoned, placed, stop = self._demote_round(
                     index,
-                    DEMOTE_BATCH_PAGES,
+                    self.demote_batch_pages,
                     lambda t=tier, i=index: bool(self._lru[i])
                     and self.demotion.should_demote(t),
                 )
@@ -836,7 +859,7 @@ class TierPipeline:
         demoted = 0
         stop = False
         while not stop and demoted < count and self._lru[from_tier]:
-            want = min(count - demoted, DEMOTE_BATCH_PAGES)
+            want = min(count - demoted, self.demote_batch_pages)
             victims, poisoned, placed, stop = self._demote_round(
                 from_tier, want,
                 lambda i=from_tier: bool(self._lru[i]),

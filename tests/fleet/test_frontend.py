@@ -1,0 +1,225 @@
+"""Frontend routing, shard queueing/shedding, and failover relocation."""
+
+import pytest
+
+from repro.errors import OverloadError
+from repro.fleet.frontend import FleetFrontend, rendezvous_score
+from repro.fleet.shard import FleetRequest
+from repro.fleet.admission import TenantQuota
+from repro.fleet.traffic import page_for
+from repro.sim import CLOCK, EventScheduler
+
+
+def _quota(name="t0", rate=1e9):
+    # Effectively unlimited: these tests exercise queueing, not quotas.
+    return TenantQuota(name=name, rate_per_s=rate, burst=1e6)
+
+
+def _frontend(scheduler, shards=3, queue_depth=8, **kwargs):
+    return FleetFrontend(
+        tuple(f"shard-{i}" for i in range(shards)),
+        (_quota(),),
+        scheduler,
+        queue_depth=queue_depth,
+        **kwargs,
+    )
+
+
+def _store(rid, key, deadline_ns=1e9):
+    now = CLOCK.now_ns()
+    return FleetRequest(
+        rid=rid, tenant="t0", op="store", key=key,
+        arrival_ns=now, deadline_ns=now + deadline_ns,
+        data=page_for(0, key),
+    )
+
+
+def _load(rid, key, deadline_ns=1e9):
+    now = CLOCK.now_ns()
+    return FleetRequest(
+        rid=rid, tenant="t0", op="load", key=key,
+        arrival_ns=now, deadline_ns=now + deadline_ns,
+    )
+
+
+class TestRouting:
+    def test_rendezvous_score_is_deterministic(self):
+        assert rendezvous_score(42, "shard-1") == rendezvous_score(
+            42, "shard-1"
+        )
+        assert rendezvous_score(42, "shard-1") != rendezvous_score(
+            42, "shard-2"
+        )
+
+    def test_route_spreads_keys(self):
+        with CLOCK.scoped(start_ns=0.0):
+            frontend = _frontend(EventScheduler(), shards=4)
+            homes = {frontend.route(key) for key in range(200)}
+            assert len(homes) == 4
+
+    def test_membership_change_moves_only_victim_keys(self):
+        # The rendezvous property failover depends on: killing a shard
+        # must not reshuffle keys homed on the survivors.
+        with CLOCK.scoped(start_ns=0.0):
+            frontend = _frontend(EventScheduler(), shards=4)
+            before = {key: frontend.route(key) for key in range(300)}
+            frontend.shards["shard-2"].alive = False
+            for key, home in before.items():
+                if home != "shard-2":
+                    assert frontend.route(key) == home
+                else:
+                    assert frontend.route(key) != "shard-2"
+
+
+class TestServing:
+    def test_store_then_load_round_trips(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler)
+            done = []
+            frontend.on_complete = done.append
+            frontend.submit(_store(0, key=7))
+            scheduler.run()
+            assert done[0].status == "served"
+            assert frontend.placement[7] == done[0].shard
+            frontend.submit(_load(1, key=7))
+            scheduler.run()
+            assert done[1].status == "served"
+            assert done[1].result == page_for(0, 7)
+            assert 7 not in frontend.placement  # loads are exclusive
+
+    def test_served_latency_includes_queue_wait(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=1)
+            done = []
+            frontend.on_complete = done.append
+            for rid in range(3):
+                frontend.submit(_store(rid, key=rid))
+            scheduler.run()
+            latencies = [r.latency_ns for r in done]
+            # One busy server: each request waits behind its elders.
+            assert latencies[0] < latencies[1] < latencies[2]
+
+    def test_queue_full_sheds_at_submit_with_hint(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=1, queue_depth=2)
+            frontend.submit(_store(0, key=0))
+            frontend.submit(_store(1, key=1))
+            with pytest.raises(OverloadError) as info:
+                frontend.submit(_store(2, key=2))
+            assert info.value.reason == "queue-full"
+            assert info.value.retry_after_ns > 0
+
+    def test_deadline_shed_before_work(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=1)
+            done = []
+            frontend.on_complete = done.append
+            frontend.submit(_store(0, key=0))
+            # Arrives second with a deadline the backlog already blows.
+            frontend.submit(_store(1, key=1, deadline_ns=10.0))
+            scheduler.run()
+            by_rid = {r.rid: r for r in done}
+            assert by_rid[0].status == "served"
+            assert by_rid[1].status == "shed"
+            assert by_rid[1].reason == "deadline"
+
+    def test_dead_shard_sheds_at_submit(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=1)
+            frontend.shards["shard-0"].kill()
+            with pytest.raises(OverloadError) as info:
+                frontend.submit(_store(0, key=0))
+            assert info.value.reason == "shard-dead"
+
+
+class TestFailover:
+    def test_kill_relocates_every_acknowledged_page(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=3)
+            done = []
+            frontend.on_complete = done.append
+            for rid in range(30):
+                frontend.submit(_store(rid, key=rid))
+                scheduler.run()
+            assert all(r.status == "served" for r in done)
+            victim_keys = [
+                key for key, home in frontend.placement.items()
+                if home == "shard-0"
+            ]
+            assert victim_keys  # the hash spreads 30 keys over 3 shards
+            stats = frontend.kill_shard("shard-0")
+            scheduler.run()
+            assert stats["lost"] == 0
+            assert stats["relocated"] == len(victim_keys)
+            # Every acknowledged page still loads back byte-identical.
+            for key in range(30):
+                assert frontend.lookup(key) == page_for(0, key)
+
+    def test_killed_shard_queue_fails_over_to_siblings(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = _frontend(scheduler, shards=2)
+            done = []
+            frontend.on_complete = done.append
+            queued = []
+            for rid in range(40):
+                req = _store(rid, key=rid)
+                frontend.submit(req)
+                if req.shard == "shard-0":
+                    queued.append(req.rid)
+                if len(queued) >= 2:
+                    break
+            assert queued
+            frontend.kill_shard("shard-0")
+            scheduler.run()
+            by_rid = {r.rid: r for r in done}
+            for rid in queued:
+                assert by_rid[rid].status == "served"
+                assert by_rid[rid].shard == "shard-1"
+
+    def test_brownout_switches_codec_for_degradable_only(self):
+        with CLOCK.scoped(start_ns=0.0):
+            scheduler = EventScheduler()
+            frontend = FleetFrontend(
+                ("shard-0",),
+                (
+                    TenantQuota(
+                        name="gold", rate_per_s=1e9, burst=1e6, qos="premium"
+                    ),
+                    TenantQuota(name="best-effort", rate_per_s=1e9, burst=1e6),
+                ),
+                scheduler,
+            )
+            frontend._enter_brownout()
+            shard = frontend.shards["shard-0"]
+            assert shard.degraded
+            assert shard.degraded_tenants == frozenset({"best-effort"})
+            now = CLOCK.now_ns()
+            for rid, tenant in ((0, "gold"), (1, "best-effort")):
+                frontend.submit(
+                    FleetRequest(
+                        rid=rid, tenant=tenant, op="store", key=rid,
+                        arrival_ns=now, deadline_ns=now + 1e9,
+                        data=page_for(0, rid),
+                    )
+                )
+            scheduler.run()
+            assert shard.degraded_ops == 1  # best-effort only
+            frontend._exit_brownout()
+            assert not shard.degraded
+            # Pages stored degraded still load back after exit.
+            now = CLOCK.now_ns()
+            load = FleetRequest(
+                rid=2, tenant="best-effort", op="load", key=1,
+                arrival_ns=now, deadline_ns=now + 1e9,
+            )
+            frontend.submit(load)
+            scheduler.run()
+            assert load.status == "served"
+            assert load.result == page_for(0, 1)

@@ -271,3 +271,61 @@ class TestSpillGuard:
         # Spilled pages carry the right bytes to the backing device.
         for vaddr, data in spilled.items():
             assert data == _page(vaddr // PAGE_SIZE)
+
+
+class TestHalfOpenProbeAccounting:
+    """Half-open probes are first-class registry counters, and the
+    trace instants carry the pipeline's trace labels (shard + tier)."""
+
+    def _trip_and_reclose(self, pipeline):
+        plan = FaultPlan(
+            seed=1,
+            specs=(FaultSpec(faults.DFM_LINK_ERROR, probability=1.0),),
+        )
+        with fault_injection(plan):
+            for key in range(6):
+                pipeline.store(key, _page(key))
+        assert pipeline.breaker_states()["dfm"] == "open"
+        for key in range(100, 112):
+            pipeline.store(key, _page(key))
+        assert pipeline.breaker_states()["dfm"] == "closed"
+
+    def test_probe_results_counted_with_trace_labels(self):
+        pipeline = _pipeline(
+            cpu_capacity_bytes=4 * 1024,
+            xfm_capacity_bytes=4 * 1024,
+            trace_labels={"shard": "shard-3"},
+        )
+        self._trip_and_reclose(pipeline)
+        snapshot = pipeline.registry.snapshot()
+        assert any(
+            name.startswith("tier_breaker.probe_results")
+            and "tier=dfm" in name
+            and "result=success" in name
+            and "shard=shard-3" in name
+            for name in snapshot
+        )
+
+    def test_probe_and_transition_instants_carry_shard_label(self):
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession()
+        with session:
+            pipeline = _pipeline(
+                cpu_capacity_bytes=4 * 1024,
+                xfm_capacity_bytes=4 * 1024,
+                registry=session.registry,
+                trace_labels={"shard": "shard-3"},
+            )
+            self._trip_and_reclose(pipeline)
+        probes = [
+            e for e in session.ring.events() if e.name == "tier_breaker_probe"
+        ]
+        transitions = [
+            e for e in session.ring.events() if e.name == "tier_breaker"
+        ]
+        assert probes and transitions
+        for event in probes + transitions:
+            assert event.args["shard"] == "shard-3"
+            assert event.args["tier"] == "dfm"
+        assert any(e.args["result"] == "success" for e in probes)

@@ -183,6 +183,7 @@ class TestBreaker:
         assert snap["consecutive_failures"] == 1
         assert set(snap) == {
             "state", "error_rate", "consecutive_failures", "transitions",
+            "probe_successes_total", "probe_failures_total",
         }
 
 
@@ -258,3 +259,197 @@ class TestBreakerSimTimeCooldown:
             BreakerConfig(cooldown_ns=0.0)
         with pytest.raises(ConfigError):
             BreakerConfig(cooldown_ns=-5.0)
+
+
+class TestRetryJitter:
+    """BackoffPolicy.jitter: seeded, deterministic; bit-identical off."""
+
+    def test_zero_jitter_is_bit_identical_with_or_without_rng(self):
+        import random
+
+        policy = BackoffPolicy(
+            max_attempts=5, base_delay_ns=1000.0, multiplier=2.0
+        )
+        for attempt in range(1, 5):
+            bare = policy.delay_ns(attempt)
+            with_rng = policy.delay_ns(attempt, rng=random.Random(123))
+            assert bare == with_rng  # exact, not approx
+
+    def test_jitter_without_rng_is_exact_nominal(self):
+        policy = BackoffPolicy(
+            max_attempts=3, base_delay_ns=1000.0, multiplier=2.0, jitter=0.5
+        )
+        assert policy.delay_ns(1) == 1000.0
+        assert policy.delay_ns(2) == 2000.0
+
+    def test_seeded_jitter_is_deterministic(self):
+        import random
+
+        policy = BackoffPolicy(
+            max_attempts=5, base_delay_ns=1000.0, multiplier=2.0, jitter=0.3
+        )
+        a = [policy.delay_ns(i, rng=random.Random(9)) for i in range(1, 5)]
+        b = [policy.delay_ns(i, rng=random.Random(9)) for i in range(1, 5)]
+        assert a == b
+
+    def test_jitter_only_shrinks_within_fraction(self):
+        import random
+
+        policy = BackoffPolicy(
+            max_attempts=3, base_delay_ns=1000.0, multiplier=1.0, jitter=0.3
+        )
+        rng = random.Random(42)
+        for _ in range(200):
+            delay = policy.delay_ns(1, rng=rng)
+            # Decorrelating *early* retries can never push a client past
+            # the nominal deadline it already promised.
+            assert 700.0 <= delay <= 1000.0
+
+    def test_retry_with_backoff_jitter_deterministic_end_to_end(self):
+        import random
+
+        policy = BackoffPolicy(
+            max_attempts=3, base_delay_ns=1000.0, multiplier=2.0, jitter=0.4
+        )
+
+        def run():
+            calls = []
+
+            def flaky():
+                calls.append(_trace.clock_ns())
+                if len(calls) < 3:
+                    raise DeviceFault("transient")
+
+            _trace.set_clock_ns(0.0)
+            retry_with_backoff(flaky, policy=policy, rng=random.Random(5))
+            return calls
+
+        first, second = run(), run()
+        assert first == second
+        # Jitter actually moved the retry instants off nominal.
+        assert first[1] != 1000.0 or first[2] != 3000.0
+
+    def test_jitter_validated(self):
+        with pytest.raises(ConfigError):
+            BackoffPolicy(jitter=-0.1)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(jitter=1.0)
+
+
+class TestBreakerSchedulerDriven:
+    """cooldown_ns breakers driven by EventScheduler events: the re-arm
+    must happen exactly at the scheduled tick, and equal-tick events
+    observe it in stable schedule order."""
+
+    def _open_breaker(self, cooldown_ns=500.0):
+        breaker = CircuitBreaker(
+            "t",
+            config=BreakerConfig(
+                failure_threshold=2,
+                window=4,
+                error_rate_threshold=0.9,
+                cooldown_ns=cooldown_ns,
+                probes_to_close=1,
+            ),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_rearm_exactly_at_scheduled_tick(self):
+        from repro.sim import EventScheduler
+
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._open_breaker(cooldown_ns=500.0)
+            scheduler = EventScheduler()
+            observed = []
+            # One tick before the deadline the breaker still refuses;
+            # at the deadline tick the half-open probe is allowed.
+            scheduler.schedule(
+                499.999999, lambda: observed.append(("before", breaker.allow()))
+            )
+            scheduler.schedule(
+                500.0, lambda: observed.append(("at", breaker.allow()))
+            )
+            scheduler.run()
+            assert observed == [("before", False), ("at", True)]
+            assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_equal_tick_events_see_stable_order(self):
+        from repro.sim import EventScheduler
+
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._open_breaker(cooldown_ns=500.0)
+            scheduler = EventScheduler()
+            observed = []
+            # Three same-tick events at the deadline: the first scheduled
+            # gets the half-open probe slot; the probe's success closes
+            # the breaker for the rest — deterministically in schedule
+            # order, never heap-arbitrary.
+            def probe():
+                observed.append(("probe", breaker.allow()))
+                breaker.record_success()
+
+            scheduler.schedule(500.0, probe)
+            scheduler.schedule(
+                500.0, lambda: observed.append(("second", breaker.allow()))
+            )
+            scheduler.schedule(
+                500.0, lambda: observed.append(("third", breaker.state))
+            )
+            scheduler.run()
+            assert observed == [
+                ("probe", True),
+                ("second", True),
+                ("third", BreakerState.CLOSED),
+            ]
+
+    def test_failed_probe_rearms_from_probe_instant(self):
+        from repro.sim import EventScheduler
+
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._open_breaker(cooldown_ns=500.0)
+            scheduler = EventScheduler()
+            observed = []
+
+            def failing_probe():
+                assert breaker.allow() is True
+                breaker.record_failure()  # probe fails: back to OPEN
+
+            scheduler.schedule(500.0, failing_probe)
+            # The new deadline is 500 ns after the *failed probe*, not
+            # after the original trip.
+            scheduler.schedule(
+                999.0, lambda: observed.append(("early", breaker.allow()))
+            )
+            scheduler.schedule(
+                1000.0, lambda: observed.append(("rearmed", breaker.allow()))
+            )
+            scheduler.run()
+            assert observed == [("early", False), ("rearmed", True)]
+            assert breaker.snapshot()["probe_failures_total"] == 1
+
+    def test_probe_counters_accumulate_across_scheduled_cycles(self):
+        from repro.sim import EventScheduler
+
+        with CLOCK.scoped(start_ns=0.0):
+            breaker = self._open_breaker(cooldown_ns=100.0)
+            scheduler = EventScheduler()
+
+            def fail_probe():
+                if breaker.allow():
+                    breaker.record_failure()
+
+            def ok_probe():
+                if breaker.allow():
+                    breaker.record_success()
+
+            scheduler.schedule(100.0, fail_probe)
+            scheduler.schedule(200.0, fail_probe)
+            scheduler.schedule(300.0, ok_probe)
+            scheduler.run()
+            snap = breaker.snapshot()
+            assert snap["probe_failures_total"] == 2
+            assert snap["probe_successes_total"] == 1
+            assert breaker.state is BreakerState.CLOSED

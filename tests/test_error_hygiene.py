@@ -24,7 +24,7 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: Layers whose raises must come from repro.errors.
-LINTED_DIRS = ("core", "sfm", "dfm", "tiering", "scenarios")
+LINTED_DIRS = ("core", "sfm", "dfm", "tiering", "scenarios", "fleet")
 
 #: Builtin exception types forbidden as `raise X(...)` in linted dirs.
 FORBIDDEN = ("ValueError", "RuntimeError", "Exception", "KeyError",
@@ -75,6 +75,20 @@ def test_resilience_error_types_are_wired():
     assert issubclass(CorruptedBlobError, SfmError)
     # CorruptedBlobError carries the poisoned vaddr for reporting.
     assert CorruptedBlobError("x", vaddr=0x123).vaddr == 0x123
+
+
+def test_overload_error_types_are_wired():
+    """The fleet serving layer's shed/fast-fail types exist, nest so a
+    single ``except OverloadError`` catches both, and carry the
+    machine-readable fields clients dispatch on."""
+    from repro.errors import OverloadError, ReproError, RetryBudgetExhausted
+
+    assert issubclass(OverloadError, ReproError)
+    assert issubclass(RetryBudgetExhausted, OverloadError)
+    exc = OverloadError("shed", reason="queue-full", retry_after_ns=1500.0)
+    assert exc.reason == "queue-full"
+    assert exc.retry_after_ns == 1500.0
+    assert RetryBudgetExhausted("no budget").reason == "retry-budget"
 
 
 # -- clock hygiene -----------------------------------------------------------
